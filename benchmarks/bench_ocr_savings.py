@@ -1,0 +1,99 @@
+"""OCR ablation: opportunistic compensation/re-execution vs the Saga baseline.
+
+Section 6's opening analysis: "it is not expensive to use this strategy
+... in general the benefits from the OCR scheme is considerable while
+paying a small overhead."  This benchmark quantifies the claim on a
+failure-laden workload in which *every* instance fails once and rolls back
+``r`` steps.  The same workload runs at increasing values of ``pr`` (the
+paper's "probability of step re-execution": the fraction of rolled back
+steps whose CR condition forces a real re-execution) and once with every
+step forced to ``AlwaysReexecute`` — the Sagas-style compensate-everything
+baseline the paper calls "an overkill in several practical scenarios".
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.programs import ConstantProgram, FailEveryNth
+from repro.model.policies import AlwaysReexecute
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.params import PAPER_DEFAULTS
+
+from harness import build_system
+
+INSTANCES = 8
+SCHEMAS = 2
+
+
+def run_variant(pr: float, saga: bool = False, seed: int = 11):
+    """Run the forced-failure workload; returns (exec work, comp work, commits)."""
+    params = PAPER_DEFAULTS.evolve(c=SCHEMAS, i=INSTANCES, pf=0.2, pr=pr,
+                                   pi=0.0, pa=0.0)
+    generator = WorkloadGenerator(params, seed=seed, coordination=False)
+    workload = generator.build()
+    if saga:
+        # Saga baseline: every rolled-back step fully compensates and
+        # re-executes, no reuse ever.
+        for schema in workload.schemas:
+            for step in schema.cr_policies:
+                schema.cr_policies[step] = AlwaysReexecute()  # type: ignore[index]
+    system = build_system("distributed", params, seed=seed)
+    generator.install(system, workload)
+    # Deterministic failure: the designated step fails on its first attempt
+    # in every instance (instead of with probability pf).
+    for schema in workload.schemas:
+        failing = workload.failure_steps[schema.name]
+        program_name = schema.steps[failing].program
+        outputs = {
+            out: f"{schema.name}.{failing}.{out}"
+            for out in schema.steps[failing].outputs
+        }
+        system.register_program(
+            program_name, FailEveryNth(ConstantProgram(outputs), {1})
+        )
+    generator.drive(system, workload, instances_per_schema=INSTANCES)
+    system.run()
+    metrics = system.metrics
+    return (
+        metrics.total_work("execute"),
+        metrics.total_work("compensate"),
+        metrics.instances_committed,
+    )
+
+
+@pytest.mark.benchmark(group="ocr")
+def test_ocr_savings_vs_saga_baseline(benchmark):
+    def sweep():
+        rows = [("OCR pr=0.00", *run_variant(0.0))]
+        rows.append(("OCR pr=0.25", *run_variant(0.25)))
+        rows.append(("OCR pr=0.50", *run_variant(0.5)))
+        rows.append(("Saga baseline", *run_variant(0.0, saga=True)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    saga_total = rows[-1][1] + rows[-1][2]
+    print()
+    print("OCR vs Saga — total program work, every instance fails once and "
+          f"rolls back r={PAPER_DEFAULTS.r} steps "
+          f"({SCHEMAS * INSTANCES} instances)")
+    print(format_table(
+        ["variant", "execute work", "compensate work", "total",
+         "saving vs Saga"],
+        [[label, f"{execute:.0f}", f"{compensate:.0f}",
+          f"{execute + compensate:.0f}",
+          f"{100 * (1 - (execute + compensate) / saga_total):.1f}%"]
+         for label, execute, compensate, __ in rows],
+    ))
+
+    # Every variant commits every instance — OCR changes cost, not outcomes.
+    for __, __e, __c, commits in rows:
+        assert commits == SCHEMAS * INSTANCES
+
+    totals = [execute + compensate for __, execute, compensate, __c in rows]
+    # Work grows with pr and the Saga baseline is the most expensive.
+    assert totals[0] < totals[1] <= totals[2] < totals[3]
+    # Pure OCR (all reusable) saves substantially — the paper's
+    # "considerable benefit" — here well over 20% of total work.
+    assert totals[0] < 0.8 * saga_total
+    # The Saga baseline never reuses: compensation work is maximal there.
+    assert rows[-1][2] > rows[0][2]

@@ -1,0 +1,16 @@
+"""Shared driver for the Table 4-7 reproduction benchmarks.
+
+Thin wrapper over :mod:`repro.analysis.experiment` (the library-level
+evaluation runner) so the pytest-benchmark files stay declarative.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiment import (
+    EVAL_PARAMS as BENCH_PARAMS,
+    ArchitectureResult as BenchResult,
+    build_control_system as build_system,
+    run_architecture_experiment as run_architecture,
+)
+
+__all__ = ["BENCH_PARAMS", "BenchResult", "build_system", "run_architecture"]

@@ -1,0 +1,75 @@
+"""Mini Tables 4-6: run one workload under all three architectures.
+
+Drives the same Table-3-shaped workload through centralized, parallel and
+distributed control and prints, per architecture, the per-instance message
+counts and per-node loads next to the paper's analytic model — a compact
+rendition of the paper's Section 6 comparison (the full benchmark harness
+in benchmarks/ does this at scale).
+
+Run:  python examples/architecture_comparison.py
+"""
+
+from repro import (
+    CentralizedControlSystem,
+    DistributedControlSystem,
+    Mechanism,
+    ParallelControlSystem,
+    SystemConfig,
+    WorkloadParameters,
+)
+from repro.analysis import architecture_model, format_table, measure_costs
+from repro.workloads import WorkloadGenerator
+
+PARAMS = WorkloadParameters(c=2, i=10)
+
+
+def run(architecture):
+    config = SystemConfig(seed=17, trace=False)
+    if architecture == "centralized":
+        system = CentralizedControlSystem(config, num_agents=4,
+                                          agents_per_step=PARAMS.a)
+        nodes = lambda: system.engine_nodes()
+    elif architecture == "parallel":
+        system = ParallelControlSystem(config, num_engines=PARAMS.e,
+                                       num_agents=4, agents_per_step=PARAMS.a)
+        nodes = lambda: system.engine_nodes()
+    else:
+        system = DistributedControlSystem(config, num_agents=PARAMS.z,
+                                          agents_per_step=PARAMS.a)
+        nodes = lambda: system.agent_names()
+    generator = WorkloadGenerator(PARAMS, seed=17, coordination=False)
+    workload = generator.build()
+    generator.install(system, workload)
+    generator.drive(system, workload)
+    system.run()
+    return measure_costs(architecture, system.metrics, nodes())
+
+
+def main():
+    rows = []
+    for architecture in ("centralized", "parallel", "distributed"):
+        measured = run(architecture)
+        model = architecture_model(architecture, PARAMS)
+        rows.append([
+            architecture,
+            f"{measured.messages[Mechanism.NORMAL]:.1f}",
+            f"{model.messages(Mechanism.NORMAL):.0f}",
+            f"{measured.load[Mechanism.NORMAL]:.3f}",
+            f"{model.load(Mechanism.NORMAL):.3f}",
+            f"{measured.messages[Mechanism.FAILURE]:.2f}",
+            f"{model.messages(Mechanism.FAILURE):.2f}",
+        ])
+    print("Per-instance costs, measured vs the paper's analytic model "
+          f"(s={PARAMS.s}, a={PARAMS.a}, e={PARAMS.e}, z={PARAMS.z})")
+    print(format_table(
+        ["architecture", "msgs meas.", "msgs model", "load meas.",
+         "load model", "fail msgs meas.", "fail msgs model"],
+        rows,
+    ))
+    print()
+    print("Shape check (paper Table 7): distributed moves the fewest messages")
+    print("and loads each node least; the central engine is the bottleneck.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: define a workflow, run it under distributed control.
+
+Builds a small order-handling workflow with an if-then-else branch, runs
+one instance through the distributed architecture (agents navigating via
+workflow packets), and prints the full enactment trace.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DistributedControlSystem, SchemaBuilder, SystemConfig
+from repro.core.programs import FunctionProgram
+
+
+def build_schema():
+    builder = SchemaBuilder("Quickstart", inputs=["amount"])
+    builder.step("Validate", program="q.validate", inputs=["WF.amount"],
+                 outputs=["ok", "value"])
+    builder.step("AutoApprove", program="q.auto", inputs=["Validate.value"],
+                 outputs=["decision"])
+    builder.step("ManualReview", program="q.manual", inputs=["Validate.value"],
+                 outputs=["decision"])
+    builder.step("Notify", program="q.notify", join="xor", outputs=["msg"])
+    builder.branch("Validate", [("AutoApprove", "Validate.value < 1000")],
+                   otherwise="ManualReview")
+    builder.arc("AutoApprove", "Notify")
+    builder.arc("ManualReview", "Notify")
+    builder.output("message", "Notify.msg")
+    return builder.build()
+
+
+def main():
+    system = DistributedControlSystem(SystemConfig(seed=42), num_agents=5,
+                                      agents_per_step=2)
+    system.register_schema(build_schema())
+    system.register_program("q.validate", FunctionProgram(
+        lambda inputs, ctx: {"ok": True, "value": inputs["WF.amount"]}))
+    system.register_program("q.auto", FunctionProgram(
+        lambda inputs, ctx: {"decision": "approved"}))
+    system.register_program("q.manual", FunctionProgram(
+        lambda inputs, ctx: {"decision": "escalated"}))
+    system.register_program("q.notify", FunctionProgram(
+        lambda inputs, ctx: {"msg": f"order handled at t={ctx.now:.1f}"}))
+
+    small = system.start_workflow("Quickstart", {"amount": 250})
+    large = system.start_workflow("Quickstart", {"amount": 5000}, delay=0.5)
+    system.run()
+
+    print("=== enactment trace ===")
+    print(system.trace.render())
+    print()
+    for instance in (small, large):
+        outcome = system.outcome(instance)
+        print(f"{instance}: {outcome.status.value}  outputs={outcome.outputs}")
+
+    done = {(r.detail['instance'], r.detail['step'])
+            for r in system.trace.filter(kind="step.done")}
+    assert (small, "AutoApprove") in done
+    assert (large, "ManualReview") in done
+    print("\nsmall order auto-approved, large order manually reviewed — "
+          "the XOR branch rules fired as specified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Performance analysis: closed-form model, Table 7 ranking, evaluation runner."""
+
+from repro.analysis.experiment import (
+    ArchitectureResult,
+    EvaluationResults,
+    full_evaluation,
+    ocr_ablation,
+    render_evaluation,
+    run_architecture_experiment,
+)
+from repro.analysis.model import (
+    ARCHITECTURES,
+    ArchitectureModel,
+    CostRow,
+    architecture_model,
+    centralized_model,
+    distributed_model,
+    parallel_model,
+)
+from repro.analysis.recommend import (
+    SCENARIOS,
+    Ranking,
+    rank_architectures,
+    recommendation_matrix,
+)
+from repro.analysis.report import (
+    MeasuredCosts,
+    format_table,
+    measure_costs,
+    render_architecture_table,
+    render_comparison,
+    render_recommendation,
+)
+
+__all__ = [
+    "ARCHITECTURES",
+    "ArchitectureResult",
+    "EvaluationResults",
+    "full_evaluation",
+    "ocr_ablation",
+    "render_evaluation",
+    "run_architecture_experiment",
+    "ArchitectureModel",
+    "CostRow",
+    "MeasuredCosts",
+    "Ranking",
+    "SCENARIOS",
+    "architecture_model",
+    "centralized_model",
+    "distributed_model",
+    "format_table",
+    "measure_costs",
+    "parallel_model",
+    "rank_architectures",
+    "recommendation_matrix",
+    "render_architecture_table",
+    "render_comparison",
+    "render_recommendation",
+]

@@ -1,0 +1,217 @@
+"""One-call reproduction of the paper's full evaluation.
+
+:func:`run_architecture_experiment` performs one Table 4/5/6 measurement
+(build system → install Table-3 workload → drive → normalize);
+:func:`full_evaluation` runs every architecture with and without
+coordination requirements plus the OCR-vs-Saga ablation, and
+:func:`render_evaluation` turns the results into a markdown report — the
+programmatic equivalent of ``pytest benchmarks/ --benchmark-only``,
+exposed as ``python -m repro evaluate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.model import architecture_model
+from repro.analysis.report import (
+    MeasuredCosts,
+    format_table,
+    measure_costs,
+    render_comparison,
+    render_recommendation,
+)
+from repro.analysis.recommend import recommendation_matrix
+from repro.core.programs import ConstantProgram, FailEveryNth
+from repro.engines import (
+    CentralizedControlSystem,
+    ControlSystem,
+    DistributedControlSystem,
+    ParallelControlSystem,
+    SystemConfig,
+)
+from repro.model.policies import AlwaysReexecute
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.params import PAPER_DEFAULTS, WorkloadParameters
+
+__all__ = [
+    "ArchitectureResult",
+    "EvaluationResults",
+    "build_control_system",
+    "full_evaluation",
+    "ocr_ablation",
+    "render_evaluation",
+    "run_architecture_experiment",
+]
+
+#: Evaluation-scale default: the Table-3 calibration point with the schema
+#: count reduced so a full evaluation stays in seconds.
+EVAL_PARAMS = PAPER_DEFAULTS.evolve(c=4, i=25)
+
+
+def build_control_system(
+    architecture: str, params: WorkloadParameters, seed: int = 7
+) -> ControlSystem:
+    """A control system sized for the given parameter point."""
+    config = SystemConfig(seed=seed, trace=False)
+    if architecture == "centralized":
+        return CentralizedControlSystem(
+            config, num_agents=max(4, params.a * 2), agents_per_step=params.a
+        )
+    if architecture == "parallel":
+        return ParallelControlSystem(
+            config, num_engines=params.e, num_agents=max(4, params.a * 2),
+            agents_per_step=params.a,
+        )
+    if architecture == "distributed":
+        return DistributedControlSystem(
+            config, num_agents=params.z, agents_per_step=params.a
+        )
+    raise ValueError(f"unknown architecture {architecture!r}")
+
+
+@dataclass
+class ArchitectureResult:
+    """One Table 4/5/6 measurement."""
+
+    architecture: str
+    params: WorkloadParameters
+    measured: MeasuredCosts
+    committed: int
+    aborted: int
+
+    def report(self) -> str:
+        return render_comparison(
+            architecture_model(self.architecture, self.params), self.measured
+        )
+
+
+def run_architecture_experiment(
+    architecture: str,
+    params: WorkloadParameters = EVAL_PARAMS,
+    coordination: bool = False,
+    instances_per_schema: int | None = None,
+    seed: int = 7,
+) -> ArchitectureResult:
+    """Run the Table-3 workload under one architecture and normalize."""
+    generator = WorkloadGenerator(params, seed=seed, key_pool=2,
+                                  coordination=coordination)
+    workload = generator.build()
+    system = build_control_system(architecture, params, seed=seed)
+    generator.install(system, workload)
+    generator.drive(system, workload, instances_per_schema=instances_per_schema)
+    system.run()
+    nodes = (system.agent_names() if architecture == "distributed"
+             else system.engine_nodes())
+    measured = measure_costs(architecture, system.metrics, nodes)
+    return ArchitectureResult(
+        architecture=architecture,
+        params=params,
+        measured=measured,
+        committed=system.metrics.instances_committed,
+        aborted=system.metrics.instances_aborted,
+    )
+
+
+def ocr_ablation(seed: int = 11, instances: int = 8,
+                 schemas: int = 2) -> list[tuple[str, float, float, int]]:
+    """OCR vs Saga work comparison: [(label, exec work, comp work, commits)]."""
+
+    def run_variant(pr: float, saga: bool) -> tuple[float, float, int]:
+        params = PAPER_DEFAULTS.evolve(c=schemas, i=instances, pf=0.2, pr=pr,
+                                       pi=0.0, pa=0.0)
+        generator = WorkloadGenerator(params, seed=seed, coordination=False)
+        workload = generator.build()
+        if saga:
+            for schema in workload.schemas:
+                for step in schema.cr_policies:
+                    schema.cr_policies[step] = AlwaysReexecute()  # type: ignore[index]
+        system = build_control_system("distributed", params, seed=seed)
+        generator.install(system, workload)
+        for schema in workload.schemas:
+            failing = workload.failure_steps[schema.name]
+            outputs = {
+                out: f"{schema.name}.{failing}.{out}"
+                for out in schema.steps[failing].outputs
+            }
+            system.register_program(
+                schema.steps[failing].program,
+                FailEveryNth(ConstantProgram(outputs), {1}),
+            )
+        generator.drive(system, workload, instances_per_schema=instances)
+        system.run()
+        return (
+            system.metrics.total_work("execute"),
+            system.metrics.total_work("compensate"),
+            system.metrics.instances_committed,
+        )
+
+    rows = [("OCR pr=0.00", *run_variant(0.0, saga=False))]
+    rows.append(("OCR pr=0.25", *run_variant(0.25, saga=False)))
+    rows.append(("OCR pr=0.50", *run_variant(0.5, saga=False)))
+    rows.append(("Saga baseline", *run_variant(0.0, saga=True)))
+    return rows
+
+
+@dataclass
+class EvaluationResults:
+    """Everything :func:`full_evaluation` produces."""
+
+    params: WorkloadParameters
+    normal: dict[str, ArchitectureResult] = field(default_factory=dict)
+    coordinated: dict[str, ArchitectureResult] = field(default_factory=dict)
+    ocr: list[tuple[str, float, float, int]] = field(default_factory=list)
+
+
+def full_evaluation(params: WorkloadParameters = EVAL_PARAMS,
+                    seed: int = 7) -> EvaluationResults:
+    """Run Tables 4-6 (with and without coordination) plus the OCR ablation."""
+    results = EvaluationResults(params=params)
+    for architecture in ("centralized", "parallel", "distributed"):
+        results.normal[architecture] = run_architecture_experiment(
+            architecture, params, coordination=False, seed=seed
+        )
+        results.coordinated[architecture] = run_architecture_experiment(
+            architecture, params, coordination=True, seed=seed
+        )
+    results.ocr = ocr_ablation(seed=seed + 4)
+    return results
+
+
+def render_evaluation(results: EvaluationResults) -> str:
+    """Markdown report of a :func:`full_evaluation` run."""
+    sections = ["# CREW evaluation (regenerated)", ""]
+    table_no = {"centralized": 4, "parallel": 5, "distributed": 6}
+    for architecture in ("centralized", "parallel", "distributed"):
+        sections.append(f"## Table {table_no[architecture]} — "
+                        f"{architecture} control")
+        sections.append("")
+        sections.append("```")
+        sections.append(results.normal[architecture].report())
+        sections.append("```")
+        sections.append("")
+        sections.append("With coordination requirements installed:")
+        sections.append("```")
+        sections.append(results.coordinated[architecture].report())
+        sections.append("```")
+        sections.append("")
+    sections.append("## Table 7 — recommendation matrix (analytic)")
+    sections.append("")
+    sections.append("```")
+    sections.append(render_recommendation(recommendation_matrix(results.params)))
+    sections.append("```")
+    sections.append("")
+    sections.append("## OCR vs Saga ablation")
+    sections.append("")
+    saga_total = results.ocr[-1][1] + results.ocr[-1][2]
+    sections.append("```")
+    sections.append(format_table(
+        ["variant", "execute work", "compensate work", "total",
+         "saving vs Saga"],
+        [[label, f"{execute:.0f}", f"{compensate:.0f}",
+          f"{execute + compensate:.0f}",
+          f"{100 * (1 - (execute + compensate) / saga_total):.1f}%"]
+         for label, execute, compensate, __ in results.ocr],
+    ))
+    sections.append("```")
+    return "\n".join(sections)

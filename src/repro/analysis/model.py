@@ -1,0 +1,130 @@
+"""The paper's analytic cost model (Tables 4, 5 and 6).
+
+Closed-form per-instance expressions for the load at a node (in multiples
+of the per-step navigation load ``l``) and the number of physical messages
+exchanged, for each mechanism under each architecture.  The expressions
+are transcribed verbatim from the paper; evaluating them at the
+:data:`~repro.workloads.params.PAPER_DEFAULTS` point reproduces the
+"Normalized Value" columns exactly (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.metrics import Mechanism
+from repro.workloads.params import WorkloadParameters
+
+__all__ = [
+    "ARCHITECTURES",
+    "ArchitectureModel",
+    "CostRow",
+    "architecture_model",
+    "centralized_model",
+    "distributed_model",
+    "parallel_model",
+]
+
+
+@dataclass(frozen=True)
+class CostRow:
+    """One mechanism row of a Table 4/5/6-style table."""
+
+    mechanism: Mechanism
+    load_expression: str
+    load_value: float  # in multiples of l
+    message_expression: str
+    message_value: float
+
+
+@dataclass(frozen=True)
+class ArchitectureModel:
+    """All five mechanism rows for one architecture at one parameter point."""
+
+    architecture: str
+    params: WorkloadParameters
+    rows: tuple[CostRow, ...]
+
+    def row(self, mechanism: Mechanism) -> CostRow:
+        for row in self.rows:
+            if row.mechanism is mechanism:
+                return row
+        raise KeyError(mechanism)
+
+    def load(self, mechanism: Mechanism) -> float:
+        return self.row(mechanism).load_value
+
+    def messages(self, mechanism: Mechanism) -> float:
+        return self.row(mechanism).message_value
+
+    def total_load(self, mechanisms: tuple[Mechanism, ...]) -> float:
+        return sum(self.load(m) for m in mechanisms)
+
+    def total_messages(self, mechanisms: tuple[Mechanism, ...]) -> float:
+        return sum(self.messages(m) for m in mechanisms)
+
+
+def centralized_model(p: WorkloadParameters) -> ArchitectureModel:
+    """Table 4: Load and Physical Messages in Centralized Workflow Control."""
+    coord = p.coordination_degree
+    rows = (
+        CostRow(Mechanism.NORMAL, "l*s", p.s, "2*s*a", 2 * p.s * p.a),
+        CostRow(Mechanism.INPUT_CHANGE, "l*r*pi", p.r * p.pi,
+                "2*r*pi*pr*a", 2 * p.r * p.pi * p.pr * p.a),
+        CostRow(Mechanism.ABORT, "l*w*pa", p.w * p.pa,
+                "2*w*pa*a", 2 * p.w * p.pa * p.a),
+        CostRow(Mechanism.FAILURE, "l*r*pf", p.r * p.pf,
+                "2*r*pf*pr*a", 2 * p.r * p.pf * p.pr * p.a),
+        CostRow(Mechanism.COORDINATION, "l*(me+ro+rd)*s", coord * p.s, "0", 0.0),
+    )
+    return ArchitectureModel("centralized", p, rows)
+
+
+def parallel_model(p: WorkloadParameters) -> ArchitectureModel:
+    """Table 5: Load and Physical Messages in Parallel Workflow Control."""
+    coord = p.coordination_degree
+    rows = (
+        CostRow(Mechanism.NORMAL, "l*s/e", p.s / p.e, "2*s*a", 2 * p.s * p.a),
+        CostRow(Mechanism.INPUT_CHANGE, "(l*r*pi)/e", p.r * p.pi / p.e,
+                "2*r*pi*pr*a", 2 * p.r * p.pi * p.pr * p.a),
+        CostRow(Mechanism.ABORT, "(l*w*pa)/e", p.w * p.pa / p.e,
+                "2*w*pa*a", 2 * p.w * p.pa * p.a),
+        CostRow(Mechanism.FAILURE, "(l*r*pf)/e", p.r * p.pf / p.e,
+                "2*r*pf*pr*a", 2 * p.r * p.pf * p.pr * p.a),
+        CostRow(Mechanism.COORDINATION, "l*(me+ro+rd)*s", coord * p.s,
+                "(me+ro+rd)*e*s", coord * p.e * p.s),
+    )
+    return ArchitectureModel("parallel", p, rows)
+
+
+def distributed_model(p: WorkloadParameters) -> ArchitectureModel:
+    """Table 6: Load and Physical Messages in Distributed Workflow Control."""
+    coord = p.coordination_degree
+    rows = (
+        CostRow(Mechanism.NORMAL, "l*s/z", p.s / p.z, "s*a+f", p.s * p.a + p.f),
+        CostRow(Mechanism.INPUT_CHANGE, "(l*r*pi)/z", p.r * p.pi / p.z,
+                "(r+v)*pi*a", (p.r + p.v) * p.pi * p.a),
+        CostRow(Mechanism.ABORT, "(l*w*pa)/z", p.w * p.pa / p.z,
+                "2*w*pa*a", 2 * p.w * p.pa * p.a),
+        CostRow(Mechanism.FAILURE, "(l*r*pf)/z", p.r * p.pf / p.z,
+                "(r+v)*pf*a", (p.r + p.v) * p.pf * p.a),
+        CostRow(Mechanism.COORDINATION, "(l*(me+ro+rd)*a*d*s)/z",
+                coord * p.a * p.d * p.s / p.z,
+                "(me+ro+rd)*a*d*s", coord * p.a * p.d * p.s),
+    )
+    return ArchitectureModel("distributed", p, rows)
+
+
+ARCHITECTURES: dict[str, Callable[[WorkloadParameters], ArchitectureModel]] = {
+    "centralized": centralized_model,
+    "parallel": parallel_model,
+    "distributed": distributed_model,
+}
+
+
+def architecture_model(name: str, params: WorkloadParameters) -> ArchitectureModel:
+    try:
+        return ARCHITECTURES[name](params)
+    except KeyError:
+        raise KeyError(f"unknown architecture {name!r}") from None

@@ -1,0 +1,95 @@
+"""Architecture recommendation matrix (paper Table 7).
+
+"A summary of the recommended choice based on various requirements is
+shown in Table 7.  The numbers indicate the preferred order of choice."
+
+The matrix ranks the three architectures under two criteria (load at a
+node, physical messages) for three requirement mixes: pure normal
+execution, normal + failures (including input changes and aborts), and
+normal + coordinated execution.  Equal costs share a rank — the paper
+itself ties centralized and parallel at (2) for normal-execution messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.model import ARCHITECTURES, architecture_model
+from repro.sim.metrics import Mechanism
+from repro.workloads.params import PAPER_DEFAULTS, WorkloadParameters
+
+__all__ = ["Ranking", "SCENARIOS", "recommendation_matrix", "rank_architectures"]
+
+#: Requirement mixes of Table 7's columns.
+SCENARIOS: dict[str, tuple[Mechanism, ...]] = {
+    "normal": (Mechanism.NORMAL,),
+    "normal+failures": (
+        Mechanism.NORMAL,
+        Mechanism.FAILURE,
+        Mechanism.INPUT_CHANGE,
+        Mechanism.ABORT,
+    ),
+    "normal+coordinated": (Mechanism.NORMAL, Mechanism.COORDINATION),
+}
+
+
+@dataclass(frozen=True)
+class Ranking:
+    """Ranked architectures for one (criterion, scenario) cell."""
+
+    criterion: str  # "load" | "messages"
+    scenario: str
+    #: (rank, architecture, value) — equal values share a rank.
+    entries: tuple[tuple[int, str, float], ...]
+
+    def order(self) -> tuple[str, ...]:
+        return tuple(arch for __, arch, __v in self.entries)
+
+    def rank_of(self, architecture: str) -> int:
+        for rank, arch, __ in self.entries:
+            if arch == architecture:
+                return rank
+        raise KeyError(architecture)
+
+
+def rank_architectures(
+    criterion: str,
+    scenario: str,
+    params: WorkloadParameters = PAPER_DEFAULTS,
+    tolerance: float = 1e-9,
+) -> Ranking:
+    """Rank the architectures by total cost for a requirement mix."""
+    mechanisms = SCENARIOS[scenario]
+    costs = []
+    for name in ARCHITECTURES:
+        model = architecture_model(name, params)
+        if criterion == "load":
+            value = model.total_load(mechanisms)
+        elif criterion == "messages":
+            value = model.total_messages(mechanisms)
+        else:
+            raise ValueError(f"unknown criterion {criterion!r}")
+        costs.append((value, name))
+    costs.sort(key=lambda pair: (pair[0], pair[1]))
+    entries: list[tuple[int, str, float]] = []
+    rank = 0
+    previous: float | None = None
+    for position, (value, name) in enumerate(costs, start=1):
+        if previous is None or abs(value - previous) > tolerance:
+            rank = position
+        entries.append((rank, name, value))
+        previous = value
+    return Ranking(criterion=criterion, scenario=scenario, entries=tuple(entries))
+
+
+def recommendation_matrix(
+    params: WorkloadParameters = PAPER_DEFAULTS,
+) -> dict[tuple[str, str], Ranking]:
+    """The full Table 7: {(criterion, scenario): Ranking}."""
+    matrix: dict[tuple[str, str], Ranking] = {}
+    for criterion in ("load", "messages"):
+        for scenario in SCENARIOS:
+            matrix[(criterion, scenario)] = rank_architectures(
+                criterion, scenario, params
+            )
+    return matrix

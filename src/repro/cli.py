@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``
+    Print the paper's analytic Tables 4-6 and the Table 7 recommendation
+    matrix at the calibrated Table 3 parameter point (or overrides).
+``compare``
+    Run one Table-3 workload under all three architectures and print
+    measured-vs-model costs (a fast, self-contained mini-evaluation).
+``check``
+    Parse and validate a LAWS specification file; print the compiled
+    summary (schemas, steps, rules, coordination specs).
+``run``
+    Load a LAWS file, start N instances of a workflow under a chosen
+    architecture, and print the outcomes (and optionally the trace).
+``scenario``
+    Run one of the canonical paper scenarios (figure3, orders, travel).
+``evaluate``
+    Regenerate the paper's full evaluation (Tables 4-7 + the OCR ablation)
+    as a markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiment import full_evaluation, render_evaluation
+from repro.analysis.model import architecture_model
+from repro.analysis.recommend import recommendation_matrix
+from repro.analysis.report import (
+    format_table,
+    measure_costs,
+    render_architecture_table,
+    render_comparison,
+    render_recommendation,
+)
+from repro.engines import (
+    CentralizedControlSystem,
+    DistributedControlSystem,
+    ParallelControlSystem,
+    SystemConfig,
+)
+from repro.errors import CrewError
+from repro.laws import load_laws
+from repro.model import compile_schema
+from repro.workloads import (
+    WorkloadGenerator,
+    WorkloadParameters,
+    figure3_workflow,
+    order_processing,
+    travel_booking,
+)
+
+__all__ = ["main"]
+
+
+def _make_system(architecture: str, params: WorkloadParameters, seed: int,
+                 trace: bool = False):
+    config = SystemConfig(seed=seed, trace=trace)
+    if architecture == "centralized":
+        return CentralizedControlSystem(config, num_agents=max(4, params.a * 2),
+                                        agents_per_step=params.a)
+    if architecture == "parallel":
+        return ParallelControlSystem(config, num_engines=params.e,
+                                     num_agents=max(4, params.a * 2),
+                                     agents_per_step=params.a)
+    return DistributedControlSystem(config, num_agents=params.z,
+                                    agents_per_step=params.a)
+
+
+def _params_from(args) -> WorkloadParameters:
+    overrides = {}
+    for symbol in ("s", "e", "z", "a", "r", "v", "f"):
+        value = getattr(args, symbol, None)
+        if value is not None:
+            overrides[symbol] = value
+    return WorkloadParameters(**overrides) if overrides else WorkloadParameters()
+
+
+def cmd_tables(args) -> int:
+    params = _params_from(args)
+    for architecture in ("centralized", "parallel", "distributed"):
+        print(render_architecture_table(architecture_model(architecture, params)))
+        print()
+    print(render_recommendation(recommendation_matrix(params)))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    params = _params_from(args).evolve(c=2, i=args.instances)
+    for architecture in ("centralized", "parallel", "distributed"):
+        generator = WorkloadGenerator(params, seed=args.seed)
+        workload = generator.build()
+        system = _make_system(architecture, params, args.seed)
+        generator.install(system, workload)
+        generator.drive(system, workload)
+        system.run()
+        nodes = (system.engine_nodes() if architecture != "distributed"
+                 else system.agent_names())
+        measured = measure_costs(architecture, system.metrics, nodes)
+        print(render_comparison(architecture_model(architecture, params), measured))
+        print()
+    return 0
+
+
+def cmd_check(args) -> int:
+    with open(args.file, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    document = load_laws(source)
+    rows = []
+    for schema in document.schemas:
+        compiled = compile_schema(schema)
+        rows.append([
+            schema.name,
+            len(schema.steps),
+            len(compiled.rule_templates),
+            len(compiled.terminal_steps),
+            len(schema.compensation_sets),
+            len(schema.rollback_points),
+        ])
+    print(format_table(
+        ["workflow", "steps", "rules", "terminals", "comp. sets",
+         "rollback points"],
+        rows,
+    ))
+    if document.specs:
+        print()
+        print(format_table(
+            ["coordination spec", "kind", "schemas"],
+            [[spec.name, type(spec).__name__,
+              f"{spec.schema_a} / {spec.schema_b}"] for spec in document.specs],
+        ))
+    print(f"\nOK: {len(document.schemas)} workflow(s), "
+          f"{len(document.specs)} coordination spec(s).")
+    return 0
+
+
+def cmd_run(args) -> int:
+    with open(args.file, "r", encoding="utf-8") as handle:
+        document = load_laws(handle.read())
+    params = WorkloadParameters()
+    system = _make_system(args.architecture, params, args.seed, trace=args.trace)
+    document.install(system)
+    schema_name = args.workflow or document.schemas[0].name
+    inputs = {}
+    for pair in args.input or []:
+        name, __, value = pair.partition("=")
+        try:
+            inputs[name] = int(value)
+        except ValueError:
+            inputs[name] = value
+    instances = [
+        system.start_workflow(schema_name, inputs, delay=i * args.gap)
+        for i in range(args.instances)
+    ]
+    system.run()
+    if args.trace:
+        print(system.trace.render())
+        print()
+    for instance in instances:
+        try:
+            outcome = system.outcome(instance)
+            print(f"{instance}: {outcome.status.value}  {outcome.outputs}")
+        except CrewError:
+            print(f"{instance}: still running (deadlocked spec?)")
+    committed = len(system.committed_instances())
+    print(f"\n{committed}/{len(instances)} committed under "
+          f"{args.architecture} control; "
+          f"{system.metrics.total_messages()} physical messages.")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    results = full_evaluation(seed=args.seed)
+    report = render_evaluation(results)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def cmd_scenario(args) -> int:
+    factories = {
+        "figure3": (figure3_workflow, "Figure3", {"load": 5}),
+        "orders": (order_processing, "OrderProcessing",
+                   {"part": "gasket", "qty": 2}),
+        "travel": (travel_booking, "TravelBooking",
+                   {"traveller": "cli", "dates": "now"}),
+    }
+    factory, schema_name, inputs = factories[args.name]
+    params = WorkloadParameters()
+    system = _make_system(args.architecture, params, args.seed, trace=True)
+    factory().install(system)
+    instances = [
+        system.start_workflow(schema_name, inputs, delay=i * 0.5)
+        for i in range(args.instances)
+    ]
+    system.run()
+    print(system.trace.render(limit=60))
+    print()
+    for instance in instances:
+        outcome = system.outcome(instance)
+        print(f"{instance}: {outcome.status.value}  {outcome.outputs}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CREW: failure handling and coordinated execution of "
+                    "concurrent workflows (ICDE 1998 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tables = sub.add_parser("tables", help="print the analytic Tables 4-7")
+    for symbol in ("s", "e", "z", "a", "r", "v", "f"):
+        tables.add_argument(f"--{symbol}", type=int, default=None)
+    tables.set_defaults(fn=cmd_tables)
+
+    compare = sub.add_parser("compare", help="measured vs model, all architectures")
+    compare.add_argument("--instances", type=int, default=10)
+    compare.add_argument("--seed", type=int, default=7)
+    for symbol in ("s", "e", "z", "a", "r", "v", "f"):
+        compare.add_argument(f"--{symbol}", type=int, default=None)
+    compare.set_defaults(fn=cmd_compare)
+
+    check = sub.add_parser("check", help="validate a LAWS specification file")
+    check.add_argument("file")
+    check.set_defaults(fn=cmd_check)
+
+    run = sub.add_parser("run", help="run workflows from a LAWS file")
+    run.add_argument("file")
+    run.add_argument("--workflow", default=None,
+                     help="workflow name (default: first in the file)")
+    run.add_argument("--architecture", default="distributed",
+                     choices=("centralized", "parallel", "distributed"))
+    run.add_argument("--instances", type=int, default=1)
+    run.add_argument("--gap", type=float, default=0.5,
+                     help="arrival gap between instances")
+    run.add_argument("--input", action="append", metavar="NAME=VALUE")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--trace", action="store_true")
+    run.set_defaults(fn=cmd_run)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="regenerate the full evaluation as a markdown report"
+    )
+    evaluate.add_argument("--seed", type=int, default=7)
+    evaluate.add_argument("--output", default=None,
+                          help="write the report to this file")
+    evaluate.set_defaults(fn=cmd_evaluate)
+
+    scenario = sub.add_parser("scenario", help="run a canonical paper scenario")
+    scenario.add_argument("name", choices=("figure3", "orders", "travel"))
+    scenario.add_argument("--architecture", default="distributed",
+                          choices=("centralized", "parallel", "distributed"))
+    scenario.add_argument("--instances", type=int, default=1)
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.set_defaults(fn=cmd_scenario)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CrewError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""Core machinery: packets, workflow interfaces, OCR, recovery, coordination.
+
+This package holds the paper's primary contributions in
+architecture-neutral form; :mod:`repro.engines` binds them to the three
+control architectures.
+"""
+
+from repro.core.coordination import (
+    ClearanceGrant,
+    MutualExclusionAuthority,
+    RelativeOrderAuthority,
+    RollbackDependencyAuthority,
+    mx_clearance_token,
+    ro_clearance_token,
+)
+from repro.core.interfaces import INVOKED_BY, SUPPORTED_BY, WI, default_mechanism
+from repro.core.ocr import (
+    OCRPlan,
+    compensation_set_order,
+    compensation_set_order_from_events,
+    plan_step_action,
+)
+from repro.core.packets import WorkflowPacket
+from repro.core.programs import (
+    ConstantProgram,
+    ExecutionContext,
+    FailEveryNth,
+    FailWithProbability,
+    FunctionProgram,
+    NoopProgram,
+    ProgramRegistry,
+    StepProgram,
+    StepResult,
+)
+from repro.core.recovery import (
+    RecoveryTokens,
+    abandoned_branch_compensation,
+    invalidation_tokens,
+    steps_to_invalidate,
+)
+
+__all__ = [
+    "ClearanceGrant",
+    "ConstantProgram",
+    "ExecutionContext",
+    "FailEveryNth",
+    "FailWithProbability",
+    "FunctionProgram",
+    "INVOKED_BY",
+    "MutualExclusionAuthority",
+    "NoopProgram",
+    "OCRPlan",
+    "ProgramRegistry",
+    "RecoveryTokens",
+    "RelativeOrderAuthority",
+    "RollbackDependencyAuthority",
+    "SUPPORTED_BY",
+    "StepProgram",
+    "StepResult",
+    "WI",
+    "WorkflowPacket",
+    "abandoned_branch_compensation",
+    "compensation_set_order",
+    "compensation_set_order_from_events",
+    "default_mechanism",
+    "invalidation_tokens",
+    "mx_clearance_token",
+    "plan_step_action",
+    "ro_clearance_token",
+    "steps_to_invalidate",
+]

@@ -1,0 +1,121 @@
+"""The Workflow Interfaces (WIs) of distributed workflow control.
+
+Table 1 of the paper enumerates the interfaces agents support; Table 2
+maps each to the mechanism (normal execution, failure handling or
+coordinated execution) whose cost rows it contributes to.  Every physical
+message in this library names one of these interfaces (plus a handful of
+protocol-internal verbs), so the per-mechanism message accounting of the
+benchmark harness is driven directly off this table.
+
+``CompensateThread`` appears in the paper's Section 5.2 prose (abandoned
+if-then-else branches) although it is missing from Table 1; it is included
+here with a note.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.sim.metrics import Mechanism
+
+__all__ = ["WI", "default_mechanism", "SUPPORTED_BY", "INVOKED_BY"]
+
+
+class WI(enum.Enum):
+    """Workflow interface names (message verbs)."""
+
+    # -- front-end facing (coordination agent / engine) --
+    WORKFLOW_START = "WorkflowStart"
+    WORKFLOW_CHANGE_INPUTS = "WorkflowChangeInputs"
+    WORKFLOW_ABORT = "WorkflowAbort"
+    WORKFLOW_STATUS = "WorkflowStatus"
+    # -- agent-to-agent --
+    INPUTS_CHANGED = "InputsChanged"
+    STEP_EXECUTE = "StepExecute"
+    STEP_COMPENSATE = "StepCompensate"
+    STEP_COMPLETED = "StepCompleted"
+    STEP_STATUS = "StepStatus"
+    WORKFLOW_ROLLBACK = "WorkflowRollback"
+    HALT_THREAD = "HaltThread"
+    COMPENSATE_SET = "CompensateSet"
+    STATE_INFORMATION = "StateInformation"
+    ADD_RULE = "AddRule"
+    ADD_EVENT = "AddEvent"
+    ADD_PRECONDITION = "AddPrecondition"
+    # -- Section 5.2 prose (not in Table 1) --
+    COMPENSATE_THREAD = "CompensateThread"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Default mechanism attribution per Table 2 of the paper.  Call sites may
+#: override (e.g. a StepExecute carrying a re-execution packet after a
+#: rollback is attributed to FAILURE, and StepCompensate issued for a
+#: user abort is attributed to ABORT).
+_DEFAULT_MECHANISM: dict[WI, Mechanism] = {
+    WI.WORKFLOW_START: Mechanism.NORMAL,
+    WI.WORKFLOW_CHANGE_INPUTS: Mechanism.INPUT_CHANGE,
+    WI.WORKFLOW_ABORT: Mechanism.ABORT,
+    WI.WORKFLOW_STATUS: Mechanism.NORMAL,
+    WI.INPUTS_CHANGED: Mechanism.INPUT_CHANGE,
+    WI.STEP_EXECUTE: Mechanism.NORMAL,
+    WI.STEP_COMPENSATE: Mechanism.FAILURE,
+    WI.STEP_COMPLETED: Mechanism.NORMAL,
+    WI.STEP_STATUS: Mechanism.FAILURE,
+    WI.WORKFLOW_ROLLBACK: Mechanism.FAILURE,
+    WI.HALT_THREAD: Mechanism.FAILURE,
+    WI.COMPENSATE_SET: Mechanism.FAILURE,
+    WI.STATE_INFORMATION: Mechanism.NORMAL,
+    WI.ADD_RULE: Mechanism.COORDINATION,
+    WI.ADD_EVENT: Mechanism.COORDINATION,
+    WI.ADD_PRECONDITION: Mechanism.COORDINATION,
+    WI.COMPENSATE_THREAD: Mechanism.FAILURE,
+}
+
+#: Which node type supports each WI (paper Table 1, "Supported By").
+SUPPORTED_BY: dict[WI, str] = {
+    WI.WORKFLOW_START: "coordination",
+    WI.WORKFLOW_CHANGE_INPUTS: "coordination",
+    WI.WORKFLOW_ABORT: "coordination",
+    WI.WORKFLOW_STATUS: "coordination",
+    WI.INPUTS_CHANGED: "execution",
+    WI.STEP_EXECUTE: "execution",
+    WI.STEP_COMPENSATE: "execution",
+    WI.STEP_COMPLETED: "coordination",
+    WI.STEP_STATUS: "execution",
+    WI.WORKFLOW_ROLLBACK: "execution",
+    WI.HALT_THREAD: "execution",
+    WI.COMPENSATE_SET: "execution",
+    WI.STATE_INFORMATION: "execution",
+    WI.ADD_RULE: "execution",
+    WI.ADD_EVENT: "execution",
+    WI.ADD_PRECONDITION: "execution",
+    WI.COMPENSATE_THREAD: "execution",
+}
+
+#: Who invokes each WI (paper Table 1, "Invoked By").
+INVOKED_BY: dict[WI, str] = {
+    WI.WORKFLOW_START: "front-end",
+    WI.WORKFLOW_CHANGE_INPUTS: "front-end",
+    WI.WORKFLOW_ABORT: "front-end",
+    WI.WORKFLOW_STATUS: "front-end",
+    WI.INPUTS_CHANGED: "coordination-agent",
+    WI.STEP_EXECUTE: "coordination/execution-agent",
+    WI.STEP_COMPENSATE: "agent",
+    WI.STEP_COMPLETED: "termination-agent",
+    WI.STEP_STATUS: "execution-agent",
+    WI.WORKFLOW_ROLLBACK: "execution-agent",
+    WI.HALT_THREAD: "execution-agent",
+    WI.COMPENSATE_SET: "execution-agent",
+    WI.STATE_INFORMATION: "execution-agent",
+    WI.ADD_RULE: "execution-agent",
+    WI.ADD_EVENT: "execution-agent",
+    WI.ADD_PRECONDITION: "execution-agent",
+    WI.COMPENSATE_THREAD: "execution-agent",
+}
+
+
+def default_mechanism(wi: WI) -> Mechanism:
+    """Table 2's mechanism attribution for a workflow interface."""
+    return _DEFAULT_MECHANISM[wi]

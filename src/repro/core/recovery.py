@@ -1,0 +1,77 @@
+"""Shared rollback/halt/invalidation helpers.
+
+The paper's recovery procedure is "two pronged": probes halt the affected
+threads, and the ``step.done`` events of steps downstream of the rollback
+origin are invalidated so that "incorrect rules will not be fired".  The
+helpers here compute *what* to halt/invalidate; the engines decide *how*
+(locally in centralized control, via HaltThread()/CompensateSet() message
+chains in distributed control).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.model.compiler import CompiledSchema
+from repro.rules.events import step_done, step_fail
+from repro.storage.tables import InstanceState, StepStatus
+
+__all__ = [
+    "RecoveryTokens",
+    "abandoned_branch_compensation",
+    "invalidation_tokens",
+    "steps_to_invalidate",
+]
+
+
+def steps_to_invalidate(compiled: CompiledSchema, origin: str) -> frozenset[str]:
+    """The rollback origin and every forward descendant of it."""
+    return compiled.invalidation_set(origin)
+
+
+def invalidation_tokens(steps: Iterable[str]) -> frozenset[str]:
+    """Event tokens to invalidate for the given rolled-back steps.
+
+    Both completion and failure events are invalidated: a re-executed
+    thread must not observe stale ``step.fail`` occurrences either.
+    """
+    tokens: set[str] = set()
+    for step in steps:
+        tokens.add(step_done(step))
+        tokens.add(step_fail(step))
+    return frozenset(tokens)
+
+
+class RecoveryTokens:
+    """Convenience bundle: steps + tokens affected by one rollback."""
+
+    def __init__(self, compiled: CompiledSchema, origin: str):
+        self.origin = origin
+        self.steps = steps_to_invalidate(compiled, origin)
+        self.tokens = invalidation_tokens(self.steps)
+
+
+def abandoned_branch_compensation(
+    compiled: CompiledSchema,
+    state: InstanceState,
+    split: str,
+    taken_first: str,
+) -> list[str]:
+    """Steps of the now-abandoned if-then-else branch needing compensation.
+
+    "If a branch different from the previous execution is taken, steps of
+    the previously executed branch have to be compensated."  Returns the
+    *executed, compensable, not already compensated* exclusive members of
+    the other branches, in reverse execution order (latest first).
+    """
+    candidates = compiled.abandoned_branch_members(split, taken_first)
+    executed = []
+    for step in candidates:
+        record = state.steps.get(step)
+        if record is None or record.status is not StepStatus.DONE:
+            continue
+        if not compiled.schema.steps[step].compensable:
+            continue
+        executed.append(record)
+    executed.sort(key=lambda r: r.exec_seq or 0, reverse=True)
+    return [r.step for r in executed]

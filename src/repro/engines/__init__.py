@@ -1,0 +1,58 @@
+"""The three workflow control architectures of the paper (Figure 6).
+
+* :class:`~repro.engines.centralized.CentralizedControlSystem` — one
+  engine owning all state; agents only execute steps.
+* :class:`~repro.engines.parallel.ParallelControlSystem` — ``e`` engines
+  sharing the load, one owner per instance, broadcast coordination.
+* :class:`~repro.engines.distributed.DistributedControlSystem` — no
+  engine; agents navigate via workflow packets and the 16 workflow
+  interfaces of Table 1.
+
+All three expose the same facade (:class:`~repro.engines.base.ControlSystem`),
+so examples, tests and benchmarks swap architectures freely.
+"""
+
+from repro.engines.base import (
+    AgentAssignment,
+    ControlSystem,
+    InstanceOutcome,
+    SystemConfig,
+    governed_step_count,
+)
+from repro.engines.centralized import (
+    ApplicationAgentNode,
+    CentralEngineNode,
+    CentralizedControlSystem,
+)
+from repro.engines.coord import AuthorityBundle, SpecIndex
+from repro.engines.distributed import (
+    DistributedControlSystem,
+    WorkflowAgentNode,
+    elect_executor,
+)
+from repro.engines.frontend import FrontEndDatabase
+from repro.engines.parallel import (
+    ParallelControlSystem,
+    ParallelEngineNode,
+    TimestampMutex,
+)
+
+__all__ = [
+    "AgentAssignment",
+    "ApplicationAgentNode",
+    "AuthorityBundle",
+    "CentralEngineNode",
+    "CentralizedControlSystem",
+    "ControlSystem",
+    "DistributedControlSystem",
+    "FrontEndDatabase",
+    "InstanceOutcome",
+    "ParallelControlSystem",
+    "ParallelEngineNode",
+    "SpecIndex",
+    "SystemConfig",
+    "TimestampMutex",
+    "WorkflowAgentNode",
+    "elect_executor",
+    "governed_step_count",
+]

@@ -1,0 +1,401 @@
+"""Shared machinery of the three workflow control architectures.
+
+:class:`ControlSystem` is the public facade: register schemas, programs
+and coordination specs, start/abort instances, drive the simulation and
+read outcomes.  The concrete systems —
+:class:`~repro.engines.centralized.CentralizedControlSystem`,
+:class:`~repro.engines.parallel.ParallelControlSystem` and
+:class:`~repro.engines.distributed.DistributedControlSystem` — differ in
+*where* enactment runs and *which* interactions are physical messages;
+the enactment semantics (rules, OCR, coordination) are shared.
+
+The module also hosts the architecture-neutral execution-state helpers
+(recording results, compensations and reuses in the instance tables) used
+by every node implementation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.programs import ProgramRegistry, StepProgram
+from repro.errors import FrontEndError, SchemaError, WorkloadError
+from repro.model.compiler import CompiledSchema, compile_schema
+from repro.model.coordination_spec import (
+    CoordinationSpec,
+    MutualExclusionSpec,
+    RelativeOrderSpec,
+    RollbackDependencySpec,
+)
+from repro.model.schema import StepDef, WorkflowSchema
+from repro.rules.events import step_compensated, step_done, step_fail
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import FixedLatency, Network
+from repro.sim.rng import SimRandom
+from repro.sim.tracing import Trace
+from repro.storage.tables import InstanceState, InstanceStatus, StepStatus
+
+__all__ = [
+    "AgentAssignment",
+    "ControlSystem",
+    "InstanceOutcome",
+    "SystemConfig",
+    "governed_step_count",
+    "record_compensation",
+    "record_execution_failure",
+    "record_execution_success",
+    "record_reuse",
+]
+
+
+@dataclass
+class SystemConfig:
+    """Tunable knobs shared by all architectures.
+
+    ``work_time_scale`` converts step cost units into simulated execution
+    time; ``successor_selection`` picks the distributed executor election
+    strategy (``"hash"`` — deterministic, matches the paper's message
+    expression ``s·a + f`` — or ``"load"``, which adds StateInformation
+    probe traffic); the failure-recovery knobs control the distributed
+    StepStatus polling/takeover machinery.
+    """
+
+    seed: int = 0
+    latency: float = 1.0
+    trace: bool = True
+    trace_capacity: int | None = 500_000
+    work_time_scale: float = 0.1
+    successor_selection: str = "hash"
+    dispatch_probes: bool = True
+    agent_failure_recovery: bool = True
+    step_status_timeout: float = 50.0
+    step_status_poll_interval: float = 25.0
+    purge_interval: float | None = None
+    max_loop_iterations: int = 100
+    max_events: int = 5_000_000
+
+    def __post_init__(self) -> None:
+        if self.successor_selection not in ("hash", "load"):
+            raise WorkloadError(
+                f"successor_selection must be 'hash' or 'load', "
+                f"got {self.successor_selection!r}"
+            )
+
+
+@dataclass
+class InstanceOutcome:
+    """Public record of how one instance ended."""
+
+    instance_id: str
+    schema_name: str
+    status: InstanceStatus
+    outputs: dict[str, Any] = field(default_factory=dict)
+    finished_at: float | None = None
+
+    @property
+    def committed(self) -> bool:
+        return self.status is InstanceStatus.COMMITTED
+
+
+class AgentAssignment:
+    """Static (schema, step) -> eligible agents mapping.
+
+    "This information is static and is available at the agent after the
+    workflow schema has been compiled."  The default policy spreads steps
+    round-robin over the agent pool with ``agents_per_step`` eligible
+    agents each (Table 3's parameter ``a``).
+    """
+
+    def __init__(self) -> None:
+        self._eligible: dict[tuple[str, str], tuple[str, ...]] = {}
+
+    def assign(self, schema_name: str, step: str, agents: Sequence[str]) -> None:
+        if not agents:
+            raise SchemaError(f"step {schema_name}.{step} needs at least one agent")
+        self._eligible[(schema_name, step)] = tuple(agents)
+
+    def assign_round_robin(
+        self, compiled: CompiledSchema, pool: Sequence[str], agents_per_step: int = 1
+    ) -> None:
+        if agents_per_step > len(pool):
+            raise SchemaError(
+                f"agents_per_step={agents_per_step} exceeds pool size {len(pool)}"
+            )
+        for index, step in enumerate(compiled.schema.steps):
+            chosen = tuple(
+                pool[(index + j) % len(pool)] for j in range(agents_per_step)
+            )
+            self._eligible[(compiled.name, step)] = chosen
+
+    def eligible(self, schema_name: str, step: str) -> tuple[str, ...]:
+        try:
+            return self._eligible[(schema_name, step)]
+        except KeyError:
+            raise SchemaError(
+                f"no agents assigned for step {schema_name}.{step}"
+            ) from None
+
+    def has(self, schema_name: str, step: str) -> bool:
+        return (schema_name, step) in self._eligible
+
+    def items(self) -> Iterable[tuple[tuple[str, str], tuple[str, ...]]]:
+        return self._eligible.items()
+
+
+def governed_step_count(
+    compiled: CompiledSchema, specs: Iterable[CoordinationSpec]
+) -> int:
+    """Number of governed steps of a schema across its coordination specs.
+
+    This is the paper's ``me + ro + rd`` per-workflow factor: relative
+    ordering counts its governed steps, mutual exclusion the steps of its
+    region, and rollback dependency its trigger/target step.
+    """
+    governed: set[tuple[str, str]] = set()
+    name = compiled.name
+    for spec in specs:
+        if isinstance(spec, RelativeOrderSpec):
+            for side, steps in ((spec.schema_a, spec.steps_a), (spec.schema_b, spec.steps_b)):
+                if side == name:
+                    governed.update((spec.name, s) for s in steps)
+        elif isinstance(spec, MutualExclusionSpec):
+            for side, region in ((spec.schema_a, spec.region_a), (spec.schema_b, spec.region_b)):
+                if side == name:
+                    first, last = region
+                    members = (
+                        (compiled.graph.descendants_map[first] | {first})
+                        & (compiled.graph.ancestors_map[last] | {last})
+                    )
+                    governed.update((spec.name, s) for s in members)
+        elif isinstance(spec, RollbackDependencySpec):
+            if spec.schema_a == name:
+                governed.add((spec.name, spec.trigger_step_a))
+            if spec.schema_b == name:
+                governed.add((spec.name, spec.rollback_to_b))
+    return len(governed)
+
+
+# -- instance-state transition helpers (shared by every node type) -------------
+
+
+def record_execution_success(
+    state: InstanceState,
+    step_def: StepDef,
+    inputs: Mapping[str, Any],
+    outputs: Mapping[str, Any],
+    now: float,
+    agent: str | None,
+) -> str:
+    """Record a successful execution; returns the event token to post."""
+    record = state.record(step_def.name)
+    record.status = StepStatus.DONE
+    record.executions += 1
+    record.last_inputs = dict(inputs)
+    record.last_outputs = dict(outputs)
+    record.done_at = now
+    record.exec_seq = state.next_exec_seq()
+    record.agent = agent
+    state.bind_outputs(step_def.name, outputs)
+    return step_done(step_def.name)
+
+
+def record_execution_failure(
+    state: InstanceState,
+    step_def: StepDef,
+    inputs: Mapping[str, Any],
+    now: float,
+    agent: str | None,
+) -> str:
+    """Record a logical step failure; returns the event token to post."""
+    record = state.record(step_def.name)
+    record.status = StepStatus.FAILED
+    record.executions += 1
+    record.last_inputs = dict(inputs)
+    record.done_at = None
+    record.agent = agent
+    return step_fail(step_def.name)
+
+
+def record_reuse(state: InstanceState, step_def: StepDef, now: float) -> str:
+    """Record an OCR result reuse; returns the ``step.done`` token to post.
+
+    The previous outputs are re-bound (they may have been produced in an
+    earlier recovery epoch) and the execution-order stamp is refreshed so
+    compensation-set ordering reflects the re-executed history.
+    """
+    record = state.record(step_def.name)
+    record.reuses += 1
+    record.status = StepStatus.DONE
+    record.done_at = now
+    record.exec_seq = state.next_exec_seq()
+    state.bind_outputs(step_def.name, record.last_outputs)
+    return step_done(step_def.name)
+
+
+def record_compensation(
+    state: InstanceState, step_def: StepDef, kind: str
+) -> str:
+    """Record a (complete or partial) compensation; returns the event token.
+
+    A *partial* compensation leaves the step logically DONE-but-dirty; the
+    caller immediately re-executes it incrementally, so for table purposes
+    we mark it COMPENSATED until the re-execution lands.
+    """
+    record = state.record(step_def.name)
+    record.status = StepStatus.COMPENSATED
+    record.compensations += 1
+    state.unbind_outputs(step_def.name, step_def.outputs)
+    return step_compensated(step_def.name)
+
+
+class ControlSystem:
+    """Abstract facade over one simulated workflow control deployment."""
+
+    architecture = "abstract"
+
+    def __init__(self, config: SystemConfig | None = None):
+        self.config = config if config is not None else SystemConfig()
+        self.simulator = Simulator()
+        self.metrics = MetricsCollector()
+        self.rng = SimRandom(self.config.seed)
+        self.network = Network(
+            self.simulator, self.metrics, FixedLatency(self.config.latency)
+        )
+        self.trace = Trace(
+            enabled=self.config.trace, capacity=self.config.trace_capacity
+        )
+        self.programs = ProgramRegistry()
+        self.schemas: dict[str, CompiledSchema] = {}
+        self.specs: list[CoordinationSpec] = []
+        self.assignment = AgentAssignment()
+        self.outcomes: dict[str, InstanceOutcome] = {}
+        self._instance_ids = itertools.count(1)
+
+    # -- registration -----------------------------------------------------------
+
+    def register_schema(self, schema: WorkflowSchema) -> CompiledSchema:
+        """Compile and register a workflow class."""
+        if schema.name in self.schemas:
+            raise SchemaError(f"workflow class {schema.name!r} already registered")
+        compiled = compile_schema(schema)
+        self.schemas[schema.name] = compiled
+        self._on_schema_registered(compiled)
+        return compiled
+
+    def register_program(self, name: str, program: StepProgram) -> None:
+        self.programs.register(name, program)
+
+    def add_coordination(self, spec: CoordinationSpec) -> None:
+        """Install a coordinated-execution requirement (before any starts)."""
+        for schema_name in spec.schemas():
+            if schema_name not in self.schemas:
+                raise SchemaError(
+                    f"coordination spec {spec.name!r} references unregistered "
+                    f"schema {schema_name!r}"
+                )
+        self.specs.append(spec)
+        self._on_spec_added(spec)
+
+    def compiled(self, schema_name: str) -> CompiledSchema:
+        try:
+            return self.schemas[schema_name]
+        except KeyError:
+            raise SchemaError(f"unknown workflow class {schema_name!r}") from None
+
+    def specs_for(self, schema_name: str) -> list[CoordinationSpec]:
+        return [s for s in self.specs if s.involves(schema_name)]
+
+    # -- template methods --------------------------------------------------------
+
+    def _on_schema_registered(self, compiled: CompiledSchema) -> None:
+        """Hook for subclasses (agent assignment, directory setup)."""
+
+    def _on_spec_added(self, spec: CoordinationSpec) -> None:
+        """Hook for subclasses (authority placement)."""
+
+    # -- public workflow API (front-end database operations) -----------------------
+
+    def start_workflow(
+        self, schema_name: str, inputs: Mapping[str, Any], delay: float = 0.0
+    ) -> str:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def abort_workflow(self, instance_id: str, delay: float = 0.0) -> None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def change_inputs(
+        self, instance_id: str, changes: Mapping[str, Any], delay: float = 0.0
+    ) -> None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def workflow_status(self, instance_id: str) -> InstanceStatus:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    # -- driving the simulation -------------------------------------------------------
+
+    def run(self, until: float | None = None) -> int:
+        """Run the simulation to quiescence (or ``until``)."""
+        return self.simulator.run(until=until, max_events=self.config.max_events)
+
+    def new_instance_id(self, schema_name: str) -> str:
+        return f"{schema_name}-{next(self._instance_ids)}"
+
+    def _note_owner(self, instance_id: str, node_name: str) -> None:
+        """Hook: record which node controls an instance (parallel control
+        tracks ownership; other architectures don't need to)."""
+
+    # -- outcomes ----------------------------------------------------------------------
+
+    def outcome(self, instance_id: str) -> InstanceOutcome:
+        try:
+            return self.outcomes[instance_id]
+        except KeyError:
+            raise FrontEndError(
+                f"instance {instance_id!r} has not finished (or does not exist)"
+            ) from None
+
+    def committed_instances(self) -> list[str]:
+        return sorted(
+            iid for iid, out in self.outcomes.items() if out.committed
+        )
+
+    def aborted_instances(self) -> list[str]:
+        return sorted(
+            iid
+            for iid, out in self.outcomes.items()
+            if out.status is InstanceStatus.ABORTED
+        )
+
+    def _record_outcome(
+        self,
+        instance_id: str,
+        schema_name: str,
+        status: InstanceStatus,
+        outputs: Mapping[str, Any],
+        now: float,
+    ) -> None:
+        self.outcomes[instance_id] = InstanceOutcome(
+            instance_id=instance_id,
+            schema_name=schema_name,
+            status=status,
+            outputs=dict(outputs),
+            finished_at=now,
+        )
+        if status is InstanceStatus.COMMITTED:
+            self.metrics.instances_committed += 1
+        elif status is InstanceStatus.ABORTED:
+            self.metrics.instances_aborted += 1
+
+    @staticmethod
+    def workflow_outputs(
+        compiled: CompiledSchema, state: InstanceState
+    ) -> dict[str, Any]:
+        """Resolve the schema's declared workflow outputs from the data table."""
+        outputs: dict[str, Any] = {}
+        for name, ref in compiled.schema.outputs.items():
+            if ref in state.data:
+                outputs[name] = state.data[ref]
+        return outputs

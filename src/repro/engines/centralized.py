@@ -1,0 +1,1115 @@
+"""Centralized workflow control (paper Section 2, Figure 1).
+
+One :class:`CentralEngineNode` owns all workflow state in a WFDB and
+performs all navigation; :class:`ApplicationAgentNode` instances only
+execute step programs.  Per step execution the engine exchanges
+``2·a`` physical messages with the agent pool (``a-1`` StateInformation
+probe round-trips to pick the least-loaded eligible agent plus the
+StepExecute/StepResult round-trip), matching the paper's Table 4 count
+``2·s·a`` per instance.
+
+Failure handling (rollback + OCR re-execution), coordinated execution and
+abort/input-change processing all run *inside* the engine — coordinated
+execution costs load but zero messages, the paper's headline advantage of
+centralized control under heavy coordination requirements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.coordination import mx_clearance_token, ro_clearance_token
+from repro.core.ocr import plan_step_action, stale_compensation_chain
+from repro.core.programs import ExecutionContext
+from repro.core.recovery import RecoveryTokens, abandoned_branch_compensation
+from repro.engines.base import (
+    ControlSystem,
+    SystemConfig,
+    governed_step_count,
+    record_compensation,
+    record_execution_failure,
+    record_execution_success,
+    record_reuse,
+)
+from repro.engines.coord import AuthorityBundle, SpecIndex
+from repro.errors import FrontEndError, SchemaError, SimulationError
+from repro.model.compiler import CompiledSchema
+from repro.model.coordination_spec import CoordinationSpec
+from repro.rules.engine import RuleEngine, RuleInstance
+from repro.rules.events import WF_START, step_done
+from repro.sim.metrics import Mechanism
+from repro.sim.network import Message
+from repro.sim.node import Node
+from repro.storage.tables import InstanceState, InstanceStatus, StepStatus
+from repro.storage.wfdb import WorkflowDatabase
+
+__all__ = ["ApplicationAgentNode", "CentralEngineNode", "CentralizedControlSystem"]
+
+# Internal (non-WI) protocol verbs between engine and agents.
+VERB_STEP_RESULT = "StepResult"
+VERB_COMPENSATE_ACK = "CompensateAck"
+VERB_STATE_INFO_REPLY = "StateInformationReply"
+
+
+class ApplicationAgentNode(Node):
+    """A "dumb" application agent: executes and compensates step programs.
+
+    The agent knows nothing about workflow structure; it receives fully
+    resolved input values, runs the (black box) program after the step's
+    simulated service time, and reports the result.
+    """
+
+    def __init__(self, name: str, system: "ControlSystem"):
+        super().__init__(name, system.simulator, system.network)
+        self.system = system
+        self.executing = 0
+
+    def handle_message(self, message: Message) -> None:
+        handler = {
+            "StepExecute": self._on_step_execute,
+            "StepCompensate": self._on_step_compensate,
+            "StateInformation": self._on_state_information,
+        }.get(message.interface)
+        if handler is None:
+            raise SimulationError(
+                f"agent {self.name} cannot handle {message.interface!r}"
+            )
+        handler(message)
+
+    # -- execution -------------------------------------------------------------
+
+    def _on_step_execute(self, message: Message) -> None:
+        payload = message.payload
+        self.executing += 1
+        cost = payload["cost"]
+        delay = cost * self.system.config.work_time_scale
+        self.simulator.schedule(delay, self._complete_step, message)
+
+    def _complete_step(self, message: Message) -> None:
+        payload = message.payload
+        self.executing -= 1
+        schema_name = payload["schema_name"]
+        step = payload["step"]
+        compiled = self.system.compiled(schema_name)
+        step_def = compiled.schema.steps[step]
+        program = self.system.programs.get(step_def.program, step_def.outputs)
+        ctx = ExecutionContext(
+            schema_name=schema_name,
+            instance_id=payload["instance_id"],
+            step=step,
+            attempt=payload["attempt"],
+            now=self.simulator.now,
+            node=self.name,
+            rng=self.system.rng.stream(f"prog:{payload['instance_id']}:{step}"),
+        )
+        result = program.execute(payload["inputs"], ctx)
+        self.network.metrics.record_work(self.name, "execute", payload["cost"])
+        self.send(
+            message.src,
+            VERB_STEP_RESULT,
+            {
+                "instance_id": payload["instance_id"],
+                "schema_name": schema_name,
+                "step": step,
+                "epoch": payload["epoch"],
+                "success": result.success,
+                "outputs": result.outputs,
+                "error": result.error,
+            },
+            Mechanism(payload["mechanism"]),
+        )
+
+    # -- compensation -------------------------------------------------------------
+
+    def _on_step_compensate(self, message: Message) -> None:
+        payload = message.payload
+        delay = payload["cost"] * self.system.config.work_time_scale
+        self.simulator.schedule(delay, self._complete_compensation, message)
+
+    def _complete_compensation(self, message: Message) -> None:
+        payload = message.payload
+        self.network.metrics.record_work(self.name, "compensate", payload["cost"])
+        self.send(
+            message.src,
+            VERB_COMPENSATE_ACK,
+            {
+                "instance_id": payload["instance_id"],
+                "step": payload["step"],
+                "chain_id": payload["chain_id"],
+            },
+            Mechanism(payload["mechanism"]),
+        )
+
+    # -- probing --------------------------------------------------------------------
+
+    def _on_state_information(self, message: Message) -> None:
+        self.send(
+            message.src,
+            VERB_STATE_INFO_REPLY,
+            {"probe_id": message.payload["probe_id"], "load": self.executing},
+            Mechanism(message.payload["mechanism"]),
+        )
+
+
+@dataclass
+class _Inflight:
+    epoch: int
+    inputs: dict[str, Any]
+    attempt: int
+    mechanism: Mechanism
+    agent: str
+
+
+@dataclass
+class _ProbeWait:
+    instance_id: str
+    step: str
+    waiting: set[str]
+    loads: dict[str, int]
+    cost: float
+    mechanism: Mechanism
+    inputs: dict[str, Any]
+    attempt: int
+
+
+@dataclass
+class _CompChain:
+    instance_id: str
+    steps: list[str]
+    mechanism: Mechanism
+    on_done: Any  # zero-arg callable
+
+
+@dataclass
+class _Runtime:
+    """Volatile per-instance enactment state at the engine."""
+
+    state: InstanceState
+    compiled: CompiledSchema
+    engine: RuleEngine
+    reported: set[str] = field(default_factory=set)
+    recovery_mechanism: Mechanism = Mechanism.NORMAL
+    loop_fires: Counter = field(default_factory=Counter)
+    mx_state: dict[str, str] = field(default_factory=dict)  # spec -> none/requested/held/released
+    governed: int = 0
+    parent_link: tuple[str, str] | None = None
+    nested_children: dict[str, str] = field(default_factory=dict)  # step -> child id
+
+
+class CentralEngineNode(Node):
+    """The central workflow engine: owns the WFDB and navigates everything."""
+
+    def __init__(self, name: str, system: "CentralizedControlSystem"):
+        super().__init__(name, system.simulator, system.network)
+        self.system = system
+        self.config = system.config
+        self.wfdb = WorkflowDatabase()
+        self.spec_index = SpecIndex()
+        self.authorities = AuthorityBundle()
+        self.runtimes: dict[str, _Runtime] = {}
+        self._inflight: dict[tuple[str, str], _Inflight] = {}
+        self._probes: dict[int, _ProbeWait] = {}
+        self._chains: dict[int, _CompChain] = {}
+        self._ids = itertools.count(1)
+        self._agent_load_view: Counter = Counter()
+
+    # ------------------------------------------------------------------ helpers
+
+    @property
+    def trace(self):
+        return self.system.trace
+
+    def _charge(self, mechanism: Mechanism, units: float = 1.0) -> None:
+        self.charge(units, mechanism)
+
+    def runtime(self, instance_id: str) -> _Runtime:
+        try:
+            return self.runtimes[instance_id]
+        except KeyError:
+            raise FrontEndError(f"unknown or finished instance {instance_id!r}") from None
+
+    # ------------------------------------------------------- front-end operations
+
+    def workflow_start(
+        self,
+        schema_name: str,
+        instance_id: str,
+        inputs: Mapping[str, Any],
+        parent_link: tuple[str, str] | None = None,
+    ) -> None:
+        """WorkflowStart WI (invoked locally by the front-end database)."""
+        compiled = self.system.compiled(schema_name)
+        state = self.wfdb.create_instance(schema_name, instance_id, inputs)
+        engine = RuleEngine(
+            compiled,
+            action=lambda rule, iid=instance_id: self._on_rule(iid, rule),
+            env_provider=state.env,
+        )
+        runtime = _Runtime(
+            state=state,
+            compiled=compiled,
+            engine=engine,
+            governed=governed_step_count(compiled, self.spec_index.specs_for(schema_name)),
+            parent_link=parent_link,
+        )
+        self.runtimes[instance_id] = runtime
+        self.system._note_owner(instance_id, self.name)
+        self._install_preconditions(runtime)
+        self.system.metrics.instances_started += 1
+        self.trace.record(self.simulator.now, self.name, "workflow.start",
+                          instance=instance_id, schema=schema_name)
+        self._charge(Mechanism.NORMAL)
+        # Mutual-exclusion regions opening at the start step are acquired now.
+        for spec in self.spec_index.mx_region_first(schema_name, compiled.start_step):
+            self._mx_acquire(runtime, spec)
+        engine.post_event(WF_START, self.simulator.now)
+
+    def workflow_abort(self, instance_id: str) -> None:
+        """WorkflowAbort WI: reject if committed, else compensate + halt."""
+        status = self.wfdb.status(instance_id)
+        if status is InstanceStatus.COMMITTED:
+            # "any request for aborting the workflow ... after a workflow
+            # commit will be rejected."
+            self.trace.record(self.simulator.now, self.name, "abort.rejected",
+                              instance=instance_id, reason="committed")
+            return
+        if status is InstanceStatus.ABORTED:
+            return
+        runtime = self.runtime(instance_id)
+        self.trace.record(self.simulator.now, self.name, "workflow.abort.request",
+                          instance=instance_id)
+        self._charge(Mechanism.ABORT)
+        # Halt everything first: bump the epoch so in-flight results are stale.
+        runtime.state.recovery_epoch += 1
+        schema = runtime.compiled.schema
+        to_compensate = [
+            s
+            for s in schema.abort_compensation_steps
+            if runtime.state.step_status(s) is StepStatus.DONE
+        ]
+        ordered = sorted(
+            to_compensate,
+            key=lambda s: runtime.state.steps[s].exec_seq or 0,
+            reverse=True,
+        )
+        self._compensate_chain(
+            runtime,
+            ordered,
+            Mechanism.ABORT,
+            on_done=lambda: self._finish_abort(instance_id),
+        )
+
+    def _finish_abort(self, instance_id: str) -> None:
+        runtime = self.runtimes.pop(instance_id, None)
+        if runtime is None:
+            return
+        for key in [k for k in self._inflight if k[0] == instance_id]:
+            retired = self._inflight.pop(key)
+            self._agent_load_view[retired.agent] -= 1
+        self.wfdb.set_status(instance_id, InstanceStatus.ABORTED)
+        self._release_coordination(runtime, aborted=True)
+        self.system._record_outcome(
+            instance_id,
+            runtime.state.schema_name,
+            InstanceStatus.ABORTED,
+            {},
+            self.simulator.now,
+        )
+        self.wfdb.archive(instance_id)
+        self.trace.record(self.simulator.now, self.name, "workflow.aborted",
+                          instance=instance_id)
+
+    def workflow_change_inputs(
+        self, instance_id: str, changes: Mapping[str, Any]
+    ) -> None:
+        """WorkflowChangeInputs WI: partial rollback to the earliest step
+        consuming a changed input, then OCR re-execution."""
+        status = self.wfdb.status(instance_id)
+        if status is not InstanceStatus.RUNNING:
+            self.trace.record(self.simulator.now, self.name,
+                              "change_inputs.rejected",
+                              instance=instance_id, reason=status.value)
+            return
+        runtime = self.runtime(instance_id)
+        self._charge(Mechanism.INPUT_CHANGE)
+        changed_refs = {f"WF.{name}" for name in changes}
+        origin = None
+        for step in runtime.compiled.graph.topo_order:
+            step_def = runtime.compiled.schema.steps[step]
+            if not changed_refs.intersection(step_def.inputs):
+                continue
+            if runtime.state.step_status(step) in (StepStatus.DONE, StepStatus.RUNNING):
+                origin = step
+                break
+        runtime.state.apply_input_changes(changes)
+        self.trace.record(self.simulator.now, self.name, "workflow.change_inputs",
+                          instance=instance_id, origin=origin or "-")
+        if origin is not None:
+            self._rollback(instance_id, origin, Mechanism.INPUT_CHANGE)
+
+    def workflow_status(self, instance_id: str) -> InstanceStatus:
+        # Status reads are summary-table lookups; the paper charges no
+        # navigation load for them.
+        return self.wfdb.status(instance_id)
+
+    # ------------------------------------------------------------ rule actions
+
+    def _on_rule(self, instance_id: str, rule: RuleInstance) -> None:
+        if rule.kind == "execute":
+            self._begin_step(instance_id, rule.step, rule)
+        elif rule.kind == "loop":
+            self._fire_loop(instance_id, rule)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"engine cannot run rule kind {rule.kind!r}")
+
+    def _step_mechanism(self, runtime: _Runtime, step: str) -> Mechanism:
+        record = runtime.state.steps.get(step)
+        if record is not None and (record.executions > 0 or record.compensations > 0):
+            return runtime.recovery_mechanism
+        return Mechanism.NORMAL
+
+    def _begin_step(
+        self, instance_id: str, step: str, rule: RuleInstance | None = None
+    ) -> None:
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None or runtime.state.status is not InstanceStatus.RUNNING:
+            return
+        compiled = runtime.compiled
+        step_def = compiled.schema.steps[step]
+        mechanism = self._step_mechanism(runtime, step)
+        self._charge(mechanism)
+        if runtime.governed:
+            self._charge(Mechanism.COORDINATION, runtime.governed)
+
+        # CompensateThread: entering a different if-then-else branch than the
+        # previous execution pass compensates the abandoned branch.  Only a
+        # rule triggered by the *split's* completion is a branch entry — a
+        # step can simultaneously be a branch head and the confluence of the
+        # other branches (it then also has rules fed by those branches).
+        split = compiled.branch_first_map.get(step)
+        entered_via_split = (
+            split is not None
+            and (rule is None or step_done(split) in rule.required)
+        )
+        if split is not None and entered_via_split:
+            abandoned = abandoned_branch_compensation(
+                compiled, runtime.state, split, step
+            )
+            if abandoned:
+                self.trace.record(self.simulator.now, self.name, "compensate.thread",
+                                  instance=instance_id, split=split,
+                                  steps=",".join(abandoned))
+                self._compensate_chain(
+                    runtime, abandoned, runtime.recovery_mechanism,
+                    on_done=lambda: None,
+                )
+
+        record = runtime.state.record(step)
+        new_inputs = runtime.state.gather_inputs(step_def.inputs)
+        policy = compiled.schema.cr_policies.get(step)
+        if policy is None:
+            from repro.model.policies import DEFAULT_POLICY as policy  # type: ignore[no-redef]
+        plan = plan_step_action(step_def, record, new_inputs, policy)
+
+        if plan.reuse_outputs:
+            record.reuses += 0  # updated inside record_reuse
+            token = record_reuse(runtime.state, step_def, self.simulator.now)
+            self.trace.record(self.simulator.now, self.name, "step.reuse",
+                              instance=instance_id, step=step)
+            self.wfdb.persist(runtime.state)
+            runtime.engine.post_event(token, self.simulator.now)
+            self._after_step_done(instance_id, step)
+            return
+
+        def proceed() -> None:
+            self._launch_execution(
+                instance_id, step, plan.execution_cost, mechanism, new_inputs
+            )
+
+        if plan.compensate:
+            members = compiled.schema.compensation_set_of(step)
+            if members is not None:
+                # Only members whose done event is *invalid* (their effects
+                # belong to the rolled back pass) join the chain; ordering
+                # uses their pre-rollback completion times.
+                stale_times: dict[str, float] = {}
+                for member in members:
+                    occurrence = runtime.engine.events.occurrence(step_done(member))
+                    record_m = runtime.state.steps.get(member)
+                    if (
+                        occurrence is not None
+                        and not occurrence.valid
+                        and record_m is not None
+                        and record_m.status is StepStatus.DONE
+                    ):
+                        stale_times[member] = occurrence.time
+                ordered = stale_compensation_chain(members, stale_times, step)
+            else:
+                ordered = [step]
+            self.trace.record(self.simulator.now, self.name, "ocr.compensate",
+                              instance=instance_id, step=step,
+                              comp=plan.compensation_kind or "-",
+                              chain=",".join(ordered))
+            self._compensate_chain(runtime, ordered, mechanism, on_done=proceed,
+                                   partial_for={step} if plan.compensation_kind == "partial" else None)
+        else:
+            proceed()
+
+    def _launch_execution(
+        self,
+        instance_id: str,
+        step: str,
+        cost: float,
+        mechanism: Mechanism,
+        inputs: dict[str, Any],
+    ) -> None:
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None or runtime.state.status is not InstanceStatus.RUNNING:
+            return
+        step_def = runtime.compiled.schema.steps[step]
+        if step_def.subworkflow is not None:
+            self._launch_nested(runtime, instance_id, step, inputs)
+            return
+        record = runtime.state.record(step)
+        record.status = StepStatus.RUNNING
+        attempt = record.executions + 1
+        eligible = self.system.assignment.eligible(runtime.state.schema_name, step)
+        if len(eligible) > 1 and self.config.dispatch_probes:
+            probe_id = next(self._ids)
+            wait = _ProbeWait(
+                instance_id=instance_id,
+                step=step,
+                waiting=set(eligible[1:]),
+                loads={eligible[0]: self._agent_load_view[eligible[0]]},
+                cost=cost,
+                mechanism=mechanism,
+                inputs=inputs,
+                attempt=attempt,
+            )
+            self._probes[probe_id] = wait
+            for agent in eligible[1:]:
+                self.send(
+                    agent,
+                    "StateInformation",
+                    {"probe_id": probe_id, "mechanism": mechanism.value},
+                    mechanism,
+                )
+        else:
+            self._send_execute(instance_id, step, eligible[0], cost, mechanism,
+                               inputs, attempt)
+
+    def _on_state_info_reply(self, message: Message) -> None:
+        probe_id = message.payload["probe_id"]
+        wait = self._probes.get(probe_id)
+        if wait is None:
+            return
+        wait.waiting.discard(message.src)
+        wait.loads[message.src] = message.payload["load"]
+        if wait.waiting:
+            return
+        del self._probes[probe_id]
+        agent = min(wait.loads, key=lambda a: (wait.loads[a], a))
+        self._send_execute(
+            wait.instance_id, wait.step, agent, wait.cost, wait.mechanism,
+            wait.inputs, wait.attempt,
+        )
+
+    def _send_execute(
+        self,
+        instance_id: str,
+        step: str,
+        agent: str,
+        cost: float,
+        mechanism: Mechanism,
+        inputs: dict[str, Any],
+        attempt: int,
+    ) -> None:
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None or runtime.state.status is not InstanceStatus.RUNNING:
+            return
+        record = runtime.state.record(step)
+        record.agent = agent
+        self._inflight[(instance_id, step)] = _Inflight(
+            epoch=runtime.state.recovery_epoch,
+            inputs=inputs,
+            attempt=attempt,
+            mechanism=mechanism,
+            agent=agent,
+        )
+        self._agent_load_view[agent] += 1
+        self.trace.record(self.simulator.now, self.name, "step.dispatch",
+                          instance=instance_id, step=step, agent=agent)
+        self.send(
+            agent,
+            "StepExecute",
+            {
+                "instance_id": instance_id,
+                "schema_name": runtime.state.schema_name,
+                "step": step,
+                "inputs": inputs,
+                "attempt": attempt,
+                "cost": cost,
+                "epoch": runtime.state.recovery_epoch,
+                "mechanism": mechanism.value,
+            },
+            mechanism,
+        )
+
+    def _on_step_result(self, message: Message) -> None:
+        payload = message.payload
+        instance_id, step = payload["instance_id"], payload["step"]
+        key = (instance_id, step)
+        inflight = self._inflight.get(key)
+        runtime = self.runtimes.get(instance_id)
+        current = (
+            inflight is not None
+            and inflight.epoch == payload["epoch"]
+            and runtime is not None
+            and payload["epoch"] == runtime.state.recovery_epoch
+        )
+        if not current:
+            # Stale result from before a rollback/abort: discard.  The
+            # rollback already retired the matching in-flight record and
+            # reset the step status, so nothing else to do here.
+            self.trace.record(self.simulator.now, self.name, "step.stale_result",
+                              instance=instance_id, step=step)
+            return
+        del self._inflight[key]
+        self._agent_load_view[inflight.agent] -= 1
+        state = runtime.state
+        step_def = runtime.compiled.schema.steps[step]
+        if payload["success"]:
+            token = record_execution_success(
+                state, step_def, inflight.inputs, payload["outputs"],
+                self.simulator.now, inflight.agent,
+            )
+            self.trace.record(self.simulator.now, self.name, "step.done",
+                              instance=instance_id, step=step)
+            self.wfdb.persist(state)
+            runtime.engine.post_event(token, self.simulator.now)
+            self._after_step_done(instance_id, step)
+        else:
+            token = record_execution_failure(
+                state, step_def, inflight.inputs, self.simulator.now, inflight.agent
+            )
+            self.trace.record(self.simulator.now, self.name, "step.fail",
+                              instance=instance_id, step=step,
+                              error=payload.get("error") or "-")
+            self.wfdb.persist(state)
+            runtime.engine.post_event(token, self.simulator.now)
+            self._handle_failure(instance_id, step)
+
+    # ------------------------------------------------------------ nested workflows
+
+    def _launch_nested(
+        self, runtime: _Runtime, instance_id: str, step: str, inputs: dict[str, Any]
+    ) -> None:
+        step_def = runtime.compiled.schema.steps[step]
+        child_schema = self.system.compiled(step_def.subworkflow)
+        record = runtime.state.record(step)
+        record.status = StepStatus.RUNNING
+        child_values = list(inputs.values())
+        child_inputs = dict(zip(child_schema.schema.inputs, child_values))
+        child_id = f"{instance_id}.{step}#{record.executions + 1}"
+        runtime.nested_children[step] = child_id
+        self.trace.record(self.simulator.now, self.name, "nested.start",
+                          instance=instance_id, step=step, child=child_id)
+        self.workflow_start(
+            child_schema.name, child_id, child_inputs,
+            parent_link=(instance_id, step),
+        )
+
+    def _on_nested_done(
+        self, parent_id: str, parent_step: str, child_outputs: Mapping[str, Any]
+    ) -> None:
+        runtime = self.runtimes.get(parent_id)
+        if runtime is None:
+            return
+        step_def = runtime.compiled.schema.steps[parent_step]
+        missing = [o for o in step_def.outputs if o not in child_outputs]
+        if missing:
+            raise SchemaError(
+                f"nested workflow for {parent_id}.{parent_step} did not produce "
+                f"outputs {missing}"
+            )
+        record = runtime.state.record(parent_step)
+        inputs = record.last_inputs or runtime.state.gather_inputs(step_def.inputs)
+        outputs = {o: child_outputs[o] for o in step_def.outputs}
+        token = record_execution_success(
+            runtime.state, step_def, inputs, outputs, self.simulator.now, self.name
+        )
+        self.wfdb.persist(runtime.state)
+        runtime.engine.post_event(token, self.simulator.now)
+        self._after_step_done(parent_id, parent_step)
+
+    # ------------------------------------------------------------ after-done hooks
+
+    def _loop_continues(self, runtime: _Runtime, step: str) -> bool:
+        for template in runtime.compiled.loop_templates_for(step):
+            condition = runtime.compiled.condition_for(template.rule_id)
+            if condition is None:
+                return True
+            try:
+                if condition.evaluate(runtime.state.env()):
+                    return True
+            except Exception:
+                continue
+        return False
+
+    def _after_step_done(self, instance_id: str, step: str) -> None:
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None or runtime.state.status is not InstanceStatus.RUNNING:
+            return
+        compiled = runtime.compiled
+        self._coord_on_step_done(runtime, step)
+
+        # Termination: terminal steps report unless a loop continues.
+        if step in compiled.terminal_steps and not self._loop_continues(runtime, step):
+            runtime.reported.add(step)
+            if compiled.commit_ready(runtime.reported):
+                self._commit(instance_id)
+
+    def _deliver_grant(self, instance_id: str, token: str) -> None:
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None:
+            return
+        runtime.engine.add_event(token, self.simulator.now)
+
+    # ------------------------------------------------------------ coordination
+
+    def _coord_on_step_done(self, runtime: "_Runtime", step: str) -> None:
+        """Coordination side effects of a step completion.
+
+        Centralized control handles everything locally (zero messages);
+        parallel control overrides this with engine-to-engine broadcasts.
+        """
+        schema_name = runtime.state.schema_name
+        instance_id = runtime.state.instance_id
+        # Relative ordering: report the completion; a first-pair completion
+        # also registers the instance and requests clearance for the
+        # remaining pairs.
+        for spec, pair_index in self.spec_index.ro_roles(schema_name, step):
+            authority = self.authorities.ro[spec.name]
+            key = SpecIndex.conflict_key_value(spec, runtime.state)
+            grants = authority.report_completion(schema_name, instance_id, pair_index, key)
+            if pair_index == 0:
+                n_pairs = len(spec.steps_a)
+                for later in range(1, n_pairs):
+                    grant = authority.request_clearance(
+                        schema_name, instance_id, later, key
+                    )
+                    if grant is not None:
+                        grants.append(grant)
+            for grant in grants:
+                self._deliver_grant(grant.instance, grant.token)
+
+        # Mutual exclusion: release at the region's last step; acquire for
+        # successor steps that open a region.
+        for spec in self.spec_index.mx_region_last(schema_name, step):
+            self._mx_release(runtime, spec)
+        for successor in runtime.compiled.graph.successors(step):
+            for spec in self.spec_index.mx_region_first(schema_name, successor):
+                self._mx_acquire(runtime, spec)
+
+        # Rollback dependency: register target-step completion.
+        for spec in self.spec_index.rd_targets(schema_name, step):
+            authority = self.authorities.rd[spec.name]
+            authority.report_target_executed(
+                instance_id, SpecIndex.conflict_key_value(spec, runtime.state)
+            )
+
+    def _mx_acquire(self, runtime: _Runtime, spec: CoordinationSpec) -> None:
+        current = runtime.mx_state.get(spec.name, "none")
+        if current in ("requested", "held"):
+            return
+        authority = self.authorities.mx[spec.name]
+        key = SpecIndex.conflict_key_value(spec, runtime.state)
+        instance_id = runtime.state.instance_id
+        granted = authority.acquire(runtime.state.schema_name, instance_id, key)
+        if granted:
+            runtime.mx_state[spec.name] = "held"
+            self._deliver_grant(instance_id, mx_clearance_token(spec.name, instance_id))
+        else:
+            runtime.mx_state[spec.name] = "requested"
+
+    def _mx_release(self, runtime: _Runtime, spec: CoordinationSpec) -> None:
+        if runtime.mx_state.get(spec.name) not in ("held", "requested"):
+            return
+        authority = self.authorities.mx[spec.name]
+        key = SpecIndex.conflict_key_value(spec, runtime.state)
+        runtime.mx_state[spec.name] = "released"
+        grantee = authority.release(
+            runtime.state.schema_name, runtime.state.instance_id, key
+        )
+        if grantee is not None:
+            __, next_instance = grantee
+            next_runtime = self.runtimes.get(next_instance)
+            if next_runtime is not None:
+                next_runtime.mx_state[spec.name] = "held"
+                self._deliver_grant(
+                    next_instance, mx_clearance_token(spec.name, next_instance)
+                )
+
+    def _release_coordination(self, runtime: _Runtime, aborted: bool) -> None:
+        """On commit/abort: free MX locks, withdraw RD (and RO if aborted)."""
+        schema_name = runtime.state.schema_name
+        instance_id = runtime.state.instance_id
+        for spec in self.spec_index.mx_specs(schema_name):
+            self._mx_release(runtime, spec)
+        for authority in self.authorities.rd.values():
+            authority.withdraw(instance_id)
+        if aborted:
+            for authority in self.authorities.ro.values():
+                for grant in authority.withdraw(instance_id):
+                    self._deliver_grant(grant.instance, grant.token)
+
+    # ------------------------------------------------------------ failure handling
+
+    def _handle_failure(self, instance_id: str, failed_step: str) -> None:
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None:
+            return
+        origin = runtime.compiled.schema.rollback_origin(failed_step)
+        if origin is None:
+            # No rollback point: Saga-style default — compensate everything
+            # executed (reverse order) and abort the workflow.
+            self.trace.record(self.simulator.now, self.name, "failure.unhandled",
+                              instance=instance_id, step=failed_step)
+            runtime.state.recovery_epoch += 1
+            executed = [
+                s
+                for s in reversed(runtime.state.executed_steps_in_order())
+                if runtime.compiled.schema.steps[s].compensable
+            ]
+            self._compensate_chain(
+                runtime, executed, Mechanism.FAILURE,
+                on_done=lambda: self._finish_abort(instance_id),
+            )
+            return
+        self._rollback(instance_id, origin, Mechanism.FAILURE)
+
+    def _rollback(
+        self,
+        instance_id: str,
+        origin: str,
+        mechanism: Mechanism,
+        from_rd: bool = False,
+    ) -> None:
+        """Partial rollback to ``origin`` followed by OCR re-execution."""
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None or runtime.state.status is not InstanceStatus.RUNNING:
+            return
+        state = runtime.state
+        compiled = runtime.compiled
+        state.recovery_epoch += 1
+        runtime.recovery_mechanism = mechanism
+        recovery = RecoveryTokens(compiled, origin)
+        self.trace.record(self.simulator.now, self.name, "rollback",
+                          instance=instance_id, origin=origin,
+                          epoch=state.recovery_epoch)
+        # Halting threads is local work in centralized control; one unit of
+        # navigation load per affected step.
+        self._charge(mechanism, len(recovery.steps))
+        runtime.engine.invalidate_events(recovery.tokens)
+        runtime.engine.reset_rules_for_steps(recovery.steps)
+        for step in recovery.steps:
+            record = state.steps.get(step)
+            if record is not None and record.status is StepStatus.RUNNING:
+                record.status = StepStatus.NOT_STARTED
+            retired = self._inflight.pop((instance_id, step), None)
+            if retired is not None:
+                self._agent_load_view[retired.agent] -= 1
+        runtime.reported -= recovery.steps
+        self.wfdb.persist(state)
+
+        # Rollback dependency triggers (single-hop to avoid ping-pong).
+        if not from_rd:
+            self._coord_on_rollback(runtime, recovery.steps)
+
+        runtime.engine.reevaluate()
+
+    def _coord_on_rollback(self, runtime: "_Runtime", inval_steps) -> None:
+        """Rollback-dependency propagation (local in centralized control)."""
+        state = runtime.state
+        instance_id = state.instance_id
+        for spec in self.spec_index.rd_triggers(state.schema_name):
+            if spec.trigger_step_a not in inval_steps:
+                continue
+            authority = self.authorities.rd.get(spec.name)
+            if authority is None:
+                continue
+            self._charge(Mechanism.COORDINATION)
+            key = SpecIndex.conflict_key_value(spec, state)
+            for dependent in authority.dependents_of(instance_id, key):
+                self.trace.record(self.simulator.now, self.name,
+                                  "rollback.dependency",
+                                  trigger=instance_id, dependent=dependent,
+                                  spec=spec.name)
+                self._rollback(
+                    dependent, spec.rollback_to_b, Mechanism.FAILURE, from_rd=True
+                )
+
+    def _fire_loop(self, instance_id: str, rule: RuleInstance) -> None:
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None or runtime.state.status is not InstanceStatus.RUNNING:
+            return
+        runtime.loop_fires[rule.rule_id] += 1
+        if runtime.loop_fires[rule.rule_id] > self.config.max_loop_iterations:
+            raise SimulationError(
+                f"loop {rule.rule_id} exceeded {self.config.max_loop_iterations} "
+                f"iterations in instance {instance_id}"
+            )
+        body = rule.loop_body
+        self.trace.record(self.simulator.now, self.name, "loop.iterate",
+                          instance=instance_id, rule=rule.rule_id,
+                          iteration=runtime.loop_fires[rule.rule_id])
+        from repro.core.recovery import invalidation_tokens
+
+        runtime.engine.invalidate_events(invalidation_tokens(body))
+        runtime.engine.reset_rules_for_steps(body)
+        for step in body:
+            record = runtime.state.steps.get(step)
+            if record is not None:
+                record.status = StepStatus.NOT_STARTED
+        runtime.reported -= set(body)
+        runtime.engine.reevaluate()
+
+    # ------------------------------------------------------------ compensation
+
+    def _compensate_chain(
+        self,
+        runtime: _Runtime,
+        steps: list[str],
+        mechanism: Mechanism,
+        on_done,
+        partial_for: set[str] | None = None,
+    ) -> None:
+        """Compensate ``steps`` strictly in order via agent round-trips.
+
+        Each step is marked COMPENSATED in the authoritative state as its
+        request is issued; the ack drives the chain forward, preserving the
+        reverse-execution-order requirement of compensation dependent sets.
+        """
+        if not steps:
+            on_done()
+            return
+        chain_id = next(self._ids)
+        self._chains[chain_id] = _CompChain(
+            instance_id=runtime.state.instance_id,
+            steps=list(steps),
+            mechanism=mechanism,
+            on_done=on_done,
+        )
+        self._advance_chain(chain_id, partial_for or set())
+
+    def _advance_chain(self, chain_id: int, partial_for: set[str] | None = None) -> None:
+        chain = self._chains.get(chain_id)
+        if chain is None:
+            return
+        if not chain.steps:
+            del self._chains[chain_id]
+            chain.on_done()
+            return
+        runtime = self.runtimes.get(chain.instance_id)
+        if runtime is None:
+            del self._chains[chain_id]
+            return
+        step = chain.steps.pop(0)
+        record = runtime.state.steps.get(step)
+        step_def = runtime.compiled.schema.steps[step]
+        if record is None or record.status is not StepStatus.DONE:
+            self._advance_chain(chain_id, partial_for)
+            return
+        kind = "partial" if partial_for and step in partial_for else "complete"
+        cost = step_def.effective_compensation_cost
+        if kind == "partial":
+            policy = runtime.compiled.schema.cr_policies.get(step)
+            fraction = policy.incremental_fraction if policy is not None else 0.3
+            cost *= fraction
+        token = record_compensation(runtime.state, step_def, kind)
+        runtime.engine.post_event(token, self.simulator.now)
+        self._charge(chain.mechanism)
+        agent = record.agent or self.system.assignment.eligible(
+            runtime.state.schema_name, step
+        )[0]
+        self.trace.record(self.simulator.now, self.name, "step.compensate",
+                          instance=chain.instance_id, step=step, comp=kind,
+                          agent=agent)
+        self.send(
+            agent,
+            "StepCompensate",
+            {
+                "instance_id": chain.instance_id,
+                "schema_name": runtime.state.schema_name,
+                "step": step,
+                "kind": kind,
+                "cost": cost,
+                "chain_id": chain_id,
+                "mechanism": chain.mechanism.value,
+            },
+            chain.mechanism,
+        )
+
+    def _on_compensate_ack(self, message: Message) -> None:
+        self._advance_chain(message.payload["chain_id"])
+
+    # ------------------------------------------------------------ commit
+
+    def _commit(self, instance_id: str) -> None:
+        runtime = self.runtimes.pop(instance_id, None)
+        if runtime is None:
+            return
+        self.wfdb.set_status(instance_id, InstanceStatus.COMMITTED)
+        outputs = ControlSystem.workflow_outputs(runtime.compiled, runtime.state)
+        self._release_coordination(runtime, aborted=False)
+        self.system._record_outcome(
+            instance_id,
+            runtime.state.schema_name,
+            InstanceStatus.COMMITTED,
+            outputs,
+            self.simulator.now,
+        )
+        self.trace.record(self.simulator.now, self.name, "workflow.commit",
+                          instance=instance_id)
+        if runtime.parent_link is not None:
+            parent_id, parent_step = runtime.parent_link
+            self._on_nested_done(parent_id, parent_step, outputs)
+        self.wfdb.archive(instance_id)
+
+    # ------------------------------------------------------------ messaging
+
+    def handle_message(self, message: Message) -> None:
+        handler = {
+            VERB_STEP_RESULT: self._on_step_result,
+            VERB_COMPENSATE_ACK: self._on_compensate_ack,
+            VERB_STATE_INFO_REPLY: self._on_state_info_reply,
+        }.get(message.interface)
+        if handler is None:
+            raise SimulationError(
+                f"engine {self.name} cannot handle {message.interface!r}"
+            )
+        handler(message)
+
+    def on_crash(self) -> None:
+        """Engine crash loses volatile rule engines; WFDB WAL survives."""
+        self.runtimes.clear()
+        self._inflight.clear()
+        self._probes.clear()
+        self._chains.clear()
+
+    def on_recover(self) -> None:
+        """Forward recovery: rebuild instance tables from the WAL.
+
+        Rule-engine state is reconstructed from the recovered event history
+        recorded in step records; in-flight executions at crash time are
+        re-dispatched by re-firing their rules.
+        """
+        restored = self.wfdb.recover()
+        for state in list(self.wfdb.instances()):
+            if state.status is not InstanceStatus.RUNNING:
+                continue
+            compiled = self.system.compiled(state.schema_name)
+            engine = RuleEngine(
+                compiled,
+                action=lambda rule, iid=state.instance_id: self._on_rule(iid, rule),
+                env_provider=state.env,
+            )
+            runtime = _Runtime(
+                state=state,
+                compiled=compiled,
+                engine=engine,
+                governed=governed_step_count(
+                    compiled, self.spec_index.specs_for(state.schema_name)
+                ),
+            )
+            self.runtimes[state.instance_id] = runtime
+            self._install_preconditions(runtime)
+            # Replay history into the event table without re-running actions:
+            # mark done steps' rules as fired by posting their events after
+            # pre-marking records.  RUNNING steps (in flight at crash) are
+            # reset so their rules re-fire and re-dispatch.
+            for record in state.steps.values():
+                if record.status is StepStatus.RUNNING:
+                    record.status = StepStatus.NOT_STARTED
+            engine.post_event(WF_START, self.simulator.now)
+        self.trace.record(self.simulator.now, self.name, "engine.recovered",
+                          instances=restored)
+
+    def _install_preconditions(self, runtime: _Runtime) -> None:
+        schema_name = runtime.state.schema_name
+        instance_id = runtime.state.instance_id
+        for spec, pair_index, step in self.spec_index.ro_governed_pairs(schema_name):
+            if pair_index >= 1:
+                runtime.engine.add_step_precondition(
+                    step, ro_clearance_token(spec.name, pair_index, instance_id)
+                )
+        for spec in self.spec_index.mx_specs(schema_name):
+            first, __ = spec.region_of(schema_name)
+            runtime.engine.add_step_precondition(
+                first, mx_clearance_token(spec.name, instance_id)
+            )
+
+
+class CentralizedControlSystem(ControlSystem):
+    """Public facade for centralized workflow control."""
+
+    architecture = "centralized"
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        num_agents: int = 4,
+        agents_per_step: int = 1,
+    ):
+        super().__init__(config)
+        self.agents_per_step = agents_per_step
+        self.engine = CentralEngineNode("engine", self)
+        self.agents = [
+            ApplicationAgentNode(f"agent-{i:03d}", self) for i in range(num_agents)
+        ]
+
+    # -- wiring ------------------------------------------------------------------
+
+    def agent_names(self) -> list[str]:
+        return [agent.name for agent in self.agents]
+
+    def _on_schema_registered(self, compiled: CompiledSchema) -> None:
+        self.assignment.assign_round_robin(
+            compiled, self.agent_names(), self.agents_per_step
+        )
+        self.engine.wfdb.register_class(compiled)
+
+    def _on_spec_added(self, spec: CoordinationSpec) -> None:
+        self.engine.spec_index.add(spec)
+        self.engine.authorities.host(spec)
+
+    # -- front-end database operations ----------------------------------------------
+
+    def start_workflow(
+        self, schema_name: str, inputs: Mapping[str, Any], delay: float = 0.0
+    ) -> str:
+        self.compiled(schema_name)  # validate registration eagerly
+        instance_id = self.new_instance_id(schema_name)
+        self.simulator.schedule(
+            delay, self.engine.workflow_start, schema_name, instance_id, dict(inputs)
+        )
+        return instance_id
+
+    def abort_workflow(self, instance_id: str, delay: float = 0.0) -> None:
+        self.simulator.schedule(delay, self.engine.workflow_abort, instance_id)
+
+    def change_inputs(
+        self, instance_id: str, changes: Mapping[str, Any], delay: float = 0.0
+    ) -> None:
+        self.simulator.schedule(
+            delay, self.engine.workflow_change_inputs, instance_id, dict(changes)
+        )
+
+    def workflow_status(self, instance_id: str) -> InstanceStatus:
+        return self.engine.workflow_status(instance_id)
+
+    def engine_nodes(self) -> list[str]:
+        return [self.engine.name]

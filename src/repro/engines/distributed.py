@@ -1,0 +1,2240 @@
+"""Distributed workflow control (paper Sections 4 and 5).
+
+No central engine: the agents that execute steps also schedule and
+coordinate the workflow instances.  Per instance:
+
+* the **coordination agent** — the (first) agent eligible for the start
+  step — handles WorkflowStart/Abort/Status/ChangeInputs, tracks terminal
+  step completions (StepCompleted) and commits the workflow;
+* **execution agents** navigate by exchanging *workflow packets* carrying
+  the accumulated data/event state; every eligible agent of a successor
+  step receives the packet ("in the case of an if-then-else branching ...
+  the workflow packet is sent to the two agents"), which yields the
+  paper's ``s·a + f`` normal-execution message count per instance;
+* **termination agents** (those executing terminal steps) report to the
+  coordination agent via StepCompleted.
+
+Failure handling follows Section 5.2 exactly: a step failure invokes
+``WorkflowRollback()`` at the agent responsible for the (statically known)
+rollback origin; that agent probes the affected threads with
+``HaltThread()`` calls that invalidate downstream ``step.done`` events and
+quiesce control flow; re-execution then proceeds with the OCR strategy,
+compensation dependent sets travelling as ``CompensateSet()`` chains in
+reverse execution order.  Abandoned if-then-else branches are undone by
+``CompensateThread()`` chains.
+
+Agent failures: packets to a down agent queue durably (persistent
+messaging); eligible peers of the assigned executor watch for its
+completion and, for *query* steps, take over deterministically when it is
+down — update steps wait for recovery, as the paper requires.  A recovered
+agent rebuilds its fragments from the AGDB write-ahead log and
+re-navigates its completed steps (idempotent at receivers).
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.coordination import mx_clearance_token, ro_clearance_token
+from repro.core.interfaces import WI
+from repro.core.ocr import plan_step_action
+from repro.core.packets import WorkflowPacket
+from repro.core.programs import ExecutionContext
+from repro.core.recovery import RecoveryTokens, invalidation_tokens
+from repro.engines.base import (
+    ControlSystem,
+    SystemConfig,
+    governed_step_count,
+    record_compensation,
+    record_execution_failure,
+    record_execution_success,
+    record_reuse,
+)
+from repro.engines.coord import AuthorityBundle, SpecIndex
+from repro.errors import FrontEndError, SchemaError, SimulationError
+from repro.model.compiler import CompiledSchema
+from repro.model.coordination_spec import CoordinationSpec
+from repro.model.policies import DEFAULT_POLICY
+from repro.model.schema import StepType
+from repro.rules.engine import RuleEngine, RuleInstance
+from repro.rules.events import WF_START, step_done
+from repro.sim.metrics import Mechanism
+from repro.sim.network import Message
+from repro.sim.node import Node
+from repro.storage.agdb import AgentDatabase
+from repro.storage.tables import InstanceState, InstanceStatus, StepStatus
+
+__all__ = ["DistributedControlSystem", "WorkflowAgentNode", "elect_executor"]
+
+VERB_STEP_STATUS_REPLY = "StepStatusReply"
+VERB_STATUS_PROBE = "WorkflowStatusProbe"
+VERB_STATUS_PROBE_REPORT = "WorkflowStatusProbeReport"
+VERB_PURGE = "PurgeNotice"
+VERB_UNHANDLED_FAILURE = "UnhandledFailure"
+VERB_NESTED_DONE = "NestedDone"
+
+
+def elect_executor(
+    eligible: tuple[str, ...],
+    schema_name: str,
+    instance_id: str,
+    step: str,
+    is_up=None,
+) -> str:
+    """Deterministic executor election among eligible agents.
+
+    All agents (senders and receivers alike) compute the same permutation
+    from a hash of ``(schema, instance, step)``; the first *up* agent in
+    that order executes.  Epoch-independent so that a re-execution after
+    rollback lands on the agent holding the previous execution's data —
+    the precondition for OCR reuse.
+    """
+    if len(eligible) == 1:
+        return eligible[0]
+    seed = zlib.crc32(f"{schema_name}|{instance_id}|{step}".encode("utf-8"))
+    start = seed % len(eligible)
+    order = [eligible[(start + i) % len(eligible)] for i in range(len(eligible))]
+    if is_up is not None:
+        for agent in order:
+            if is_up(agent):
+                return agent
+    return order[0]
+
+
+@dataclass
+class _AgentRuntime:
+    """An agent's volatile enactment state for one instance fragment."""
+
+    fragment: InstanceState
+    compiled: CompiledSchema
+    engine: RuleEngine
+    hosted: frozenset[str]
+    #: token -> invalidation round: occurrences from earlier rounds are
+    #: stale.  Piggybacked on every outgoing packet (harmless to carry
+    #: forever: a round-R cutoff cannot kill a round>=R occurrence).
+    known_invalidations: dict[str, int] = field(default_factory=dict)
+    executors: dict[str, str] = field(default_factory=dict)
+    assigned: dict[str, str] = field(default_factory=dict)  # step -> agent
+    recovery_mechanism: Mechanism = Mechanism.FAILURE
+    #: Steps this agent executed and navigated onward (HaltThread must
+    #: propagate through them).
+    forwarded: set[str] = field(default_factory=set)
+    loop_fires: Counter = field(default_factory=Counter)
+    origin_history: dict[int, str] = field(default_factory=dict)
+    #: Established (spec, leading, lagging) orders this agent has learned —
+    #: piggybacked on outgoing packets (Figure 7's "R.O." lines).
+    ro_info: set[tuple[str, str, str]] = field(default_factory=set)
+    mx_state: dict[str, str] = field(default_factory=dict)
+    #: step -> epoch of the execution currently in flight on this agent;
+    #: guards stale completions from before a rollback.
+    running_exec: dict[str, int] = field(default_factory=dict)
+    input_overrides: dict[str, Any] = field(default_factory=dict)
+    pending_exec: dict[str, tuple] = field(default_factory=dict)
+    parent_link: tuple[str, str] | None = None
+    governed: int = 0
+    watchdogs: set[str] = field(default_factory=set)
+
+
+@dataclass
+class _CommitTracker:
+    """Coordination-agent record for one instance it coordinates."""
+
+    reported: dict[str, int] = field(default_factory=dict)  # terminal -> epoch
+    epoch: int = 0
+    last_origin: str | None = None
+    executors: dict[str, str] = field(default_factory=dict)
+    done_times: dict[str, float] = field(default_factory=dict)
+    data: dict[str, Any] = field(default_factory=dict)
+    #: recovery epoch -> rollback origin, merged from terminal reports; used
+    #: to decide which older reports a rollback invalidated.
+    origin_history: dict[int, str] = field(default_factory=dict)
+    parent_link: tuple[str, str] | None = None
+    finished: bool = False
+
+
+class WorkflowAgentNode(Node):
+    """A distributed workflow agent (execution/coordination/termination roles)."""
+
+    def __init__(self, name: str, system: "DistributedControlSystem"):
+        super().__init__(name, system.simulator, system.network)
+        self.system = system
+        self.config = system.config
+        self.agdb = AgentDatabase(name)
+        self.spec_index = system.spec_index
+        self.authorities = AuthorityBundle()
+        self.runtimes: dict[str, _AgentRuntime] = {}
+        self.trackers: dict[str, _CommitTracker] = {}
+        self._purge_pending: list[str] = []
+        self._purge_scheduled = False
+        self._load_probes: dict[int, dict] = {}
+        self._probe_ids = itertools.count(1)
+        self._seen_status_probes: set[tuple[str, int]] = set()
+        self._probe_reports: dict[str, list[dict]] = {}
+
+    # ------------------------------------------------------------------ wiring
+
+    @property
+    def trace(self):
+        return self.system.trace
+
+    def hosted_steps(self, compiled: CompiledSchema) -> frozenset[str]:
+        hosted = set()
+        for step in compiled.schema.steps:
+            if self.name in self.agdb.eligible_agents(compiled.name, step):
+                hosted.add(step)
+        return frozenset(hosted)
+
+    def _coordination_agent_of(self, compiled: CompiledSchema) -> str:
+        return self.agdb.eligible_agents(compiled.name, compiled.start_step)[0]
+
+    def _elect(self, compiled: CompiledSchema, instance_id: str, step: str) -> str:
+        eligible = self.agdb.eligible_agents(compiled.name, step)
+        if step == compiled.start_step:
+            # Convention: the coordination agent executes the start step
+            # ("typically the agent responsible for executing the first
+            # step of the workflow").
+            return eligible[0]
+        return elect_executor(
+            eligible, compiled.name, instance_id, step, is_up=self.network.is_up
+        )
+
+    # ------------------------------------------------------------------ runtimes
+
+    def _runtime(
+        self,
+        schema_name: str,
+        instance_id: str,
+        inputs: Mapping[str, Any] | None = None,
+        parent_link: tuple[str, str] | None = None,
+    ) -> _AgentRuntime:
+        runtime = self.runtimes.get(instance_id)
+        if runtime is not None:
+            return runtime
+        compiled = self.system.compiled(schema_name)
+        fragment = self.agdb.ensure_fragment(schema_name, instance_id, inputs)
+        hosted = self.hosted_steps(compiled)
+        engine = RuleEngine(
+            compiled,
+            action=lambda rule, iid=instance_id: self._on_rule(iid, rule),
+            env_provider=fragment.env,
+            steps=hosted,
+        )
+        runtime = _AgentRuntime(
+            fragment=fragment,
+            compiled=compiled,
+            engine=engine,
+            hosted=hosted,
+            parent_link=parent_link,
+            governed=governed_step_count(
+                compiled, self.spec_index.specs_for(schema_name)
+            ),
+        )
+        self.runtimes[instance_id] = runtime
+        self._install_preconditions(runtime, instance_id)
+        return runtime
+
+    def _install_preconditions(self, runtime: _AgentRuntime, instance_id: str) -> None:
+        schema_name = runtime.fragment.schema_name
+        for spec, pair_index, step in self.spec_index.ro_governed_pairs(schema_name):
+            if pair_index >= 1 and step in runtime.hosted:
+                runtime.engine.add_step_precondition(
+                    step, ro_clearance_token(spec.name, pair_index, instance_id)
+                )
+        for spec in self.spec_index.mx_specs(schema_name):
+            first, __ = spec.region_of(schema_name)
+            if first in runtime.hosted:
+                runtime.engine.add_step_precondition(
+                    first, mx_clearance_token(spec.name, instance_id)
+                )
+
+    def _persist(self, runtime: _AgentRuntime) -> None:
+        runtime.fragment.events_snapshot = runtime.engine.events.export_versioned()
+        self.agdb.persist_fragment(runtime.fragment)
+
+    # ------------------------------------------------------------------ front-end WIs
+
+    def workflow_start(
+        self,
+        schema_name: str,
+        instance_id: str,
+        inputs: Mapping[str, Any],
+        parent_link: tuple[str, str] | None = None,
+    ) -> None:
+        """WorkflowStart WI (front-end database calls the coordination agent)."""
+        compiled = self.system.compiled(schema_name)
+        if self._coordination_agent_of(compiled) != self.name:
+            raise FrontEndError(
+                f"{self.name} is not the coordination agent for {schema_name!r}"
+            )
+        self.agdb.set_summary(instance_id, InstanceStatus.RUNNING)
+        self.trackers[instance_id] = _CommitTracker(parent_link=parent_link)
+        runtime = self._runtime(schema_name, instance_id, inputs, parent_link)
+        self.system.metrics.instances_started += 1
+        self.system._note_owner(instance_id, self.name)
+        self.trace.record(self.simulator.now, self.name, "workflow.start",
+                          instance=instance_id, schema=schema_name)
+        self.charge(1.0, Mechanism.NORMAL)
+        # A mutual-exclusion region opening at the start step is acquired now.
+        for spec in self.spec_index.mx_region_first(schema_name, compiled.start_step):
+            self._mx_request(runtime, instance_id, spec)
+        runtime.assigned[compiled.start_step] = self.name
+        runtime.engine.post_event(WF_START, self.simulator.now,
+                                  runtime.fragment.invalidation_round)
+
+    def workflow_status(self, instance_id: str) -> InstanceStatus:
+        """WorkflowStatus WI, answered from the coordination summary table."""
+        return self.agdb.summary(instance_id)
+
+    def workflow_abort(self, instance_id: str) -> None:
+        """WorkflowAbort WI at the coordination agent."""
+        status = self.agdb.summary(instance_id)
+        if status is InstanceStatus.COMMITTED:
+            # "any request for aborting the workflow ... after a workflow
+            # commit will be rejected."
+            self.trace.record(self.simulator.now, self.name, "abort.rejected",
+                              instance=instance_id, reason="committed")
+            return
+        if status is InstanceStatus.ABORTED:
+            return
+        tracker = self.trackers.get(instance_id)
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None or tracker is None:
+            raise FrontEndError(f"unknown instance {instance_id!r}")
+        compiled = runtime.compiled
+        schema = compiled.schema
+        self.trace.record(self.simulator.now, self.name, "workflow.abort.request",
+                          instance=instance_id)
+        self.charge(1.0, Mechanism.ABORT)
+        # Compensate the abort-compensation steps: the coordination agent
+        # "may have to send messages to all eligible agents" since it does
+        # not know which eligible agent executed each step.
+        for step in schema.abort_compensation_steps:
+            for agent in self.agdb.eligible_agents(schema.name, step):
+                payload = {
+                    "schema_name": schema.name,
+                    "instance_id": instance_id,
+                    "step": step,
+                    "kind": "complete",
+                    "reason": "abort",
+                }
+                if agent == self.name:
+                    self._on_step_compensate_local(payload, Mechanism.ABORT)
+                else:
+                    self.send(agent, WI.STEP_COMPENSATE.value, payload, Mechanism.ABORT)
+        # Halt every thread starting from the first step.
+        epoch = runtime.fragment.recovery_epoch + 1
+        self._halt_from(runtime, instance_id, compiled.start_step, epoch,
+                        Mechanism.ABORT, include_origin_agent=True)
+        tracker.finished = True
+        self.agdb.set_summary(instance_id, InstanceStatus.ABORTED)
+        runtime.fragment.status = InstanceStatus.ABORTED
+        self._persist(runtime)
+        self._withdraw_coordination(instance_id, runtime, aborted=True)
+        self.system._record_outcome(
+            instance_id, schema.name, InstanceStatus.ABORTED, {}, self.simulator.now
+        )
+        self.trace.record(self.simulator.now, self.name, "workflow.aborted",
+                          instance=instance_id)
+
+    def workflow_change_inputs(
+        self, instance_id: str, changes: Mapping[str, Any]
+    ) -> None:
+        """WorkflowChangeInputs WI at the coordination agent."""
+        status = self.agdb.summary(instance_id)
+        if status is not InstanceStatus.RUNNING:
+            self.trace.record(self.simulator.now, self.name,
+                              "change_inputs.rejected",
+                              instance=instance_id, reason=status.value)
+            return
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None:
+            raise FrontEndError(f"unknown instance {instance_id!r}")
+        compiled = runtime.compiled
+        self.charge(1.0, Mechanism.INPUT_CHANGE)
+        changed_refs = {f"WF.{name}" for name in changes}
+        origin = None
+        for step in compiled.graph.topo_order:
+            if changed_refs.intersection(compiled.schema.steps[step].inputs):
+                origin = step
+                break
+        self.trace.record(self.simulator.now, self.name, "workflow.change_inputs",
+                          instance=instance_id, origin=origin or "-")
+        runtime.fragment.apply_input_changes(changes)
+        runtime.input_overrides.update(
+            {f"WF.{name}": value for name, value in changes.items()}
+        )
+        self._persist(runtime)
+        if origin is None:
+            return
+        target = runtime.executors.get(origin) or self._elect(
+            compiled, instance_id, origin
+        )
+        payload = {
+            "schema_name": compiled.name,
+            "instance_id": instance_id,
+            "origin": origin,
+            "epoch": runtime.fragment.recovery_epoch + 1,
+            "changes": dict(changes),
+        }
+        if target == self.name:
+            self._on_inputs_changed_local(payload)
+        else:
+            self.send(target, WI.INPUTS_CHANGED.value, payload, Mechanism.INPUT_CHANGE)
+
+    # ------------------------------------------------------------------ messaging
+
+    def handle_message(self, message: Message) -> None:
+        self.charge(1.0, message.mechanism)
+        handlers = {
+            WI.WORKFLOW_START.value: self._on_workflow_start_msg,
+            WI.STEP_EXECUTE.value: self._on_step_execute,
+            WI.STEP_COMPLETED.value: self._on_step_completed,
+            WI.WORKFLOW_ROLLBACK.value: self._on_workflow_rollback,
+            WI.HALT_THREAD.value: self._on_halt_thread,
+            WI.COMPENSATE_SET.value: self._on_compensate_set,
+            WI.COMPENSATE_THREAD.value: self._on_compensate_thread,
+            WI.STEP_COMPENSATE.value: self._on_step_compensate,
+            WI.STEP_STATUS.value: self._on_step_status,
+            WI.INPUTS_CHANGED.value: self._on_inputs_changed,
+            WI.ADD_RULE.value: self._on_add_rule,
+            WI.ADD_EVENT.value: self._on_add_event,
+            WI.ADD_PRECONDITION.value: self._on_add_precondition,
+            WI.STATE_INFORMATION.value: self._on_state_information,
+            VERB_STEP_STATUS_REPLY: self._on_step_status_reply,
+            "StateInformationReply": self._on_state_information_reply,
+            VERB_STATUS_PROBE: self._on_status_probe,
+            VERB_STATUS_PROBE_REPORT: self._on_status_probe_report,
+            VERB_PURGE: self._on_purge,
+            VERB_UNHANDLED_FAILURE: self._on_unhandled_failure,
+            VERB_NESTED_DONE: self._on_nested_done,
+        }
+        handler = handlers.get(message.interface)
+        if handler is None:
+            raise SimulationError(
+                f"agent {self.name} cannot handle {message.interface!r}"
+            )
+        handler(message)
+
+    def _on_workflow_start_msg(self, message: Message) -> None:
+        payload = message.payload
+        parent_link = payload.get("parent_link")
+        self.workflow_start(
+            payload["schema_name"],
+            payload["instance_id"],
+            payload["inputs"],
+            parent_link=tuple(parent_link) if parent_link else None,
+        )
+
+    # ------------------------------------------------------------------ packets
+
+    def _on_step_execute(self, message: Message) -> None:
+        packet = WorkflowPacket.from_payload(message.payload)
+        self._ingest_packet(packet)
+
+    def _ingest_packet(self, packet: WorkflowPacket) -> None:
+        instance_id = packet.instance_id
+        if self.agdb.was_purged(instance_id):
+            return
+        runtime = self._runtime(packet.schema_name, instance_id,
+                                parent_link=packet.parent_link)
+        fragment = runtime.fragment
+        if fragment.status is not InstanceStatus.RUNNING:
+            return
+        if packet.recovery_epoch < fragment.recovery_epoch:
+            self.trace.record(self.simulator.now, self.name, "packet.stale",
+                              instance=instance_id, step=packet.target_step)
+            return
+        if packet.recovery_epoch > fragment.recovery_epoch:
+            fragment.recovery_epoch = packet.recovery_epoch
+            if packet.mechanism in (Mechanism.FAILURE, Mechanism.INPUT_CHANGE):
+                runtime.recovery_mechanism = packet.mechanism
+        if runtime.governed:
+            self.charge(float(runtime.governed), Mechanism.COORDINATION)
+        # Invalidations first, then state merge, then events (which may fire
+        # rules against the merged data).  The fragment adopts the highest
+        # round it hears about so its own re-executions outlive the cutoffs.
+        for token, round in packet.invalidations.items():
+            prev = runtime.known_invalidations.get(token, 0)
+            runtime.known_invalidations[token] = max(prev, int(round))
+        if packet.invalidations:
+            fragment.invalidation_round = max(
+                fragment.invalidation_round, *packet.invalidations.values()
+            )
+        runtime.engine.apply_invalidations(packet.invalidations)
+        fragment.merge_data(packet.data)
+        if runtime.input_overrides:
+            fragment.merge_data(runtime.input_overrides)
+        runtime.executors.update(packet.executors)
+        runtime.ro_info.update(packet.ro_info)
+        if packet.assigned_agent is not None:
+            runtime.assigned[packet.target_step] = packet.assigned_agent
+        if (
+            self.config.agent_failure_recovery
+            and packet.assigned_agent not in (None, self.name)
+            and packet.target_step not in runtime.watchdogs
+        ):
+            runtime.watchdogs.add(packet.target_step)
+            self.simulator.schedule(
+                self.config.step_status_timeout,
+                self._watchdog, instance_id, packet.target_step,
+            )
+        # Mutual-exclusion region head arriving: the assigned executor asks
+        # the authority for the region lock.
+        if packet.assigned_agent == self.name:
+            for spec in self.spec_index.mx_region_first(
+                packet.schema_name, packet.target_step
+            ):
+                self._mx_request(runtime, instance_id, spec)
+        # Merge without pumping, then re-apply everything this agent knows
+        # to be invalidated (a stale packet may carry — and revive — an
+        # occurrence this agent already invalidated), and only then fire.
+        runtime.engine.events.merge(packet.events, self.simulator.now)
+        runtime.engine.apply_invalidations(runtime.known_invalidations)
+        runtime.engine.reevaluate()
+        self._persist(runtime)
+
+    # ------------------------------------------------------------------ rule firing
+
+    def _on_rule(self, instance_id: str, rule: RuleInstance) -> None:
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None or runtime.fragment.status is not InstanceStatus.RUNNING:
+            return
+        if rule.kind == "loop":
+            self._fire_loop(instance_id, rule)
+            return
+        step = rule.step
+        assigned = runtime.assigned.get(step) or self._elect(
+            runtime.compiled, instance_id, step
+        )
+        if assigned != self.name:
+            return  # another eligible agent executes; we just hold state
+        entered_via_split = False
+        split = runtime.compiled.branch_first_map.get(step)
+        if split is not None and step_done(split) in rule.required:
+            entered_via_split = True
+        self._execute_step(instance_id, step, entered_via_split=entered_via_split)
+
+    def _step_mechanism(self, runtime: _AgentRuntime, step: str) -> Mechanism:
+        record = runtime.fragment.steps.get(step)
+        if record is not None and (record.executions > 0 or record.compensations > 0):
+            return runtime.recovery_mechanism
+        return Mechanism.NORMAL
+
+    def _execute_step(
+        self, instance_id: str, step: str, entered_via_split: bool = False
+    ) -> None:
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None or runtime.fragment.status is not InstanceStatus.RUNNING:
+            return
+        compiled = runtime.compiled
+        fragment = runtime.fragment
+        step_def = compiled.schema.steps[step]
+        record = fragment.record(step)
+        if record.status is StepStatus.RUNNING:
+            return  # already executing locally
+        mechanism = self._step_mechanism(runtime, step)
+        self.charge(1.0, mechanism)
+
+        # CompensateThread: abandoning the previously executed branch.  The
+        # agent entering the new branch cannot know which abandoned steps
+        # actually ran (their completions never flowed here), so the chain
+        # carries the *static* member list in reverse topological order and
+        # each hop agent checks locally — mirroring CompensateSet().
+        if entered_via_split:
+            split = compiled.branch_first_map[step]
+            index = compiled.graph.topo_index
+            abandoned = sorted(
+                (
+                    m
+                    for m in compiled.abandoned_branch_members(split, step)
+                    if compiled.schema.steps[m].compensable
+                ),
+                key=lambda m: -index(m),
+            )
+            if abandoned:
+                self._start_compensate_thread(runtime, instance_id, abandoned,
+                                              runtime.recovery_mechanism)
+
+        new_inputs = fragment.gather_inputs(step_def.inputs)
+        policy = compiled.schema.cr_policies.get(step, DEFAULT_POLICY)
+        plan = plan_step_action(step_def, record, new_inputs, policy)
+
+        if plan.reuse_outputs:
+            token = record_reuse(fragment, step_def, self.simulator.now)
+            self.trace.record(self.simulator.now, self.name, "step.reuse",
+                              instance=instance_id, step=step)
+            runtime.executors[step] = self.name
+            self._persist(runtime)
+            runtime.engine.post_event(token, self.simulator.now,
+                                      runtime.fragment.invalidation_round)
+            self._after_step_done(instance_id, step, mechanism)
+            return
+
+        if plan.compensate:
+            members = compiled.schema.compensation_set_of(step)
+            if members is not None:
+                # The initiator cannot know which downstream members ran
+                # (packets only flow forward), so the StepList is the static
+                # member list in reverse topological order; each hop agent
+                # checks locally whether its step "has been executed" (and
+                # is stale) before compensating — exactly the paper's
+                # CompensateSet() procedure.
+                index = compiled.graph.topo_index
+                later = [m for m in members if m != step and index(m) > index(step)]
+                later.sort(key=lambda m: -index(m))
+                chain = [*later, step]
+                runtime.pending_exec[step] = (plan, new_inputs, mechanism)
+                self.trace.record(self.simulator.now, self.name, "compensate.set",
+                                  instance=instance_id, step=step,
+                                  chain=",".join(chain))
+                self._forward_compensate_set(
+                    runtime, instance_id, chain, step, mechanism,
+                    partial_kind=plan.compensation_kind,
+                )
+                return
+            # Not in a dependent set: the step was executed here, so the
+            # compensation is local.
+            self._compensate_local(runtime, step, plan.compensation_kind or "complete",
+                                   plan.compensation_cost, mechanism)
+
+        self._launch_program(instance_id, step, plan.execution_cost, mechanism,
+                             new_inputs)
+
+    def _stale_member_times(
+        self, runtime: _AgentRuntime, members: frozenset[str]
+    ) -> dict[str, float]:
+        """Done-times of set members whose completion event is currently
+        *invalid* — the rolled back executions the CompensateSet chain must
+        undo (a member whose done event is valid was already re-executed or
+        reused and keeps its effects)."""
+        stale: dict[str, float] = {}
+        for member in members:
+            occurrence = runtime.engine.events.occurrence(step_done(member))
+            if occurrence is not None and not occurrence.valid:
+                stale[member] = occurrence.time
+        return stale
+
+    def _member_done_times(
+        self, runtime: _AgentRuntime, members: frozenset[str]
+    ) -> dict[str, float]:
+        done_times = {}
+        for member in members:
+            occurrence = runtime.engine.events.occurrence(step_done(member))
+            if occurrence is not None and occurrence.valid:
+                done_times[member] = occurrence.time
+            else:
+                record = runtime.fragment.steps.get(member)
+                if record is not None and record.status is StepStatus.DONE:
+                    done_times[member] = record.done_at or 0.0
+        return done_times
+
+    def _launch_program(
+        self,
+        instance_id: str,
+        step: str,
+        cost: float,
+        mechanism: Mechanism,
+        inputs: dict[str, Any],
+    ) -> None:
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None or runtime.fragment.status is not InstanceStatus.RUNNING:
+            return
+        compiled = runtime.compiled
+        step_def = compiled.schema.steps[step]
+        if step_def.subworkflow is not None:
+            self._launch_nested(runtime, instance_id, step, inputs)
+            return
+        record = runtime.fragment.record(step)
+        record.status = StepStatus.RUNNING
+        record.agent = self.name
+        attempt = record.executions + 1
+        epoch = runtime.fragment.recovery_epoch
+        runtime.running_exec[step] = epoch
+        self.trace.record(self.simulator.now, self.name, "step.execute",
+                          instance=instance_id, step=step, attempt=attempt)
+        delay = cost * self.config.work_time_scale
+        self.simulator.schedule(
+            delay, self._complete_program, instance_id, step, epoch, attempt,
+            mechanism, inputs, cost,
+        )
+
+    def _complete_program(
+        self,
+        instance_id: str,
+        step: str,
+        epoch: int,
+        attempt: int,
+        mechanism: Mechanism,
+        inputs: dict[str, Any],
+        cost: float,
+    ) -> None:
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None or runtime.fragment.status is not InstanceStatus.RUNNING:
+            return
+        fragment = runtime.fragment
+        if runtime.running_exec.get(step) != epoch or fragment.recovery_epoch != epoch:
+            # Stale completion from before a rollback; the halt already
+            # reset the step record and a newer execution may be in flight.
+            self.trace.record(self.simulator.now, self.name, "step.stale_result",
+                              instance=instance_id, step=step)
+            return
+        runtime.running_exec.pop(step, None)
+        compiled = runtime.compiled
+        step_def = compiled.schema.steps[step]
+        program = self.system.programs.get(step_def.program, step_def.outputs)
+        ctx = ExecutionContext(
+            schema_name=compiled.name,
+            instance_id=instance_id,
+            step=step,
+            attempt=attempt,
+            now=self.simulator.now,
+            node=self.name,
+            rng=self.system.rng.stream(f"prog:{instance_id}:{step}"),
+        )
+        result = program.execute(inputs, ctx)
+        self.network.metrics.record_work(self.name, "execute", cost)
+        runtime.executors[step] = self.name
+        if result.success:
+            token = record_execution_success(
+                fragment, step_def, inputs, result.outputs, self.simulator.now,
+                self.name,
+            )
+            self.trace.record(self.simulator.now, self.name, "step.done",
+                              instance=instance_id, step=step)
+            self._persist(runtime)
+            runtime.engine.post_event(token, self.simulator.now,
+                                      runtime.fragment.invalidation_round)
+            self._after_step_done(instance_id, step, mechanism)
+        else:
+            token = record_execution_failure(
+                fragment, step_def, inputs, self.simulator.now, self.name
+            )
+            self.trace.record(self.simulator.now, self.name, "step.fail",
+                              instance=instance_id, step=step,
+                              error=result.error or "-")
+            self._persist(runtime)
+            runtime.engine.post_event(token, self.simulator.now,
+                                      runtime.fragment.invalidation_round)
+            self._handle_failure(instance_id, step)
+
+    # ------------------------------------------------------------------ navigation
+
+    def _after_step_done(
+        self, instance_id: str, step: str, mechanism: Mechanism
+    ) -> None:
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None or runtime.fragment.status is not InstanceStatus.RUNNING:
+            return
+        compiled = runtime.compiled
+        schema_name = compiled.name
+        self._coord_on_step_done(runtime, instance_id, step)
+        if step in compiled.terminal_steps and not self._loop_continues(runtime, step):
+            self._report_completion(runtime, instance_id, step, mechanism)
+            return
+        self._navigate(runtime, instance_id, step, mechanism)
+
+    def _navigate(
+        self,
+        runtime: _AgentRuntime,
+        instance_id: str,
+        step: str,
+        mechanism: Mechanism,
+        only_to: str | None = None,
+    ) -> None:
+        compiled = runtime.compiled
+        runtime.forwarded.add(step)
+        for successor in compiled.graph.successors(step):
+            eligible = self.agdb.eligible_agents(compiled.name, successor)
+            if (
+                self.config.successor_selection == "load"
+                and len(eligible) > 1
+                and only_to is None
+            ):
+                # Paper's two-phase selection: probe eligible successors
+                # with StateInformation(), dispatch to the least loaded.
+                self._probe_then_dispatch(runtime, instance_id, successor,
+                                          mechanism, eligible)
+                continue
+            assigned = self._elect(compiled, instance_id, successor)
+            self._send_step_packets(runtime, instance_id, successor, mechanism,
+                                    eligible, assigned, only_to)
+
+    def _send_step_packets(
+        self,
+        runtime: _AgentRuntime,
+        instance_id: str,
+        successor: str,
+        mechanism: Mechanism,
+        eligible: tuple[str, ...],
+        assigned: str,
+        only_to: str | None = None,
+    ) -> None:
+        packet = self._build_packet(runtime, instance_id, successor, mechanism,
+                                    assigned)
+        for agent in eligible:
+            if only_to is not None and agent != only_to:
+                continue
+            if agent == self.name:
+                self._ingest_packet(packet)
+            else:
+                self.send(agent, WI.STEP_EXECUTE.value, packet.to_payload(),
+                          mechanism)
+
+    # -- load-based successor selection (config.successor_selection="load") --
+
+    def _local_executing_count(self) -> int:
+        return sum(
+            1
+            for runtime in self.runtimes.values()
+            for record in runtime.fragment.steps.values()
+            if record.status is StepStatus.RUNNING and record.agent == self.name
+        )
+
+    def _probe_then_dispatch(
+        self,
+        runtime: _AgentRuntime,
+        instance_id: str,
+        successor: str,
+        mechanism: Mechanism,
+        eligible: tuple[str, ...],
+    ) -> None:
+        probe_id = next(self._probe_ids)
+        others = [agent for agent in eligible if agent != self.name]
+        loads = {}
+        if self.name in eligible:
+            loads[self.name] = self._local_executing_count()
+        self._load_probes[probe_id] = {
+            "instance_id": instance_id,
+            "successor": successor,
+            "mechanism": mechanism,
+            "eligible": eligible,
+            "waiting": set(others),
+            "loads": loads,
+        }
+        for agent in others:
+            self.send(agent, WI.STATE_INFORMATION.value,
+                      {"probe_id": probe_id, "mechanism": mechanism.value},
+                      mechanism)
+        if not others:
+            self._finish_load_probe(probe_id)
+
+    def _on_state_information_reply(self, message: Message) -> None:
+        probe_id = message.payload.get("probe_id")
+        pending = self._load_probes.get(probe_id)
+        if pending is None:
+            return
+        pending["waiting"].discard(message.src)
+        pending["loads"][message.src] = message.payload["load"]
+        if not pending["waiting"]:
+            self._finish_load_probe(probe_id)
+
+    def _finish_load_probe(self, probe_id: int) -> None:
+        pending = self._load_probes.pop(probe_id, None)
+        if pending is None:
+            return
+        runtime = self.runtimes.get(pending["instance_id"])
+        if runtime is None or runtime.fragment.status is not InstanceStatus.RUNNING:
+            return
+        loads = pending["loads"]
+        assigned = min(loads, key=lambda agent: (loads[agent], agent))
+        self._send_step_packets(
+            runtime, pending["instance_id"], pending["successor"],
+            pending["mechanism"], pending["eligible"], assigned,
+        )
+
+    def _build_packet(
+        self,
+        runtime: _AgentRuntime,
+        instance_id: str,
+        target_step: str,
+        mechanism: Mechanism,
+        assigned: str,
+    ) -> WorkflowPacket:
+        fragment = runtime.fragment
+        return WorkflowPacket(
+            schema_name=fragment.schema_name,
+            instance_id=instance_id,
+            action="execute",
+            target_step=target_step,
+            data=dict(fragment.data),
+            events=runtime.engine.events.export_versioned(),
+            invalidations=dict(runtime.known_invalidations),
+            recovery_epoch=fragment.recovery_epoch,
+            recovery_origin=None,
+            mechanism=mechanism,
+            ro_info=tuple(sorted(runtime.ro_info)),
+            executors=dict(runtime.executors),
+            assigned_agent=assigned,
+            parent_link=runtime.parent_link,
+        )
+
+    def _loop_continues(self, runtime: _AgentRuntime, step: str) -> bool:
+        for template in runtime.compiled.loop_templates_for(step):
+            condition = runtime.compiled.condition_for(template.rule_id)
+            if condition is None:
+                return True
+            try:
+                if condition.evaluate(runtime.fragment.env()):
+                    return True
+            except Exception:
+                continue
+        return False
+
+    def _fire_loop(self, instance_id: str, rule: RuleInstance) -> None:
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None or runtime.fragment.status is not InstanceStatus.RUNNING:
+            return
+        # Only the agent that executed the loop source navigates the loop.
+        if runtime.executors.get(rule.step) != self.name:
+            return
+        runtime.loop_fires[rule.rule_id] += 1
+        if runtime.loop_fires[rule.rule_id] > self.config.max_loop_iterations:
+            raise SimulationError(
+                f"loop {rule.rule_id} exceeded {self.config.max_loop_iterations} "
+                f"iterations in {instance_id}"
+            )
+        body = rule.loop_body
+        now = self.simulator.now
+        self.trace.record(now, self.name, "loop.iterate",
+                          instance=instance_id, rule=rule.rule_id,
+                          iteration=runtime.loop_fires[rule.rule_id])
+        runtime.fragment.invalidation_round += 1
+        round = runtime.fragment.invalidation_round
+        tokens = invalidation_tokens(body)
+        for token in tokens:
+            prev = runtime.known_invalidations.get(token, 0)
+            runtime.known_invalidations[token] = max(prev, round)
+        runtime.engine.invalidate_events(tokens)
+        runtime.engine.reset_rules_for_steps(body)
+        for member in body:
+            record = runtime.fragment.steps.get(member)
+            if record is not None and member in runtime.hosted:
+                record.status = StepStatus.NOT_STARTED
+        target = rule.loop_target
+        assert target is not None
+        compiled = runtime.compiled
+        eligible = self.agdb.eligible_agents(compiled.name, target)
+        assigned = self._elect(compiled, instance_id, target)
+        packet = self._build_packet(runtime, instance_id, target,
+                                    Mechanism.NORMAL, assigned)
+        # Loop re-entry: the target's trigger events (predecessors outside
+        # the body) are still valid and travel inside the packet.
+        for agent in eligible:
+            if agent == self.name:
+                self._ingest_packet(packet)
+            else:
+                self.send(agent, WI.STEP_EXECUTE.value, packet.to_payload(),
+                          Mechanism.NORMAL)
+        runtime.engine.reevaluate()
+
+    # ------------------------------------------------------------------ commit protocol
+
+    def _report_completion(
+        self,
+        runtime: _AgentRuntime,
+        instance_id: str,
+        terminal: str,
+        mechanism: Mechanism,
+    ) -> None:
+        compiled = runtime.compiled
+        coordination_agent = self._coordination_agent_of(compiled)
+        done_times = {
+            s: r.done_at or 0.0
+            for s, r in runtime.fragment.steps.items()
+            if r.status is StepStatus.DONE
+        }
+        for token, time in runtime.engine.events.export().items():
+            if token.endswith(".D") and not token.startswith(("WF.", "EXT.")):
+                done_times.setdefault(token[:-2], time)
+        payload = {
+            "schema_name": compiled.name,
+            "instance_id": instance_id,
+            "terminal": terminal,
+            "epoch": runtime.fragment.recovery_epoch,
+            "origin_history": dict(runtime.origin_history),
+            "executors": dict(runtime.executors),
+            "done_times": done_times,
+            "data": dict(runtime.fragment.data),
+        }
+        if coordination_agent == self.name:
+            self._apply_completion(payload)
+        else:
+            self.send(coordination_agent, WI.STEP_COMPLETED.value, payload,
+                      Mechanism.NORMAL)
+
+    def _on_step_completed(self, message: Message) -> None:
+        self._apply_completion(message.payload)
+
+    def _apply_completion(self, payload: Mapping[str, Any]) -> None:
+        instance_id = payload["instance_id"]
+        tracker = self.trackers.get(instance_id)
+        if tracker is None or tracker.finished:
+            return
+        compiled = self.system.compiled(payload["schema_name"])
+        epoch = payload["epoch"]
+        terminal = payload["terminal"]
+        tracker.origin_history.update(
+            {int(e): o for e, o in payload.get("origin_history", {}).items()}
+        )
+        tracker.epoch = max(tracker.epoch, epoch)
+
+        def invalidated(t: str, report_epoch: int) -> bool:
+            """Was a report at ``report_epoch`` undone by a later rollback?"""
+            return any(
+                e > report_epoch and t in compiled.affected_terminals(o)
+                for e, o in tracker.origin_history.items()
+            )
+
+        if not invalidated(terminal, epoch):
+            tracker.reported[terminal] = max(epoch, tracker.reported.get(terminal, 0))
+        tracker.reported = {
+            t: e for t, e in tracker.reported.items() if not invalidated(t, e)
+        }
+        tracker.executors.update(payload["executors"])
+        tracker.done_times.update(payload["done_times"])
+        tracker.data.update(payload["data"])
+        self.trace.record(self.simulator.now, self.name, "terminal.reported",
+                          instance=instance_id, terminal=terminal, epoch=epoch)
+        if compiled.commit_ready(set(tracker.reported)):
+            self._commit(instance_id, compiled, tracker)
+
+    def _commit(
+        self, instance_id: str, compiled: CompiledSchema, tracker: _CommitTracker
+    ) -> None:
+        tracker.finished = True
+        self.agdb.set_summary(instance_id, InstanceStatus.COMMITTED)
+        runtime = self.runtimes.get(instance_id)
+        if runtime is not None:
+            runtime.fragment.status = InstanceStatus.COMMITTED
+            self._persist(runtime)
+        outputs: dict[str, Any] = {}
+        for name, ref in compiled.schema.outputs.items():
+            if ref in tracker.data:
+                outputs[name] = tracker.data[ref]
+        self.system._record_outcome(
+            instance_id, compiled.name, InstanceStatus.COMMITTED, outputs,
+            self.simulator.now,
+        )
+        self.trace.record(self.simulator.now, self.name, "workflow.commit",
+                          instance=instance_id)
+        self._withdraw_coordination(instance_id, runtime, aborted=False)
+        if tracker.parent_link is not None:
+            parent_id, parent_step = tracker.parent_link
+            parent_compiled = None
+            for schema in self.system.schemas.values():
+                if parent_step in schema.schema.steps and schema.schema.steps[
+                    parent_step
+                ].subworkflow == compiled.name:
+                    parent_compiled = schema
+                    break
+            target = None
+            if parent_compiled is not None:
+                target = elect_executor(
+                    self.agdb.eligible_agents(parent_compiled.name, parent_step),
+                    parent_compiled.name, parent_id, parent_step,
+                    is_up=self.network.is_up,
+                )
+            payload = {
+                "parent_id": parent_id,
+                "parent_step": parent_step,
+                "outputs": outputs,
+            }
+            if target is None or target == self.name:
+                self._apply_nested_done(payload)
+            else:
+                self.send(target, VERB_NESTED_DONE, payload, Mechanism.NORMAL)
+        if self.config.purge_interval is not None:
+            self._purge_pending.append(instance_id)
+            if not self._purge_scheduled:
+                self._purge_scheduled = True
+                self.simulator.schedule(
+                    self.config.purge_interval, self._broadcast_purge
+                )
+
+    def _broadcast_purge(self) -> None:
+        self._purge_scheduled = False
+        batch, self._purge_pending = self._purge_pending, []
+        if not batch:
+            return
+        payload = {"instance_ids": batch}
+        for agent in self.system.agent_names():
+            if agent == self.name:
+                self.agdb.purge_instances(batch)
+                for instance_id in batch:
+                    self.runtimes.pop(instance_id, None)
+            else:
+                self.send(agent, VERB_PURGE, payload, Mechanism.NORMAL)
+        self.trace.record(self.simulator.now, self.name, "purge.broadcast",
+                          count=len(batch))
+
+    def _on_purge(self, message: Message) -> None:
+        ids = list(message.payload["instance_ids"])
+        self.agdb.purge_instances(ids)
+        for instance_id in ids:
+            self.runtimes.pop(instance_id, None)
+
+    # ------------------------------------------------------------------ nested workflows
+
+    def _launch_nested(
+        self, runtime: _AgentRuntime, instance_id: str, step: str,
+        inputs: dict[str, Any],
+    ) -> None:
+        compiled = runtime.compiled
+        step_def = compiled.schema.steps[step]
+        child_compiled = self.system.compiled(step_def.subworkflow)
+        record = runtime.fragment.record(step)
+        record.status = StepStatus.RUNNING
+        record.agent = self.name
+        record.last_inputs = dict(inputs)
+        child_inputs = dict(zip(child_compiled.schema.inputs, inputs.values()))
+        child_id = f"{instance_id}.{step}#{record.executions + 1}"
+        coordination_agent = self._coordination_agent_of(child_compiled)
+        self.trace.record(self.simulator.now, self.name, "nested.start",
+                          instance=instance_id, step=step, child=child_id)
+        payload = {
+            "schema_name": child_compiled.name,
+            "instance_id": child_id,
+            "inputs": child_inputs,
+            "parent_link": [instance_id, step],
+        }
+        if coordination_agent == self.name:
+            self.workflow_start(child_compiled.name, child_id, child_inputs,
+                                parent_link=(instance_id, step))
+        else:
+            self.send(coordination_agent, WI.WORKFLOW_START.value, payload,
+                      Mechanism.NORMAL)
+
+    def _on_nested_done(self, message: Message) -> None:
+        self._apply_nested_done(message.payload)
+
+    def _apply_nested_done(self, payload: Mapping[str, Any]) -> None:
+        parent_id = payload["parent_id"]
+        parent_step = payload["parent_step"]
+        runtime = self.runtimes.get(parent_id)
+        if runtime is None or runtime.fragment.status is not InstanceStatus.RUNNING:
+            return
+        step_def = runtime.compiled.schema.steps[parent_step]
+        child_outputs = payload["outputs"]
+        missing = [o for o in step_def.outputs if o not in child_outputs]
+        if missing:
+            raise SchemaError(
+                f"nested workflow for {parent_id}.{parent_step} missing outputs "
+                f"{missing}"
+            )
+        record = runtime.fragment.record(parent_step)
+        inputs = record.last_inputs
+        outputs = {o: child_outputs[o] for o in step_def.outputs}
+        runtime.executors[parent_step] = self.name
+        token = record_execution_success(
+            runtime.fragment, step_def, inputs, outputs, self.simulator.now,
+            self.name,
+        )
+        self._persist(runtime)
+        runtime.engine.post_event(token, self.simulator.now,
+                                  runtime.fragment.invalidation_round)
+        self._after_step_done(parent_id, parent_step, Mechanism.NORMAL)
+
+    # ------------------------------------------------------------------ failure handling
+
+    def _handle_failure(self, instance_id: str, failed_step: str) -> None:
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None:
+            return
+        compiled = runtime.compiled
+        origin = compiled.schema.rollback_origin(failed_step)
+        if origin is None:
+            # Unhandled failure: tell the coordination agent to abort.
+            coordination_agent = self._coordination_agent_of(compiled)
+            payload = {
+                "schema_name": compiled.name,
+                "instance_id": instance_id,
+                "failed_step": failed_step,
+                "executors": dict(runtime.executors),
+                "done_times": self._member_done_times(
+                    runtime, frozenset(compiled.schema.steps)
+                ),
+            }
+            if coordination_agent == self.name:
+                self._apply_unhandled_failure(payload)
+            else:
+                self.send(coordination_agent, VERB_UNHANDLED_FAILURE, payload,
+                          Mechanism.FAILURE)
+            return
+        new_epoch = runtime.fragment.recovery_epoch + 1
+        target = runtime.executors.get(origin) or self._elect(
+            compiled, instance_id, origin
+        )
+        payload = {
+            "schema_name": compiled.name,
+            "instance_id": instance_id,
+            "origin": origin,
+            "failed_step": failed_step,
+            "epoch": new_epoch,
+            "mechanism": Mechanism.FAILURE.value,
+        }
+        self.trace.record(self.simulator.now, self.name, "rollback.request",
+                          instance=instance_id, origin=origin, target=target)
+        if target == self.name:
+            self._apply_workflow_rollback(payload)
+        else:
+            self.send(target, WI.WORKFLOW_ROLLBACK.value, payload, Mechanism.FAILURE)
+
+    def _on_workflow_rollback(self, message: Message) -> None:
+        self._apply_workflow_rollback(message.payload)
+
+    def _apply_workflow_rollback(self, payload: Mapping[str, Any]) -> None:
+        instance_id = payload["instance_id"]
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None:
+            runtime = self._runtime(payload["schema_name"], instance_id)
+        fragment = runtime.fragment
+        if fragment.status is not InstanceStatus.RUNNING:
+            return
+        origin = payload["origin"]
+        epoch = payload["epoch"]
+        mechanism = Mechanism(payload.get("mechanism", Mechanism.FAILURE.value))
+        if epoch <= fragment.recovery_epoch:
+            return  # already handled (duplicate rollback request)
+        self.trace.record(self.simulator.now, self.name, "rollback",
+                          instance=instance_id, origin=origin, epoch=epoch)
+        fragment.recovery_epoch = epoch
+        runtime.recovery_mechanism = mechanism
+        runtime.origin_history[epoch] = origin
+        self._halt_from(runtime, instance_id, origin, epoch, mechanism,
+                        include_origin_agent=False)
+        # (the halt bumped fragment.invalidation_round)
+        # Rollback-dependency triggers (single hop: a rollback induced by
+        # a dependency does not re-trigger dependencies, avoiding ping-pong
+        # between mutually dependent instances).
+        recovery = RecoveryTokens(runtime.compiled, origin)
+        rd_allowed = not payload.get("from_rd", False)
+        for spec in self.spec_index.rd_triggers(fragment.schema_name) if rd_allowed else []:
+            if spec.trigger_step_a not in recovery.steps:
+                continue
+            authority = self.system.authority_agent_for(spec)
+            trigger_payload = {
+                "op": "rd_trigger",
+                "spec": spec.name,
+                "instance_id": instance_id,
+                "key": SpecIndex.conflict_key_value(spec, fragment),
+            }
+            if authority == self.name:
+                self._apply_rd_trigger(trigger_payload)
+            else:
+                self.send(authority, WI.ADD_RULE.value, trigger_payload,
+                          Mechanism.COORDINATION)
+        # Re-execution: the origin's rules were re-armed by the local halt;
+        # its trigger events (outside the invalidation set) are still valid.
+        runtime.engine.reevaluate()
+
+    def _halt_from(
+        self,
+        runtime: _AgentRuntime,
+        instance_id: str,
+        origin: str,
+        epoch: int,
+        mechanism: Mechanism,
+        include_origin_agent: bool,
+    ) -> None:
+        """Apply the local halt/invalidation and probe successor agents."""
+        compiled = runtime.compiled
+        fragment = runtime.fragment
+        recovery = RecoveryTokens(compiled, origin)
+        fragment.invalidation_round += 1
+        round = fragment.invalidation_round
+        for token in recovery.tokens:
+            prev = runtime.known_invalidations.get(token, 0)
+            runtime.known_invalidations[token] = max(prev, round)
+        runtime.engine.invalidate_events(recovery.tokens)
+        runtime.engine.reset_rules_for_steps(recovery.steps)
+        for step in recovery.steps:
+            record = fragment.steps.get(step)
+            if record is not None and record.status is StepStatus.RUNNING:
+                record.status = StepStatus.NOT_STARTED
+        self._persist(runtime)
+        # Probe the agents responsible for the successor steps.  The probe
+        # recurses at each agent that already forwarded packets.
+        payload = {
+            "schema_name": compiled.name,
+            "instance_id": instance_id,
+            "origin": origin,
+            "epoch": epoch,
+            "mechanism": mechanism.value,
+            "invalidations": {t: round for t in recovery.tokens},
+        }
+        targets: set[str] = set()
+        for successor in compiled.graph.successors(origin):
+            for agent in self.agdb.eligible_agents(compiled.name, successor):
+                if agent != self.name:
+                    targets.add(agent)
+        for agent in sorted(targets):
+            self.send(agent, WI.HALT_THREAD.value, payload, mechanism)
+
+    def _on_halt_thread(self, message: Message) -> None:
+        payload = message.payload
+        instance_id = payload["instance_id"]
+        if self.agdb.was_purged(instance_id):
+            return
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None:
+            if not self.agdb.has_fragment(instance_id):
+                return  # never saw this instance; nothing to halt
+            runtime = self._runtime(payload["schema_name"], instance_id)
+        fragment = runtime.fragment
+        epoch = payload["epoch"]
+        if epoch <= fragment.recovery_epoch:
+            return  # this halt round already processed here
+        fragment.recovery_epoch = epoch
+        mechanism = Mechanism(payload.get("mechanism", Mechanism.FAILURE.value))
+        if mechanism in (Mechanism.FAILURE, Mechanism.INPUT_CHANGE):
+            runtime.recovery_mechanism = mechanism
+        origin = payload["origin"]
+        runtime.origin_history[epoch] = origin
+        compiled = runtime.compiled
+        recovery = RecoveryTokens(compiled, origin)
+        self.trace.record(self.simulator.now, self.name, "halt.thread",
+                          instance=instance_id, origin=origin, epoch=epoch)
+        runtime.engine.apply_invalidations(dict(payload["invalidations"]))
+        runtime.engine.reset_rules_for_steps(recovery.steps)
+        for token, round in payload["invalidations"].items():
+            prev = runtime.known_invalidations.get(token, 0)
+            runtime.known_invalidations[token] = max(prev, int(round))
+        if payload["invalidations"]:
+            fragment.invalidation_round = max(
+                fragment.invalidation_round, *payload["invalidations"].values()
+            )
+        for step in recovery.steps:
+            record = fragment.steps.get(step)
+            if record is not None and record.status is StepStatus.RUNNING:
+                record.status = StepStatus.NOT_STARTED
+        self._persist(runtime)
+        # Propagate to successors of steps this agent executed and forwarded.
+        forwarded_affected = runtime.forwarded & recovery.steps
+        targets: set[str] = set()
+        for step in forwarded_affected:
+            for successor in compiled.graph.successors(step):
+                for agent in self.agdb.eligible_agents(compiled.name, successor):
+                    if agent != self.name:
+                        targets.add(agent)
+        runtime.forwarded -= recovery.steps
+        for agent in sorted(targets):
+            self.send(agent, WI.HALT_THREAD.value, dict(payload), mechanism)
+
+    def _on_unhandled_failure(self, message: Message) -> None:
+        self._apply_unhandled_failure(message.payload)
+
+    def _apply_unhandled_failure(self, payload: Mapping[str, Any]) -> None:
+        """Coordination agent aborts after an unhandled step failure,
+        compensating every reported executed step in reverse order."""
+        instance_id = payload["instance_id"]
+        tracker = self.trackers.get(instance_id)
+        if tracker is None or tracker.finished:
+            return
+        runtime = self.runtimes.get(instance_id)
+        compiled = self.system.compiled(payload["schema_name"])
+        schema = compiled.schema
+        tracker.executors.update(payload["executors"])
+        done_times = dict(payload["done_times"])
+        ordered = [
+            step
+            for step in sorted(done_times, key=lambda s: -done_times[s])
+            if schema.steps[step].compensable
+        ]
+        self.trace.record(self.simulator.now, self.name, "failure.unhandled",
+                          instance=instance_id, step=payload["failed_step"])
+        # Halt every thread first: the probes invalidate all completions, and
+        # the compensation chain carries those invalidations so hop agents
+        # see the staleness regardless of message arrival order.
+        invalidations: dict[str, int] = {}
+        if runtime is not None:
+            epoch = runtime.fragment.recovery_epoch + 1
+            runtime.fragment.recovery_epoch = epoch
+            self._halt_from(runtime, instance_id, compiled.start_step, epoch,
+                            Mechanism.FAILURE, include_origin_agent=True)
+            invalidations = dict(runtime.known_invalidations)
+        if ordered:
+            # Saga-style default: compensate everything executed in strict
+            # reverse execution order via a CompensateThread chain.
+            self._process_compensate_thread({
+                "schema_name": schema.name,
+                "instance_id": instance_id,
+                "step_list": ordered,
+                "mechanism": Mechanism.FAILURE.value,
+                "executors": dict(tracker.executors),
+                "invalidations": invalidations,
+            })
+        tracker.finished = True
+        self.agdb.set_summary(instance_id, InstanceStatus.ABORTED)
+        if runtime is not None:
+            runtime.fragment.status = InstanceStatus.ABORTED
+            self._persist(runtime)
+        self._withdraw_coordination(instance_id, runtime, aborted=True)
+        self.system._record_outcome(
+            instance_id, schema.name, InstanceStatus.ABORTED, {}, self.simulator.now
+        )
+
+    # ------------------------------------------------------------------ compensation WIs
+
+    def _on_step_compensate(self, message: Message) -> None:
+        self._on_step_compensate_local(message.payload, message.mechanism)
+
+    def _on_step_compensate_local(
+        self, payload: Mapping[str, Any], mechanism: Mechanism
+    ) -> None:
+        """StepCompensate WI: compensate the step if this agent executed it."""
+        instance_id = payload["instance_id"]
+        if not self.agdb.has_fragment(instance_id):
+            return
+        runtime = self._runtime(payload["schema_name"], instance_id)
+        step = payload["step"]
+        record = runtime.fragment.steps.get(step)
+        if record is None or record.status is not StepStatus.DONE:
+            return
+        if record.agent != self.name:
+            return
+        step_def = runtime.compiled.schema.steps[step]
+        self._compensate_local(
+            runtime, step, payload.get("kind", "complete"),
+            step_def.effective_compensation_cost, mechanism,
+        )
+
+    def _compensate_local(
+        self,
+        runtime: _AgentRuntime,
+        step: str,
+        kind: str,
+        cost: float,
+        mechanism: Mechanism,
+    ) -> None:
+        compiled = runtime.compiled
+        step_def = compiled.schema.steps[step]
+        record = runtime.fragment.record(step)
+        program = self.system.programs.get(step_def.program, step_def.outputs)
+        ctx = ExecutionContext(
+            schema_name=compiled.name,
+            instance_id=runtime.fragment.instance_id,
+            step=step,
+            attempt=record.executions,
+            now=self.simulator.now,
+            node=self.name,
+        )
+        program.compensate(record, ctx)
+        self.network.metrics.record_work(self.name, "compensate", cost)
+        token = record_compensation(runtime.fragment, step_def, kind)
+        runtime.engine.post_event(token, self.simulator.now,
+                                  runtime.fragment.invalidation_round)
+        self._persist(runtime)
+        self.trace.record(self.simulator.now, self.name, "step.compensated",
+                          instance=runtime.fragment.instance_id, step=step,
+                          comp=kind)
+
+    def _forward_compensate_set(
+        self,
+        runtime: _AgentRuntime,
+        instance_id: str,
+        chain: list[str],
+        origin_step: str,
+        mechanism: Mechanism,
+        partial_kind: str | None,
+    ) -> None:
+        """Send (or locally process) the next hop of a CompensateSet chain."""
+        payload = {
+            "schema_name": runtime.fragment.schema_name,
+            "instance_id": instance_id,
+            "step_list": list(chain),
+            "origin_step": origin_step,
+            "initiator": self.name,
+            "mechanism": mechanism.value,
+            "partial_kind": partial_kind,
+            "executors": dict(runtime.executors),
+            # Hop agents apply these before deciding, so a chain racing
+            # ahead of the HaltThread probes still sees the stale state.
+            "invalidations": dict(runtime.known_invalidations),
+        }
+        self._process_compensate_set(payload)
+
+    def _on_compensate_set(self, message: Message) -> None:
+        self._process_compensate_set(dict(message.payload))
+
+    def _process_compensate_set(self, payload: dict[str, Any]) -> None:
+        instance_id = payload["instance_id"]
+        step_list: list[str] = list(payload["step_list"])
+        origin_step = payload["origin_step"]
+        mechanism = Mechanism(payload["mechanism"])
+        if not step_list:
+            return
+        step = step_list[0]
+        executors = dict(payload["executors"])
+        target = executors.get(step)
+        if target is None:
+            compiled = self.system.compiled(payload["schema_name"])
+            target = self._elect(compiled, instance_id, step)
+        if target != self.name:
+            payload["step_list"] = step_list
+            self.send(target, WI.COMPENSATE_SET.value, payload, mechanism)
+            return
+        # This agent is responsible for the head of the list: compensate it
+        # if it was executed here *and* its completion is stale (a valid
+        # done event means the step was already re-established and keeps
+        # its effects — e.g. an OCR reuse).
+        runtime = self._runtime(payload["schema_name"], instance_id)
+        invalidations = dict(payload.get("invalidations", {}))
+        if invalidations:
+            runtime.engine.apply_invalidations(invalidations)
+            for token, round in invalidations.items():
+                previous = runtime.known_invalidations.get(token, 0)
+                runtime.known_invalidations[token] = max(previous, int(round))
+            runtime.fragment.invalidation_round = max(
+                runtime.fragment.invalidation_round, *invalidations.values()
+            )
+        record = runtime.fragment.steps.get(step)
+        occurrence = runtime.engine.events.occurrence(step_done(step))
+        stale = occurrence is None or not occurrence.valid
+        if record is not None and record.status is StepStatus.DONE and stale:
+            step_def = runtime.compiled.schema.steps[step]
+            is_origin = step == origin_step
+            kind = (
+                payload.get("partial_kind") or "complete" if is_origin else "complete"
+            )
+            cost = step_def.effective_compensation_cost
+            if kind == "partial":
+                policy = runtime.compiled.schema.cr_policies.get(step, DEFAULT_POLICY)
+                cost *= policy.incremental_fraction
+            self._compensate_local(runtime, step, kind, cost, mechanism)
+        step_list.pop(0)
+        if step_list:
+            payload["step_list"] = step_list
+            self._process_compensate_set(payload)
+            return
+        # Chain finished.  If the origin step's agent stashed a pending
+        # re-execution, resume it (the origin is the last chain element, so
+        # we are at its agent — or the chain ended elsewhere and the
+        # initiator resumes via this final hop).
+        initiator = payload["initiator"]
+        if initiator != self.name:
+            self.send(initiator, WI.COMPENSATE_SET.value,
+                      {**payload, "step_list": []}, mechanism)
+            return
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None:
+            return
+        pending = runtime.pending_exec.pop(origin_step, None)
+        if pending is not None:
+            plan, inputs, exec_mechanism = pending
+            self._launch_program(instance_id, origin_step, plan.execution_cost,
+                                 exec_mechanism, inputs)
+
+    def _start_compensate_thread(
+        self,
+        runtime: _AgentRuntime,
+        instance_id: str,
+        steps: list[str],
+        mechanism: Mechanism,
+    ) -> None:
+        """CompensateThread WI chain over an abandoned if-then-else branch."""
+        payload = {
+            "schema_name": runtime.fragment.schema_name,
+            "instance_id": instance_id,
+            "step_list": list(steps),
+            "mechanism": mechanism.value,
+            "executors": dict(runtime.executors),
+            "invalidations": dict(runtime.known_invalidations),
+        }
+        self.trace.record(self.simulator.now, self.name, "compensate.thread",
+                          instance=instance_id, steps=",".join(steps))
+        self._process_compensate_thread(payload)
+
+    def _on_compensate_thread(self, message: Message) -> None:
+        self._process_compensate_thread(dict(message.payload))
+
+    def _process_compensate_thread(self, payload: dict[str, Any]) -> None:
+        step_list: list[str] = list(payload["step_list"])
+        if not step_list:
+            return
+        instance_id = payload["instance_id"]
+        mechanism = Mechanism(payload["mechanism"])
+        step = step_list[0]
+        executors = dict(payload["executors"])
+        target = executors.get(step)
+        if target is None:
+            compiled = self.system.compiled(payload["schema_name"])
+            target = self._elect(compiled, instance_id, step)
+        if target != self.name:
+            self.send(target, WI.COMPENSATE_THREAD.value, payload, mechanism)
+            return
+        runtime = self._runtime(payload["schema_name"], instance_id)
+        invalidations = dict(payload.get("invalidations", {}))
+        if invalidations:
+            runtime.engine.apply_invalidations(invalidations)
+            for token, round in invalidations.items():
+                previous = runtime.known_invalidations.get(token, 0)
+                runtime.known_invalidations[token] = max(previous, int(round))
+        record = runtime.fragment.steps.get(step)
+        occurrence = runtime.engine.events.occurrence(step_done(step))
+        stale = occurrence is None or not occurrence.valid
+        if record is not None and record.status is StepStatus.DONE and stale:
+            step_def = runtime.compiled.schema.steps[step]
+            self._compensate_local(
+                runtime, step, "complete", step_def.effective_compensation_cost,
+                mechanism,
+            )
+        step_list.pop(0)
+        if step_list:
+            payload["step_list"] = step_list
+            self._process_compensate_thread(payload)
+
+    # ------------------------------------------------------------------ inputs changed
+
+    def _on_inputs_changed(self, message: Message) -> None:
+        self._on_inputs_changed_local(message.payload)
+
+    def _on_inputs_changed_local(self, payload: Mapping[str, Any]) -> None:
+        """InputsChanged WI at the origin step's agent: apply the new input
+        values, then run the standard rollback machinery from the origin."""
+        instance_id = payload["instance_id"]
+        runtime = self._runtime(payload["schema_name"], instance_id)
+        changes = dict(payload["changes"])
+        overrides = {f"WF.{name}": value for name, value in changes.items()}
+        runtime.input_overrides.update(overrides)
+        runtime.fragment.merge_data(overrides)
+        for name, value in changes.items():
+            if name in runtime.fragment.inputs:
+                runtime.fragment.inputs[name] = value
+        rollback_payload = {
+            "schema_name": payload["schema_name"],
+            "instance_id": instance_id,
+            "origin": payload["origin"],
+            "failed_step": None,
+            "epoch": payload["epoch"],
+            "mechanism": Mechanism.INPUT_CHANGE.value,
+        }
+        self._apply_workflow_rollback(rollback_payload)
+
+    # ------------------------------------------------------------------ agent failure WIs
+
+    def _on_step_status(self, message: Message) -> None:
+        """StepStatus WI: report what this agent knows about a step."""
+        payload = message.payload
+        instance_id = payload["instance_id"]
+        step = payload["step"]
+        status = "unknown"
+        if self.agdb.has_fragment(instance_id):
+            runtime = self._runtime(payload["schema_name"], instance_id)
+            record = runtime.fragment.steps.get(step)
+            if record is None:
+                status = "not_executed"
+            elif record.status is StepStatus.RUNNING:
+                status = "executing" if record.agent == self.name else "unknown"
+            elif record.status is StepStatus.DONE and record.agent == self.name:
+                status = "done"
+                # Repair: re-send the packet flow for the requester.
+                self._navigate(runtime, instance_id, step,
+                               Mechanism.FAILURE, only_to=message.src)
+            else:
+                status = "not_executed"
+        self.send(
+            message.src,
+            VERB_STEP_STATUS_REPLY,
+            {"instance_id": instance_id, "step": step, "status": status},
+            Mechanism.FAILURE,
+        )
+
+    def _on_step_status_reply(self, message: Message) -> None:
+        # Replies are informational; the packet resend (when status=done)
+        # repairs the flow.  Recorded for tests/observability.
+        self.trace.record(self.simulator.now, self.name, "step.status_reply",
+                          instance=message.payload["instance_id"],
+                          step=message.payload["step"],
+                          status=message.payload["status"])
+
+    def poll_step_status(self, schema_name: str, instance_id: str, step: str) -> None:
+        """Poll the eligible agents of ``step`` (paper's predecessor-failure
+        handling for pending rules that time out)."""
+        for agent in self.agdb.eligible_agents(schema_name, step):
+            if agent == self.name:
+                continue
+            self.send(agent, WI.STEP_STATUS.value,
+                      {"schema_name": schema_name, "instance_id": instance_id,
+                       "step": step}, Mechanism.FAILURE)
+
+    # ------------------------------------------------------------------ status probes
+
+    def workflow_status_probe(self, instance_id: str) -> int:
+        """Launch the paper's probe chain to locate a workflow's current steps.
+
+        "To determine which step of a workflow is being performed at a
+        given instant, a chain of probe messages has to be sent starting
+        from the agent responsible for performing the first step until the
+        message reaches the agent that is performing the current step."
+
+        Returns the probe id; reports accumulate in ``probe_reports``.
+        """
+        probe_id = next(self._probe_ids)
+        self._probe_reports.setdefault(instance_id, [])
+        self._apply_status_probe({
+            "instance_id": instance_id,
+            "probe_id": probe_id,
+            "origin": self.name,
+        })
+        return probe_id
+
+    def probe_reports(self, instance_id: str) -> list[dict]:
+        """Reports received so far for probes of ``instance_id``."""
+        return list(self._probe_reports.get(instance_id, []))
+
+    def _on_status_probe(self, message: Message) -> None:
+        self._apply_status_probe(dict(message.payload))
+
+    def _apply_status_probe(self, payload: dict[str, Any]) -> None:
+        instance_id = payload["instance_id"]
+        probe_key = (instance_id, payload["probe_id"])
+        if probe_key in self._seen_status_probes:
+            return
+        self._seen_status_probes.add(probe_key)
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None:
+            return
+        running = sorted(
+            record.step
+            for record in runtime.fragment.steps.values()
+            if record.status is StepStatus.RUNNING and record.agent == self.name
+        )
+        waiting = sorted(
+            rule.step
+            for rule in runtime.engine.pending_rules()
+            if rule.kind == "execute" and rule.step in runtime.hosted
+        )
+        if running or waiting:
+            report = {
+                "instance_id": instance_id,
+                "probe_id": payload["probe_id"],
+                "agent": self.name,
+                "running": running,
+                "waiting": waiting,
+            }
+            if payload["origin"] == self.name:
+                self._on_status_probe_report_payload(report)
+            else:
+                self.send(payload["origin"], VERB_STATUS_PROBE_REPORT, report,
+                          Mechanism.NORMAL)
+        # Chain onward through the steps this agent executed and forwarded.
+        compiled = runtime.compiled
+        targets: set[str] = set()
+        for step in runtime.forwarded:
+            for successor in compiled.graph.successors(step):
+                for agent in self.agdb.eligible_agents(compiled.name, successor):
+                    if agent != self.name:
+                        targets.add(agent)
+        for agent in sorted(targets):
+            self.send(agent, VERB_STATUS_PROBE, dict(payload), Mechanism.NORMAL)
+
+    def _on_status_probe_report(self, message: Message) -> None:
+        self._on_status_probe_report_payload(dict(message.payload))
+
+    def _on_status_probe_report_payload(self, report: dict[str, Any]) -> None:
+        self._probe_reports.setdefault(report["instance_id"], []).append(report)
+        self.trace.record(self.simulator.now, self.name, "status.probe_report",
+                          instance=report["instance_id"], agent=report["agent"],
+                          running=",".join(report["running"]) or "-",
+                          waiting=",".join(report["waiting"]) or "-")
+
+    def _watchdog(self, instance_id: str, step: str) -> None:
+        """Eligible-peer watchdog: take over a query step whose assigned
+        executor crashed; wait (re-arming) for update steps."""
+        runtime = self.runtimes.get(instance_id)
+        if runtime is None or runtime.fragment.status is not InstanceStatus.RUNNING:
+            return
+        runtime.watchdogs.discard(step)
+        if step_done(step) in runtime.engine.events:
+            return  # completed normally
+        record = runtime.fragment.steps.get(step)
+        if record is not None and record.status in (StepStatus.DONE, StepStatus.RUNNING):
+            return
+        assigned = runtime.assigned.get(step)
+        if assigned is None or assigned == self.name:
+            return
+        if self.network.is_up(assigned):
+            return  # executor alive: reliable messaging will get it done
+        compiled = runtime.compiled
+        step_def = compiled.schema.steps[step]
+        if step_def.step_type is StepType.UPDATE:
+            # "the successor agent has to wait for the failed agent to come
+            # up" — re-arm the watchdog until it recovers.
+            runtime.watchdogs.add(step)
+            self.simulator.schedule(
+                self.config.step_status_poll_interval, self._watchdog,
+                instance_id, step,
+            )
+            return
+        # Query step: deterministic takeover by the first *up* eligible agent.
+        eligible = self.agdb.eligible_agents(compiled.name, step)
+        takeover = elect_executor(eligible, compiled.name, instance_id, step,
+                                  is_up=self.network.is_up)
+        if takeover != self.name:
+            return
+        # Only take over if the step's rule actually fired here (we have the
+        # trigger events) — otherwise keep waiting for state.
+        rules = runtime.engine.rules_for_step(step)
+        if not any(rule.fired for rule in rules):
+            runtime.watchdogs.add(step)
+            self.simulator.schedule(
+                self.config.step_status_poll_interval, self._watchdog,
+                instance_id, step,
+            )
+            return
+        self.trace.record(self.simulator.now, self.name, "step.takeover",
+                          instance=instance_id, step=step, was=assigned)
+        runtime.assigned[step] = self.name
+        self._execute_step(instance_id, step)
+
+    # ------------------------------------------------------------------ coordination
+
+    def _coord_on_step_done(
+        self, runtime: _AgentRuntime, instance_id: str, step: str
+    ) -> None:
+        schema_name = runtime.fragment.schema_name
+        for spec, pair_index in self.spec_index.ro_roles(schema_name, step):
+            payload = {
+                "op": "ro_report",
+                "spec": spec.name,
+                "schema": schema_name,
+                "instance_id": instance_id,
+                "pair_index": pair_index,
+                "key": SpecIndex.conflict_key_value(spec, runtime.fragment),
+                # Leadership is decided by when the conflicting step
+                # *executed*, not when its report reaches the authority.
+                "time": self.simulator.now,
+            }
+            self._to_authority(spec, payload)
+        for spec in self.spec_index.mx_region_last(schema_name, step):
+            self._mx_release(runtime, instance_id, spec)
+        for spec in self.spec_index.rd_targets(schema_name, step):
+            payload = {
+                "op": "rd_report",
+                "spec": spec.name,
+                "instance_id": instance_id,
+                "key": SpecIndex.conflict_key_value(spec, runtime.fragment),
+            }
+            self._to_authority(spec, payload)
+
+    def _to_authority(self, spec: CoordinationSpec, payload: dict[str, Any]) -> None:
+        authority = self.system.authority_agent_for(spec)
+        if authority == self.name:
+            self._apply_authority_op(payload)
+        else:
+            self.send(authority, WI.ADD_RULE.value, payload, Mechanism.COORDINATION)
+
+    def _mx_request(
+        self, runtime: _AgentRuntime, instance_id: str, spec: CoordinationSpec
+    ) -> None:
+        current = runtime.mx_state.get(spec.name, "none")
+        if current in ("requested", "held"):
+            return
+        runtime.mx_state[spec.name] = "requested"
+        payload = {
+            "op": "mx_request",
+            "spec": spec.name,
+            "schema": runtime.fragment.schema_name,
+            "instance_id": instance_id,
+            "key": SpecIndex.conflict_key_value(spec, runtime.fragment),
+            "reply_to": self.name,
+        }
+        self._to_authority(spec, payload)
+
+    def _mx_release(
+        self, runtime: _AgentRuntime, instance_id: str, spec: CoordinationSpec
+    ) -> None:
+        payload = {
+            "op": "mx_release",
+            "spec": spec.name,
+            "schema": runtime.fragment.schema_name,
+            "instance_id": instance_id,
+            "key": SpecIndex.conflict_key_value(spec, runtime.fragment),
+        }
+        runtime.mx_state[spec.name] = "released"
+        self._to_authority(spec, payload)
+
+    def _on_add_rule(self, message: Message) -> None:
+        self._apply_authority_op(dict(message.payload))
+
+    def _apply_authority_op(self, payload: dict[str, Any]) -> None:
+        op = payload["op"]
+        if op == "ro_report":
+            self._apply_ro_report(payload)
+        elif op == "mx_request":
+            self._apply_mx_request(payload)
+        elif op == "mx_release":
+            self._apply_mx_release(payload)
+        elif op == "rd_report":
+            authority = self.authorities.rd[payload["spec"]]
+            authority.report_target_executed(payload["instance_id"], payload["key"])
+        elif op == "rd_trigger":
+            self._apply_rd_trigger(payload)
+        elif op == "withdraw":
+            self._apply_withdraw(payload)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown authority op {op!r}")
+
+    def _apply_ro_report(self, payload: dict[str, Any]) -> None:
+        authority = self.authorities.ro[payload["spec"]]
+        instance_id = payload["instance_id"]
+        time = payload.get("time", self.simulator.now)
+        grants = authority.report_completion(
+            payload["schema"], instance_id, payload["pair_index"], payload["key"],
+            order_key=(time, instance_id),
+        )
+        if payload["pair_index"] == 0:
+            # Defer this registrant's clearance requests by two network
+            # latencies: a report of an *earlier* first-pair completion is
+            # at most one latency away, so by then leadership is settled.
+            self.simulator.schedule(
+                2 * self.config.latency + 0.001,
+                self._ro_request_clearances,
+                payload["spec"], payload["schema"], instance_id, payload["key"],
+            )
+        self._deliver_ro_grants(authority, grants)
+
+    def _ro_request_clearances(
+        self, spec_name: str, schema_name: str, instance_id: str, key
+    ) -> None:
+        authority = self.authorities.ro[spec_name]
+        grants = []
+        for later in range(1, len(authority.spec.steps_a)):
+            grant = authority.request_clearance(schema_name, instance_id, later, key)
+            if grant is not None:
+                grants.append(grant)
+        self._deliver_ro_grants(authority, grants)
+
+    def _deliver_ro_grants(self, authority, grants) -> None:
+        pairs = authority.established_pairs()
+        for grant in grants:
+            spec = authority.spec
+            step = spec.ordered_steps(grant.schema)[grant.pair_index]
+            orders = [
+                [spec.name, leading, lagging]
+                for leading, lagging in pairs
+                if grant.instance in (leading, lagging)
+            ]
+            self._send_grant(grant.schema, grant.instance, step, grant.token,
+                             orders=orders)
+
+    def _send_grant(
+        self, schema_name: str, instance_id: str, step: str, token: str,
+        orders: list | None = None,
+    ) -> None:
+        """AddEvent WI: deliver a clearance token to the eligible agents of
+        the governed step (piggybacking any established leading/lagging
+        pairs — the Figure 7 "R.O." lines)."""
+        payload = {
+            "schema_name": schema_name,
+            "instance_id": instance_id,
+            "token": token,
+            "orders": orders or [],
+        }
+        for agent in self.agdb.eligible_agents(schema_name, step):
+            if agent == self.name:
+                self._apply_add_event(payload)
+            else:
+                self.send(agent, WI.ADD_EVENT.value, payload, Mechanism.COORDINATION)
+
+    def _on_add_event(self, message: Message) -> None:
+        self._apply_add_event(message.payload)
+
+    def _apply_add_event(self, payload: Mapping[str, Any]) -> None:
+        instance_id = payload["instance_id"]
+        runtime = self._runtime(payload["schema_name"], instance_id)
+        if payload["token"].startswith("EXT.MX."):
+            spec_name = payload["token"].split(".")[2]
+            runtime.mx_state[spec_name] = "held"
+        for spec_name, leading, lagging in payload.get("orders", ()):
+            runtime.ro_info.add((spec_name, leading, lagging))
+        runtime.engine.add_event(payload["token"], self.simulator.now)
+
+    def _on_add_precondition(self, message: Message) -> None:
+        payload = message.payload
+        runtime = self._runtime(payload["schema_name"], payload["instance_id"])
+        runtime.engine.add_step_precondition(payload["step"], payload["token"])
+
+    def _apply_mx_request(self, payload: dict[str, Any]) -> None:
+        authority = self.authorities.mx[payload["spec"]]
+        granted = authority.acquire(
+            payload["schema"], payload["instance_id"], payload["key"]
+        )
+        if granted:
+            spec = authority.spec
+            first, __ = spec.region_of(payload["schema"])
+            self._send_grant(
+                payload["schema"], payload["instance_id"], first,
+                mx_clearance_token(spec.name, payload["instance_id"]),
+            )
+
+    def _apply_mx_release(self, payload: dict[str, Any]) -> None:
+        authority = self.authorities.mx[payload["spec"]]
+        grantee = authority.release(
+            payload["schema"], payload["instance_id"], payload["key"]
+        )
+        if grantee is not None:
+            schema_name, instance_id = grantee
+            spec = authority.spec
+            first, __ = spec.region_of(schema_name)
+            self._send_grant(
+                schema_name, instance_id, first,
+                mx_clearance_token(spec.name, instance_id),
+            )
+
+    def _apply_rd_trigger(self, payload: dict[str, Any]) -> None:
+        authority = self.authorities.rd[payload["spec"]]
+        spec = authority.spec
+        for dependent in authority.dependents_of(
+            payload["instance_id"], payload["key"]
+        ):
+            compiled = self.system.compiled(spec.schema_b)
+            target = self._elect(compiled, dependent, spec.rollback_to_b)
+            rollback_payload = {
+                "schema_name": spec.schema_b,
+                "instance_id": dependent,
+                "origin": spec.rollback_to_b,
+                "failed_step": None,
+                "epoch": -1,  # resolved at the target from its fragment
+                "mechanism": Mechanism.FAILURE.value,
+                "from_rd": True,
+            }
+            self.trace.record(self.simulator.now, self.name, "rollback.dependency",
+                              trigger=payload["instance_id"], dependent=dependent,
+                              spec=spec.name)
+            if target == self.name:
+                self._apply_dependent_rollback(rollback_payload)
+            else:
+                self.send(target, WI.WORKFLOW_ROLLBACK.value, rollback_payload,
+                          Mechanism.FAILURE)
+
+    def _apply_dependent_rollback(self, payload: dict[str, Any]) -> None:
+        runtime = self.runtimes.get(payload["instance_id"])
+        epoch = (runtime.fragment.recovery_epoch + 1) if runtime is not None else 1
+        self._apply_workflow_rollback({**payload, "epoch": epoch})
+
+    def _withdraw_coordination(
+        self, instance_id: str, runtime: _AgentRuntime | None, aborted: bool
+    ) -> None:
+        if runtime is None:
+            return
+        schema_name = runtime.fragment.schema_name
+        for spec in self.spec_index.mx_specs(schema_name):
+            if runtime.mx_state.get(spec.name) in ("held", "requested"):
+                self._mx_release(runtime, instance_id, spec)
+        for spec in self.spec_index.rd:
+            if spec.schema_b == schema_name:
+                self._to_authority(spec, {
+                    "op": "withdraw", "spec": spec.name, "instance_id": instance_id,
+                    "kind": "rd",
+                })
+        if aborted:
+            for spec in self.spec_index.ro:
+                if spec.involves(schema_name):
+                    self._to_authority(spec, {
+                        "op": "withdraw", "spec": spec.name,
+                        "instance_id": instance_id, "kind": "ro",
+                    })
+
+    def _apply_withdraw(self, payload: dict[str, Any]) -> None:
+        spec_name = payload["spec"]
+        instance_id = payload["instance_id"]
+        if payload["kind"] == "rd":
+            authority = self.authorities.rd.get(spec_name)
+            if authority is not None:
+                authority.withdraw(instance_id)
+            return
+        authority_ro = self.authorities.ro.get(spec_name)
+        if authority_ro is not None:
+            for grant in authority_ro.withdraw(instance_id):
+                step = authority_ro.spec.ordered_steps(grant.schema)[grant.pair_index]
+                self._send_grant(grant.schema, grant.instance, step, grant.token)
+
+    # ------------------------------------------------------------------ state info
+
+    def _on_state_information(self, message: Message) -> None:
+        executing = sum(
+            1
+            for runtime in self.runtimes.values()
+            for record in runtime.fragment.steps.values()
+            if record.status is StepStatus.RUNNING and record.agent == self.name
+        )
+        self.send(message.src, "StateInformationReply",
+                  {"probe_id": message.payload.get("probe_id"), "load": executing},
+                  Mechanism.NORMAL)
+
+    # ------------------------------------------------------------------ crash/recovery
+
+    def on_crash(self) -> None:
+        self.runtimes.clear()
+        # Commit trackers are volatile too; they rebuild from re-reports.
+        # (Summaries are durable in the AGDB.)
+
+    def on_recover(self) -> None:
+        """Rebuild fragments from the AGDB WAL and resume.
+
+        Completed local steps re-fire through the rule engine and take the
+        OCR REUSE path, which re-sends their workflow packets — an
+        idempotent repair for anything lost in the crash.
+        """
+        self.agdb.recover()
+        for fragment in self.agdb.fragments():
+            if fragment.status is not InstanceStatus.RUNNING:
+                continue
+            instance_id = fragment.instance_id
+            compiled = self.system.compiled(fragment.schema_name)
+            hosted = self.hosted_steps(compiled)
+            engine = RuleEngine(
+                compiled,
+                action=lambda rule, iid=instance_id: self._on_rule(iid, rule),
+                env_provider=fragment.env,
+                steps=hosted,
+            )
+            runtime = _AgentRuntime(
+                fragment=fragment,
+                compiled=compiled,
+                engine=engine,
+                hosted=hosted,
+                governed=governed_step_count(
+                    compiled, self.spec_index.specs_for(fragment.schema_name)
+                ),
+            )
+            for record in fragment.steps.values():
+                if record.status is StepStatus.RUNNING and record.agent == self.name:
+                    record.status = StepStatus.NOT_STARTED
+                if record.agent is not None:
+                    runtime.executors[record.step] = record.agent
+            self.runtimes[instance_id] = runtime
+            self._install_preconditions(runtime, instance_id)
+            # Re-coordinating instances: restore the tracker skeleton.
+            if self.agdb.has_summary(instance_id):
+                self.trackers.setdefault(instance_id, _CommitTracker())
+            engine.merge_events(fragment.events_snapshot, self.simulator.now)
+        self.trace.record(self.simulator.now, self.name, "agent.recovered",
+                          fragments=len(self.runtimes))
+
+
+class DistributedControlSystem(ControlSystem):
+    """Public facade for distributed workflow control (``z`` agents)."""
+
+    architecture = "distributed"
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        num_agents: int = 8,
+        agents_per_step: int = 1,
+    ):
+        super().__init__(config)
+        if num_agents < 1:
+            raise SchemaError("distributed control needs at least one agent")
+        self.agents_per_step = agents_per_step
+        self.spec_index = SpecIndex()
+        self.agents = [
+            WorkflowAgentNode(f"agent-{i:03d}", self) for i in range(num_agents)
+        ]
+        self._owners: dict[str, str] = {}
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def agent_names(self) -> list[str]:
+        return [agent.name for agent in self.agents]
+
+    def agent(self, name: str) -> WorkflowAgentNode:
+        return next(a for a in self.agents if a.name == name)
+
+    def _on_schema_registered(self, compiled: CompiledSchema) -> None:
+        self.assignment.assign_round_robin(
+            compiled, self.agent_names(), self.agents_per_step
+        )
+        # Every agent's AGDB carries the full (static) agent directory.
+        for (schema_name, step), eligible in self.assignment.items():
+            if schema_name != compiled.name:
+                continue
+            for agent in self.agents:
+                agent.agdb.set_eligible_agents(schema_name, step, eligible)
+
+    def _on_spec_added(self, spec: CoordinationSpec) -> None:
+        self.spec_index.add(spec)
+        authority = self.authority_agent_for(spec)
+        self.agent(authority).authorities.host(spec)
+
+    def authority_agent_for(self, spec: CoordinationSpec) -> str:
+        """Deterministic authority placement: the first eligible agent of
+        the spec's anchor step in ``schema_a``."""
+        from repro.model.coordination_spec import (
+            MutualExclusionSpec,
+            RelativeOrderSpec,
+            RollbackDependencySpec,
+        )
+
+        if isinstance(spec, RelativeOrderSpec):
+            anchor = spec.steps_a[0]
+        elif isinstance(spec, MutualExclusionSpec):
+            anchor = spec.region_a[0]
+        elif isinstance(spec, RollbackDependencySpec):
+            anchor = spec.trigger_step_a
+        else:  # pragma: no cover - defensive
+            raise SchemaError(f"unknown spec type {type(spec)!r}")
+        return self.assignment.eligible(spec.schema_a, anchor)[0]
+
+    def coordination_agent_for(self, schema_name: str) -> WorkflowAgentNode:
+        compiled = self.compiled(schema_name)
+        name = self.assignment.eligible(schema_name, compiled.start_step)[0]
+        return self.agent(name)
+
+    def _note_owner(self, instance_id: str, node_name: str) -> None:
+        self._owners[instance_id] = node_name
+
+    # -- front-end database operations -------------------------------------------------
+
+    def start_workflow(
+        self, schema_name: str, inputs: Mapping[str, Any], delay: float = 0.0
+    ) -> str:
+        self.compiled(schema_name)
+        instance_id = self.new_instance_id(schema_name)
+        coordination_agent = self.coordination_agent_for(schema_name)
+        self._note_owner(instance_id, coordination_agent.name)
+        self.simulator.schedule(
+            delay, coordination_agent.workflow_start, schema_name, instance_id,
+            dict(inputs),
+        )
+        return instance_id
+
+    def _coordination_agent_of_instance(self, instance_id: str) -> WorkflowAgentNode:
+        try:
+            return self.agent(self._owners[instance_id])
+        except KeyError:
+            raise FrontEndError(f"unknown instance {instance_id!r}") from None
+
+    def abort_workflow(self, instance_id: str, delay: float = 0.0) -> None:
+        agent = self._coordination_agent_of_instance(instance_id)
+        self.simulator.schedule(delay, agent.workflow_abort, instance_id)
+
+    def change_inputs(
+        self, instance_id: str, changes: Mapping[str, Any], delay: float = 0.0
+    ) -> None:
+        agent = self._coordination_agent_of_instance(instance_id)
+        self.simulator.schedule(
+            delay, agent.workflow_change_inputs, instance_id, dict(changes)
+        )
+
+    def workflow_status(self, instance_id: str) -> InstanceStatus:
+        return self._coordination_agent_of_instance(instance_id).workflow_status(
+            instance_id
+        )
+
+    def probe_workflow(self, instance_id: str, delay: float = 0.0) -> None:
+        """Launch the probe chain locating the instance's current steps."""
+        agent = self._coordination_agent_of_instance(instance_id)
+        self.simulator.schedule(delay, agent.workflow_status_probe, instance_id)
+
+    def probe_reports(self, instance_id: str) -> list[dict]:
+        """Probe reports gathered at the instance's coordination agent."""
+        return self._coordination_agent_of_instance(instance_id).probe_reports(
+            instance_id
+        )

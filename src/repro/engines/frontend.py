@@ -1,0 +1,81 @@
+"""The front-end database: the administrative interface to the WFMS.
+
+"The front end database that provides the administrative interface to
+execute/abort workflows interacts only with coordination agents."
+
+The front end maps *external references* (customer order numbers, ticket
+ids) to workflow instances, so that "a customer's cancellation order is
+translated into a workflow abort using the mapping information stored in
+the front end database".  It delegates to whichever control system it
+fronts — the four WIs it uses (WorkflowStart / WorkflowAbort /
+WorkflowChangeInputs / WorkflowStatus) have identical semantics in all
+three architectures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.engines.base import ControlSystem, InstanceOutcome
+from repro.errors import FrontEndError
+from repro.storage.tables import InstanceStatus
+
+__all__ = ["FrontEndDatabase"]
+
+
+class FrontEndDatabase:
+    """Administrative facade mapping external references to instances."""
+
+    def __init__(self, system: ControlSystem):
+        self.system = system
+        self._by_reference: dict[str, str] = {}
+        self._by_instance: dict[str, str] = {}
+
+    # -- submissions ----------------------------------------------------------
+
+    def submit(
+        self,
+        reference: str,
+        schema_name: str,
+        inputs: Mapping[str, Any],
+        delay: float = 0.0,
+    ) -> str:
+        """Start a workflow for an external request; returns the instance id."""
+        if reference in self._by_reference:
+            raise FrontEndError(f"reference {reference!r} already submitted")
+        instance_id = self.system.start_workflow(schema_name, inputs, delay=delay)
+        self._by_reference[reference] = instance_id
+        self._by_instance[instance_id] = reference
+        return instance_id
+
+    def instance_of(self, reference: str) -> str:
+        try:
+            return self._by_reference[reference]
+        except KeyError:
+            raise FrontEndError(f"unknown reference {reference!r}") from None
+
+    def reference_of(self, instance_id: str) -> str | None:
+        return self._by_instance.get(instance_id)
+
+    # -- administrative operations ------------------------------------------------
+
+    def cancel(self, reference: str, delay: float = 0.0) -> None:
+        """Translate an external cancellation into a WorkflowAbort."""
+        self.system.abort_workflow(self.instance_of(reference), delay=delay)
+
+    def amend(
+        self, reference: str, changes: Mapping[str, Any], delay: float = 0.0
+    ) -> None:
+        """Translate an external amendment into a WorkflowChangeInputs."""
+        self.system.change_inputs(self.instance_of(reference), changes, delay=delay)
+
+    def status(self, reference: str) -> InstanceStatus:
+        """WorkflowStatus via the coordination agent / engine summary."""
+        return self.system.workflow_status(self.instance_of(reference))
+
+    def result(self, reference: str) -> InstanceOutcome:
+        """Outcome of a finished request (raises if still running)."""
+        return self.system.outcome(self.instance_of(reference))
+
+    def references(self) -> list[str]:
+        return sorted(self._by_reference)

@@ -1,0 +1,23 @@
+"""LAWS: the paper's workflow specification language (reconstruction).
+
+Parse and translate LAWS text into schemas and coordination specs::
+
+    from repro.laws import load_laws
+    doc = load_laws(source_text)
+    doc.install(control_system)
+"""
+
+from repro.laws.ast import LawsDocument
+from repro.laws.lexer import Token, tokenize
+from repro.laws.parser import parse_laws
+from repro.laws.translate import TranslatedDocument, load_laws, translate
+
+__all__ = [
+    "LawsDocument",
+    "Token",
+    "TranslatedDocument",
+    "load_laws",
+    "parse_laws",
+    "tokenize",
+    "translate",
+]

@@ -1,0 +1,182 @@
+"""Abstract syntax of LAWS documents."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ArcDecl",
+    "BranchDecl",
+    "CompensationSetDecl",
+    "CrDecl",
+    "JoinDecl",
+    "LawsDocument",
+    "LoopDecl",
+    "MutexDecl",
+    "OrderDecl",
+    "OutputDecl",
+    "ParallelDecl",
+    "RollbackDecl",
+    "RollbackDependencyDecl",
+    "AbortCompensateDecl",
+    "StepDecl",
+    "WorkflowDecl",
+]
+
+
+@dataclass
+class StepDecl:
+    name: str
+    program: str | None = None
+    step_type: str = "update"
+    cost: float | None = None
+    resources: tuple[str, ...] = ()
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    compensation_program: str | None = None
+    compensation_cost: float | None = None
+    compensable: bool = True
+    join: str = "none"
+    subworkflow: str | None = None
+    line: int = 0
+
+
+@dataclass
+class ArcDecl:
+    src: str
+    dst: str
+    condition: str | None = None
+    is_else: bool = False
+    line: int = 0
+
+
+@dataclass
+class BranchDecl:
+    src: str
+    conditional: tuple[tuple[str, str], ...] = ()
+    otherwise: str | None = None
+    line: int = 0
+
+
+@dataclass
+class ParallelDecl:
+    src: str
+    branches: tuple[str, ...] = ()
+    line: int = 0
+
+
+@dataclass
+class JoinDecl:
+    dst: str
+    sources: tuple[str, ...] = ()
+    kind: str = "and"
+    line: int = 0
+
+
+@dataclass
+class LoopDecl:
+    src: str
+    dst: str
+    condition: str = "True"
+    line: int = 0
+
+
+@dataclass
+class RollbackDecl:
+    failed_step: str
+    origin: str
+    line: int = 0
+
+
+@dataclass
+class CompensationSetDecl:
+    members: tuple[str, ...] = ()
+    line: int = 0
+
+
+@dataclass
+class AbortCompensateDecl:
+    steps: tuple[str, ...] = ()
+    line: int = 0
+
+
+@dataclass
+class CrDecl:
+    step: str
+    policy: str = "reuse_if_unchanged"  # always | reuse_if_unchanged | incremental | condition
+    fraction: float | None = None
+    reuse_when: str | None = None
+    incremental_when: str | None = None
+    line: int = 0
+
+
+@dataclass
+class OutputDecl:
+    name: str
+    ref: str
+    line: int = 0
+
+
+@dataclass
+class WorkflowDecl:
+    name: str
+    inputs: tuple[str, ...] = ()
+    steps: list[StepDecl] = field(default_factory=list)
+    arcs: list[ArcDecl] = field(default_factory=list)
+    branches: list[BranchDecl] = field(default_factory=list)
+    parallels: list[ParallelDecl] = field(default_factory=list)
+    joins: list[JoinDecl] = field(default_factory=list)
+    loops: list[LoopDecl] = field(default_factory=list)
+    rollbacks: list[RollbackDecl] = field(default_factory=list)
+    compensation_sets: list[CompensationSetDecl] = field(default_factory=list)
+    abort_compensate: list[AbortCompensateDecl] = field(default_factory=list)
+    cr_decls: list[CrDecl] = field(default_factory=list)
+    outputs: list[OutputDecl] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class OrderDecl:
+    """``order NAME between A(s1, s2) and B(t1, t2) [on KEY];``"""
+
+    name: str
+    schema_a: str
+    steps_a: tuple[str, ...]
+    schema_b: str
+    steps_b: tuple[str, ...]
+    conflict_key: str | None = None
+    line: int = 0
+
+
+@dataclass
+class MutexDecl:
+    """``mutex NAME between A[first..last] and B[first..last] [on KEY];``"""
+
+    name: str
+    schema_a: str
+    region_a: tuple[str, str]
+    schema_b: str
+    region_b: tuple[str, str]
+    conflict_key: str | None = None
+    line: int = 0
+
+
+@dataclass
+class RollbackDependencyDecl:
+    """``rollback_dependency NAME when A.S rolls back force B to T [on KEY];``"""
+
+    name: str
+    schema_a: str
+    trigger_step_a: str
+    schema_b: str
+    rollback_to_b: str
+    conflict_key: str | None = None
+    line: int = 0
+
+
+@dataclass
+class LawsDocument:
+    workflows: list[WorkflowDecl] = field(default_factory=list)
+    orders: list[OrderDecl] = field(default_factory=list)
+    mutexes: list[MutexDecl] = field(default_factory=list)
+    rollback_dependencies: list[RollbackDependencyDecl] = field(default_factory=list)

@@ -1,0 +1,141 @@
+"""Tokenizer for the LAWS workflow specification language.
+
+The paper: "a workflow specification language called LAWS has been
+developed which allows the specification of failure handling and
+coordinated execution requirements."  The published text gives no grammar,
+so this module implements a faithful-in-spirit reconstruction (documented
+in DESIGN.md): a small declarative language covering schemas, control
+structures, rollback points, compensation dependent sets, CR conditions
+and the three coordination building blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LawsSyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+KEYWORDS = {
+    "workflow", "inputs", "step", "arc", "join", "loop", "parallel", "branch",
+    "when", "otherwise", "while", "from", "kind", "program", "type", "cost",
+    "resources", "reads", "writes", "compensation", "noncompensable",
+    "subworkflow", "on", "failure", "of", "rollback", "to", "set", "abort",
+    "compensate", "cr", "always", "reuse_if_unchanged", "incremental",
+    "reuse", "fraction", "output", "order", "between", "and", "mutex",
+    "rollback_dependency", "rolls", "back", "force", "query", "update",
+    "xor", "none",
+}
+
+PUNCT = {
+    "{", "}", ";", ",", "(", ")", "[", "]", "=", "->", "..",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword' | 'name' | 'number' | 'string' | 'punct' | 'eof'
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_name_char(ch: str) -> bool:
+    # Dotted names are allowed (program names like ``order.check`` and data
+    # references like ``WF.part``); ``..`` is handled before names.
+    return ch.isalnum() or ch in "_."
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize LAWS source text.  Comments run from ``#`` to end of line."""
+    tokens: list[Token] = []
+    line, column = 1, 1
+    index = 0
+    length = len(text)
+
+    def error(message: str) -> LawsSyntaxError:
+        return LawsSyntaxError(message, line, column)
+
+    while index < length:
+        ch = text[index]
+        if ch == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if ch == "#":
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        if text.startswith("->", index):
+            tokens.append(Token("punct", "->", line, column))
+            index += 2
+            column += 2
+            continue
+        if text.startswith("..", index):
+            tokens.append(Token("punct", "..", line, column))
+            index += 2
+            column += 2
+            continue
+        if ch in "{};,()[]=":
+            tokens.append(Token("punct", ch, line, column))
+            index += 1
+            column += 1
+            continue
+        if ch == '"' or ch == "'":
+            quote = ch
+            start_col = column
+            index += 1
+            column += 1
+            chars: list[str] = []
+            while index < length and text[index] != quote:
+                if text[index] == "\n":
+                    raise error("unterminated string literal")
+                chars.append(text[index])
+                index += 1
+                column += 1
+            if index >= length:
+                raise error("unterminated string literal")
+            index += 1
+            column += 1
+            tokens.append(Token("string", "".join(chars), line, start_col))
+            continue
+        if ch.isdigit() or (ch == "." and index + 1 < length and text[index + 1].isdigit()):
+            start = index
+            start_col = column
+            seen_dot = False
+            while index < length and (text[index].isdigit() or (text[index] == "." and not seen_dot and not text.startswith("..", index))):
+                if text[index] == ".":
+                    seen_dot = True
+                index += 1
+                column += 1
+            tokens.append(Token("number", text[start:index], line, start_col))
+            continue
+        if _is_name_start(ch):
+            start = index
+            start_col = column
+            while index < length and _is_name_char(text[index]):
+                if text.startswith("..", index):
+                    break
+                index += 1
+                column += 1
+            word = text[start:index]
+            kind = "keyword" if word in KEYWORDS else "name"
+            tokens.append(Token(kind, word, line, start_col))
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

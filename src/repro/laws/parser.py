@@ -1,0 +1,403 @@
+"""Recursive-descent parser for LAWS documents.
+
+Grammar sketch (see DESIGN.md for the full reconstruction rationale)::
+
+    document   := (workflow | order | mutex | rollback_dep)*
+    workflow   := 'workflow' NAME '{' clause* '}'
+    clause     := inputs | step | arc | branch | parallel | join | loop
+                | rollback | compset | abortcomp | cr | output
+    inputs     := 'inputs' NAME (',' NAME)* ';'
+    step       := 'step' NAME attr* ';'
+    attr       := 'program' NAME | 'type' ('query'|'update') | 'cost' NUM
+                | 'resources' NAME (',' NAME)* | 'reads' REF (',' REF)*
+                | 'writes' NAME (',' NAME)*
+                | 'compensation' ('program' NAME | 'cost' NUM)
+                | 'noncompensable' | 'join' ('and'|'xor') | 'subworkflow' NAME
+    arc        := 'arc' NAME '->' NAME [('when' STRING) | 'otherwise'] ';'
+    branch     := 'branch' NAME '->' NAME 'when' STRING
+                  (',' NAME 'when' STRING)* [',' NAME 'otherwise'] ';'
+    parallel   := 'parallel' NAME '->' NAME (',' NAME)+ ';'
+    join       := 'join' NAME 'from' NAME (',' NAME)+ ['kind' ('and'|'xor')] ';'
+    loop       := 'loop' NAME '->' NAME 'while' STRING ';'
+    rollback   := 'on' 'failure' 'of' NAME 'rollback' 'to' NAME ';'
+    compset    := 'compensation' 'set' '{' NAME (',' NAME)+ '}' ';'
+    abortcomp  := 'on' 'abort' 'compensate' NAME (',' NAME)* ';'
+    cr         := 'cr' NAME ('always' | 'reuse_if_unchanged'
+                | 'incremental' NUM
+                | 'reuse' 'when' STRING ['incremental' 'when' STRING]
+                  ['fraction' NUM]) ';'
+    output     := 'output' NAME '=' REF ';'
+    order      := 'order' NAME 'between' NAME '(' names ')'
+                  'and' NAME '(' names ')' ['on' REF] ';'
+    mutex      := 'mutex' NAME 'between' NAME '[' NAME '..' NAME ']'
+                  'and' NAME '[' NAME '..' NAME ']' ['on' REF] ';'
+    rollback_dep := 'rollback_dependency' NAME 'when' NAME '.' NAME
+                  'rolls' 'back' 'force' NAME 'to' NAME ['on' REF] ';'
+"""
+
+from __future__ import annotations
+
+from repro.errors import LawsSyntaxError
+from repro.laws.ast import (
+    AbortCompensateDecl,
+    ArcDecl,
+    BranchDecl,
+    CompensationSetDecl,
+    CrDecl,
+    JoinDecl,
+    LawsDocument,
+    LoopDecl,
+    MutexDecl,
+    OrderDecl,
+    OutputDecl,
+    ParallelDecl,
+    RollbackDecl,
+    RollbackDependencyDecl,
+    StepDecl,
+    WorkflowDecl,
+)
+from repro.laws.lexer import Token, tokenize
+
+__all__ = ["parse_laws"]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def error(self, message: str) -> LawsSyntaxError:
+        token = self.current
+        return LawsSyntaxError(
+            f"{message} (found {token.kind} {token.value!r})",
+            token.line,
+            token.column,
+        )
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        token = self.current
+        if token.kind != kind:
+            return None
+        if value is not None and token.value != value:
+            return None
+        return self.advance()
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            wanted = value if value is not None else kind
+            raise self.error(f"expected {wanted!r}")
+        return token
+
+    def keyword(self, word: str) -> Token:
+        return self.expect("keyword", word)
+
+    def name(self) -> str:
+        token = self.current
+        # Keywords double as step names where unambiguous is NOT allowed;
+        # names must be plain identifiers (possibly dotted).
+        if token.kind in ("name",):
+            return self.advance().value
+        raise self.error("expected a name")
+
+    def name_list(self) -> list[str]:
+        names = [self.name()]
+        while self.accept("punct", ","):
+            names.append(self.name())
+        return names
+
+    def number(self) -> float:
+        token = self.expect("number")
+        return float(token.value)
+
+    def string(self) -> str:
+        return self.expect("string").value
+
+    # -- document --------------------------------------------------------------------
+
+    def document(self) -> LawsDocument:
+        doc = LawsDocument()
+        while self.current.kind != "eof":
+            if self.accept("keyword", "workflow"):
+                doc.workflows.append(self.workflow())
+            elif self.accept("keyword", "order"):
+                doc.orders.append(self.order())
+            elif self.accept("keyword", "mutex"):
+                doc.mutexes.append(self.mutex())
+            elif self.accept("keyword", "rollback_dependency"):
+                doc.rollback_dependencies.append(self.rollback_dependency())
+            else:
+                raise self.error(
+                    "expected 'workflow', 'order', 'mutex' or "
+                    "'rollback_dependency'"
+                )
+        return doc
+
+    # -- workflow body ------------------------------------------------------------------
+
+    def workflow(self) -> WorkflowDecl:
+        line = self.current.line
+        decl = WorkflowDecl(name=self.name(), line=line)
+        self.expect("punct", "{")
+        while not self.accept("punct", "}"):
+            self.workflow_clause(decl)
+        return decl
+
+    def workflow_clause(self, decl: WorkflowDecl) -> None:
+        token = self.current
+        if self.accept("keyword", "inputs"):
+            decl.inputs = decl.inputs + tuple(self.name_list())
+            self.expect("punct", ";")
+        elif self.accept("keyword", "step"):
+            decl.steps.append(self.step(token.line))
+        elif self.accept("keyword", "arc"):
+            decl.arcs.append(self.arc(token.line))
+        elif self.accept("keyword", "branch"):
+            decl.branches.append(self.branch(token.line))
+        elif self.accept("keyword", "parallel"):
+            decl.parallels.append(self.parallel(token.line))
+        elif self.accept("keyword", "join"):
+            decl.joins.append(self.join(token.line))
+        elif self.accept("keyword", "loop"):
+            decl.loops.append(self.loop(token.line))
+        elif self.accept("keyword", "on"):
+            if self.accept("keyword", "failure"):
+                self.keyword("of")
+                failed = self.name()
+                self.keyword("rollback")
+                self.keyword("to")
+                origin = self.name()
+                self.expect("punct", ";")
+                decl.rollbacks.append(RollbackDecl(failed, origin, token.line))
+            elif self.accept("keyword", "abort"):
+                self.keyword("compensate")
+                steps = tuple(self.name_list())
+                self.expect("punct", ";")
+                decl.abort_compensate.append(AbortCompensateDecl(steps, token.line))
+            else:
+                raise self.error("expected 'failure' or 'abort' after 'on'")
+        elif self.accept("keyword", "compensation"):
+            self.keyword("set")
+            self.expect("punct", "{")
+            members = tuple(self.name_list())
+            self.expect("punct", "}")
+            self.expect("punct", ";")
+            decl.compensation_sets.append(CompensationSetDecl(members, token.line))
+        elif self.accept("keyword", "cr"):
+            decl.cr_decls.append(self.cr(token.line))
+        elif self.accept("keyword", "output"):
+            name = self.name()
+            self.expect("punct", "=")
+            ref = self.name()
+            self.expect("punct", ";")
+            decl.outputs.append(OutputDecl(name, ref, token.line))
+        else:
+            raise self.error("unexpected clause in workflow body")
+
+    def step(self, line: int) -> StepDecl:
+        decl = StepDecl(name=self.name(), line=line)
+        while self.current.kind != "punct" or self.current.value != ";":
+            if self.accept("keyword", "program"):
+                decl.program = self.name()
+            elif self.accept("keyword", "type"):
+                kind = self.advance()
+                if kind.value not in ("query", "update"):
+                    raise self.error("step type must be 'query' or 'update'")
+                decl.step_type = kind.value
+            elif self.accept("keyword", "cost"):
+                decl.cost = self.number()
+            elif self.accept("keyword", "resources"):
+                decl.resources = decl.resources + tuple(self.name_list())
+            elif self.accept("keyword", "reads"):
+                decl.reads = decl.reads + tuple(self.name_list())
+            elif self.accept("keyword", "writes"):
+                decl.writes = decl.writes + tuple(self.name_list())
+            elif self.accept("keyword", "compensation"):
+                if self.accept("keyword", "program"):
+                    decl.compensation_program = self.name()
+                elif self.accept("keyword", "cost"):
+                    decl.compensation_cost = self.number()
+                else:
+                    raise self.error("expected 'program' or 'cost' after 'compensation'")
+            elif self.accept("keyword", "noncompensable"):
+                decl.compensable = False
+            elif self.accept("keyword", "join"):
+                kind = self.advance()
+                if kind.value not in ("and", "xor", "none"):
+                    raise self.error("join kind must be 'and', 'xor' or 'none'")
+                decl.join = kind.value
+            elif self.accept("keyword", "subworkflow"):
+                decl.subworkflow = self.name()
+            else:
+                raise self.error("unexpected step attribute")
+        self.expect("punct", ";")
+        return decl
+
+    def arc(self, line: int) -> ArcDecl:
+        src = self.name()
+        self.expect("punct", "->")
+        dst = self.name()
+        condition: str | None = None
+        is_else = False
+        if self.accept("keyword", "when"):
+            condition = self.string()
+        elif self.accept("keyword", "otherwise"):
+            is_else = True
+        self.expect("punct", ";")
+        return ArcDecl(src, dst, condition, is_else, line)
+
+    def branch(self, line: int) -> BranchDecl:
+        src = self.name()
+        self.expect("punct", "->")
+        conditional: list[tuple[str, str]] = []
+        otherwise: str | None = None
+        while True:
+            dst = self.name()
+            if self.accept("keyword", "when"):
+                conditional.append((dst, self.string()))
+            elif self.accept("keyword", "otherwise"):
+                otherwise = dst
+            else:
+                raise self.error("branch arm needs 'when \"cond\"' or 'otherwise'")
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", ";")
+        return BranchDecl(src, tuple(conditional), otherwise, line)
+
+    def parallel(self, line: int) -> ParallelDecl:
+        src = self.name()
+        self.expect("punct", "->")
+        branches = tuple(self.name_list())
+        self.expect("punct", ";")
+        return ParallelDecl(src, branches, line)
+
+    def join(self, line: int) -> JoinDecl:
+        dst = self.name()
+        self.keyword("from")
+        sources = tuple(self.name_list())
+        kind = "and"
+        if self.accept("keyword", "kind"):
+            token = self.advance()
+            if token.value not in ("and", "xor"):
+                raise self.error("join kind must be 'and' or 'xor'")
+            kind = token.value
+        self.expect("punct", ";")
+        return JoinDecl(dst, sources, kind, line)
+
+    def loop(self, line: int) -> LoopDecl:
+        src = self.name()
+        self.expect("punct", "->")
+        dst = self.name()
+        self.keyword("while")
+        condition = self.string()
+        self.expect("punct", ";")
+        return LoopDecl(src, dst, condition, line)
+
+    def cr(self, line: int) -> CrDecl:
+        step = self.name()
+        decl = CrDecl(step=step, line=line)
+        if self.accept("keyword", "always"):
+            decl.policy = "always"
+        elif self.accept("keyword", "reuse_if_unchanged"):
+            decl.policy = "reuse_if_unchanged"
+        elif self.accept("keyword", "incremental"):
+            decl.policy = "incremental"
+            decl.fraction = self.number()
+        elif self.accept("keyword", "reuse"):
+            self.keyword("when")
+            decl.policy = "condition"
+            decl.reuse_when = self.string()
+            if self.accept("keyword", "incremental"):
+                self.keyword("when")
+                decl.incremental_when = self.string()
+            if self.accept("keyword", "fraction"):
+                decl.fraction = self.number()
+        else:
+            raise self.error(
+                "expected 'always', 'reuse_if_unchanged', 'incremental N' or "
+                "'reuse when \"...\"'"
+            )
+        self.expect("punct", ";")
+        return decl
+
+    # -- coordination declarations --------------------------------------------------------
+
+    def _schema_steps(self) -> tuple[str, tuple[str, ...]]:
+        schema = self.name()
+        self.expect("punct", "(")
+        steps = tuple(self.name_list())
+        self.expect("punct", ")")
+        return schema, steps
+
+    def _schema_region(self) -> tuple[str, tuple[str, str]]:
+        schema = self.name()
+        self.expect("punct", "[")
+        first = self.name()
+        self.expect("punct", "..")
+        last = self.name()
+        self.expect("punct", "]")
+        return schema, (first, last)
+
+    def _optional_key(self) -> str | None:
+        if self.accept("keyword", "on"):
+            return self.name()
+        return None
+
+    def order(self) -> OrderDecl:
+        line = self.current.line
+        name = self.name()
+        self.keyword("between")
+        schema_a, steps_a = self._schema_steps()
+        self.keyword("and")
+        schema_b, steps_b = self._schema_steps()
+        key = self._optional_key()
+        self.expect("punct", ";")
+        return OrderDecl(name, schema_a, steps_a, schema_b, steps_b, key, line)
+
+    def mutex(self) -> MutexDecl:
+        line = self.current.line
+        name = self.name()
+        self.keyword("between")
+        schema_a, region_a = self._schema_region()
+        self.keyword("and")
+        schema_b, region_b = self._schema_region()
+        key = self._optional_key()
+        self.expect("punct", ";")
+        return MutexDecl(name, schema_a, region_a, schema_b, region_b, key, line)
+
+    def rollback_dependency(self) -> RollbackDependencyDecl:
+        line = self.current.line
+        name = self.name()
+        self.keyword("when")
+        qualified = self.name()  # Schema.Step (dotted name)
+        if "." not in qualified:
+            raise self.error("expected Schema.Step after 'when'")
+        schema_a, __, trigger = qualified.partition(".")
+        self.keyword("rolls")
+        self.keyword("back")
+        self.keyword("force")
+        schema_b = self.name()
+        self.keyword("to")
+        target = self.name()
+        key = self._optional_key()
+        self.expect("punct", ";")
+        return RollbackDependencyDecl(
+            name, schema_a, trigger, schema_b, target, key, line
+        )
+
+
+def parse_laws(text: str) -> LawsDocument:
+    """Parse LAWS source text into a :class:`LawsDocument`."""
+    return _Parser(tokenize(text)).document()

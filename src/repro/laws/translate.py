@@ -1,0 +1,198 @@
+"""Translation from parsed LAWS documents to runnable model objects.
+
+"Requirements expressed in LAWS are converted into rules" — here the
+conversion goes LAWS AST -> :class:`~repro.model.builder.SchemaBuilder`
+calls -> validated :class:`~repro.model.schema.WorkflowSchema` (whose
+compilation yields the rule templates) plus the coordination spec objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LawsSemanticError
+from repro.laws.ast import CrDecl, LawsDocument, WorkflowDecl
+from repro.laws.parser import parse_laws
+from repro.model.builder import SchemaBuilder
+from repro.model.coordination_spec import (
+    CoordinationSpec,
+    MutualExclusionSpec,
+    RelativeOrderSpec,
+    RollbackDependencySpec,
+)
+from repro.model.policies import (
+    AlwaysReexecute,
+    ConditionPolicy,
+    CRPolicy,
+    IncrementalIfInputsChanged,
+    ReuseIfInputsUnchanged,
+)
+from repro.model.schema import ControlArc, WorkflowSchema
+
+__all__ = ["TranslatedDocument", "load_laws", "translate"]
+
+
+@dataclass
+class TranslatedDocument:
+    """Everything a control system needs from one LAWS source file."""
+
+    schemas: list[WorkflowSchema] = field(default_factory=list)
+    specs: list[CoordinationSpec] = field(default_factory=list)
+
+    def install(self, system) -> None:
+        """Register the schemas and specs into a control system."""
+        for schema in self.schemas:
+            system.register_schema(schema)
+        for spec in self.specs:
+            system.add_coordination(spec)
+
+
+def _policy_for(decl: CrDecl) -> CRPolicy:
+    if decl.policy == "always":
+        return AlwaysReexecute()
+    if decl.policy == "reuse_if_unchanged":
+        return ReuseIfInputsUnchanged()
+    if decl.policy == "incremental":
+        return IncrementalIfInputsChanged(decl.fraction or 0.3)
+    if decl.policy == "condition":
+        return ConditionPolicy(
+            reuse_when=decl.reuse_when,
+            incremental_when=decl.incremental_when,
+            incremental_fraction=decl.fraction or 0.3,
+        )
+    raise LawsSemanticError(f"unknown CR policy {decl.policy!r}")
+
+
+def _translate_workflow(decl: WorkflowDecl) -> WorkflowSchema:
+    builder = SchemaBuilder(decl.name, inputs=decl.inputs)
+    cr_policies = {cr.step: cr for cr in decl.cr_decls}
+    declared = {step.name for step in decl.steps}
+
+    for cr in decl.cr_decls:
+        if cr.step not in declared:
+            raise LawsSemanticError(
+                f"workflow {decl.name!r}: cr declaration for unknown step "
+                f"{cr.step!r} (line {cr.line})"
+            )
+
+    for step in decl.steps:
+        kwargs = dict(
+            program=step.program or "noop",
+            step_type=step.step_type,
+            inputs=step.reads,
+            outputs=step.writes,
+            resources=step.resources,
+            compensable=step.compensable,
+            compensation_program=step.compensation_program,
+            compensation_cost=step.compensation_cost,
+            join=step.join,
+            subworkflow=step.subworkflow,
+        )
+        if step.cost is not None:
+            kwargs["cost"] = step.cost
+        cr = cr_policies.get(step.name)
+        if cr is not None:
+            kwargs["cr_policy"] = _policy_for(cr)
+        builder.step(step.name, **kwargs)
+
+    for arc in decl.arcs:
+        if arc.is_else:
+            builder._arcs.append(ControlArc(arc.src, arc.dst, is_else=True))
+        else:
+            builder.arc(arc.src, arc.dst, condition=arc.condition)
+    for branch in decl.branches:
+        builder.branch(branch.src, list(branch.conditional), otherwise=branch.otherwise)
+    for parallel in decl.parallels:
+        builder.parallel(parallel.src, list(parallel.branches))
+    for join in decl.joins:
+        builder.join(join.dst, list(join.sources), kind=join.kind)
+    for loop in decl.loops:
+        builder.loop(loop.src, loop.dst, while_condition=loop.condition)
+    for rollback in decl.rollbacks:
+        builder.rollback_point(rollback.failed_step, rollback.origin)
+    for comp_set in decl.compensation_sets:
+        builder.compensation_set(*comp_set.members)
+    for abort in decl.abort_compensate:
+        builder.abort_compensation(*abort.steps)
+    for output in decl.outputs:
+        builder.output(output.name, output.ref)
+    return builder.build()
+
+
+def translate(document: LawsDocument) -> TranslatedDocument:
+    """Translate a parsed LAWS document; validates every schema."""
+    result = TranslatedDocument()
+    names = set()
+    for workflow in document.workflows:
+        if workflow.name in names:
+            raise LawsSemanticError(f"duplicate workflow {workflow.name!r}")
+        names.add(workflow.name)
+        result.schemas.append(_translate_workflow(workflow))
+
+    def check_schema(schema_name: str, context: str) -> WorkflowSchema:
+        for schema in result.schemas:
+            if schema.name == schema_name:
+                return schema
+        raise LawsSemanticError(f"{context}: unknown workflow {schema_name!r}")
+
+    def check_step(schema: WorkflowSchema, step: str, context: str) -> None:
+        if step not in schema.steps:
+            raise LawsSemanticError(
+                f"{context}: workflow {schema.name!r} has no step {step!r}"
+            )
+
+    for order in document.orders:
+        context = f"order {order.name!r}"
+        schema_a = check_schema(order.schema_a, context)
+        schema_b = check_schema(order.schema_b, context)
+        for step in order.steps_a:
+            check_step(schema_a, step, context)
+        for step in order.steps_b:
+            check_step(schema_b, step, context)
+        result.specs.append(RelativeOrderSpec(
+            name=order.name,
+            schema_a=order.schema_a,
+            schema_b=order.schema_b,
+            steps_a=order.steps_a,
+            steps_b=order.steps_b,
+            conflict_key=order.conflict_key,
+        ))
+
+    for mutex in document.mutexes:
+        context = f"mutex {mutex.name!r}"
+        schema_a = check_schema(mutex.schema_a, context)
+        schema_b = check_schema(mutex.schema_b, context)
+        for step in mutex.region_a:
+            check_step(schema_a, step, context)
+        for step in mutex.region_b:
+            check_step(schema_b, step, context)
+        result.specs.append(MutualExclusionSpec(
+            name=mutex.name,
+            schema_a=mutex.schema_a,
+            schema_b=mutex.schema_b,
+            region_a=mutex.region_a,
+            region_b=mutex.region_b,
+            conflict_key=mutex.conflict_key,
+        ))
+
+    for dependency in document.rollback_dependencies:
+        context = f"rollback_dependency {dependency.name!r}"
+        schema_a = check_schema(dependency.schema_a, context)
+        schema_b = check_schema(dependency.schema_b, context)
+        check_step(schema_a, dependency.trigger_step_a, context)
+        check_step(schema_b, dependency.rollback_to_b, context)
+        result.specs.append(RollbackDependencySpec(
+            name=dependency.name,
+            schema_a=dependency.schema_a,
+            schema_b=dependency.schema_b,
+            trigger_step_a=dependency.trigger_step_a,
+            rollback_to_b=dependency.rollback_to_b,
+            conflict_key=dependency.conflict_key,
+        ))
+
+    return result
+
+
+def load_laws(text: str) -> TranslatedDocument:
+    """Parse + translate LAWS source text in one call."""
+    return translate(parse_laws(text))

@@ -1,0 +1,75 @@
+"""Workflow schema model: steps, arcs, builder, validation, compiler.
+
+Public surface::
+
+    from repro.model import (
+        SchemaBuilder, WorkflowSchema, StepDef, ControlArc, StepType,
+        JoinKind, compile_schema, CompiledSchema, validate_schema,
+        RelativeOrderSpec, MutualExclusionSpec, RollbackDependencySpec,
+        CRDecision, CRPolicy, ReuseIfInputsUnchanged, AlwaysReexecute,
+        IncrementalIfInputsChanged, ConditionPolicy,
+    )
+"""
+
+from repro.model.builder import SchemaBuilder
+from repro.model.compiler import CompiledSchema, RuleTemplate, compile_schema
+from repro.model.export import schema_summary, to_dot
+from repro.model.coordination_spec import (
+    CoordinationSpec,
+    MutualExclusionSpec,
+    RelativeOrderSpec,
+    RollbackDependencySpec,
+)
+from repro.model.graph import BranchInfo, SchemaGraph, SplitKind
+from repro.model.policies import (
+    DEFAULT_POLICY,
+    AlwaysReexecute,
+    ConditionPolicy,
+    CRDecision,
+    CRPolicy,
+    IncrementalIfInputsChanged,
+    ReuseIfInputsUnchanged,
+)
+from repro.model.schema import (
+    ControlArc,
+    JoinKind,
+    StepDef,
+    StepType,
+    WorkflowSchema,
+    split_ref,
+    step_output_ref,
+    workflow_input_ref,
+)
+from repro.model.validation import validate_schema
+
+__all__ = [
+    "AlwaysReexecute",
+    "BranchInfo",
+    "CompiledSchema",
+    "ConditionPolicy",
+    "ControlArc",
+    "CoordinationSpec",
+    "CRDecision",
+    "CRPolicy",
+    "DEFAULT_POLICY",
+    "IncrementalIfInputsChanged",
+    "JoinKind",
+    "MutualExclusionSpec",
+    "RelativeOrderSpec",
+    "ReuseIfInputsUnchanged",
+    "RollbackDependencySpec",
+    "RuleTemplate",
+    "SchemaBuilder",
+    "SchemaGraph",
+    "SplitKind",
+    "StepDef",
+    "StepType",
+    "WorkflowSchema",
+    "compile_schema",
+    "schema_summary",
+    "split_ref",
+    "to_dot",
+    "step_output_ref",
+    "validate_schema",
+    "workflow_input_ref",
+]

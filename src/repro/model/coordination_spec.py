@@ -1,0 +1,140 @@
+"""Coordinated-execution building blocks (inter-workflow requirements).
+
+Section 3 of the paper identifies "high level building blocks ... that
+express mutual-exclusion and complex ordering requirements across workflow
+steps, and rollback dependency across workflow instances".  A spec relates
+*two schemas*; at run time it binds pairs of concurrent *instances* that
+conflict.
+
+Conflict binding
+----------------
+The WFMS treats steps as black boxes, so whether two instances actually
+conflict (e.g. two orders for the same part) is declared, not inferred.
+``conflict_key`` names a data item; two instances conflict when the item
+has equal values in both (the order-processing motivation: same part
+number).  ``conflict_key=None`` means every instance pair of the two
+schemas conflicts — convenient for tests and worst-case benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CoordinationError
+
+__all__ = [
+    "CoordinationSpec",
+    "MutualExclusionSpec",
+    "RelativeOrderSpec",
+    "RollbackDependencySpec",
+]
+
+
+@dataclass(frozen=True)
+class CoordinationSpec:
+    """Base class for the three building blocks.
+
+    ``schema_a``/``schema_b`` name the two related workflow schemas (they
+    may be the same schema for intra-class coordination, e.g. ordering all
+    order-processing instances).
+    """
+
+    name: str
+    schema_a: str
+    schema_b: str
+    conflict_key: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CoordinationError("coordination spec needs a name")
+
+    def schemas(self) -> tuple[str, str]:
+        return (self.schema_a, self.schema_b)
+
+    def involves(self, schema: str) -> bool:
+        return schema in (self.schema_a, self.schema_b)
+
+
+@dataclass(frozen=True)
+class RelativeOrderSpec(CoordinationSpec):
+    """Relative ordering of conflicting step pairs (paper Figure 2).
+
+    ``steps_a[i]`` conflicts with ``steps_b[i]``; whichever instance
+    executes the *first* pair's step first becomes the **leading**
+    workflow, and every subsequent pair must then execute in the same
+    relative order ("if S12 executes before S23 then S14 has to execute
+    before S25").
+    """
+
+    steps_a: tuple[str, ...] = ()
+    steps_b: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.steps_a) != len(self.steps_b):
+            raise CoordinationError(
+                f"relative order {self.name!r}: step lists must pair up "
+                f"({len(self.steps_a)} vs {len(self.steps_b)})"
+            )
+        if not self.steps_a:
+            raise CoordinationError(f"relative order {self.name!r} has no step pairs")
+
+    @property
+    def pairs(self) -> tuple[tuple[str, str], ...]:
+        return tuple(zip(self.steps_a, self.steps_b))
+
+    def ordered_steps(self, schema: str) -> tuple[str, ...]:
+        """The steps of ``schema`` governed by this spec."""
+        if schema == self.schema_a:
+            return self.steps_a
+        if schema == self.schema_b:
+            return self.steps_b
+        raise CoordinationError(f"schema {schema!r} not part of spec {self.name!r}")
+
+
+@dataclass(frozen=True)
+class MutualExclusionSpec(CoordinationSpec):
+    """Step regions of conflicting instances must not interleave.
+
+    ``region_a``/``region_b`` are ``(first_step, last_step)``: the lock is
+    acquired before ``first_step`` starts and released after ``last_step``
+    completes (or after the region is rolled back/compensated).
+    """
+
+    region_a: tuple[str, str] = ("", "")
+    region_b: tuple[str, str] = ("", "")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for label, region in (("region_a", self.region_a), ("region_b", self.region_b)):
+            if len(region) != 2 or not region[0] or not region[1]:
+                raise CoordinationError(
+                    f"mutual exclusion {self.name!r}: {label} must be (first, last)"
+                )
+
+    def region_of(self, schema: str) -> tuple[str, str]:
+        if schema == self.schema_a:
+            return self.region_a
+        if schema == self.schema_b:
+            return self.region_b
+        raise CoordinationError(f"schema {schema!r} not part of spec {self.name!r}")
+
+
+@dataclass(frozen=True)
+class RollbackDependencySpec(CoordinationSpec):
+    """Rollback in one instance forces a rollback in conflicting instances.
+
+    When an instance of ``schema_a`` rolls back to (or past)
+    ``trigger_step_a``, every conflicting instance of ``schema_b`` that has
+    started ``rollback_to_b`` is rolled back to ``rollback_to_b``.
+    """
+
+    trigger_step_a: str = ""
+    rollback_to_b: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.trigger_step_a or not self.rollback_to_b:
+            raise CoordinationError(
+                f"rollback dependency {self.name!r} needs trigger_step_a and rollback_to_b"
+            )

@@ -1,0 +1,91 @@
+"""Schema exports: Graphviz DOT and a structural summary dict.
+
+``to_dot`` renders a workflow schema the way the paper draws them
+(Figures 2, 3): steps as boxes, control arcs as edges labelled with their
+branch conditions, loop arcs dashed, rollback points as red dotted edges
+from the failing step back to its origin, and compensation dependent sets
+as clustered annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.model.compiler import compile_schema
+from repro.model.schema import JoinKind, StepType, WorkflowSchema
+
+__all__ = ["schema_summary", "to_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def to_dot(schema: WorkflowSchema, name: str | None = None) -> str:
+    """Render a schema as Graphviz DOT text."""
+    compiled = compile_schema(schema)
+    lines = [f'digraph "{_escape(name or schema.name)}" {{',
+             "  rankdir=LR;",
+             '  node [shape=box, fontname="Helvetica"];']
+    for step in schema.steps.values():
+        attributes = []
+        if step.name == compiled.start_step:
+            attributes.append("peripheries=2")
+        if step.name in compiled.terminal_steps:
+            attributes.append("style=bold")
+        if step.join is JoinKind.AND:
+            attributes.append('xlabel="AND-join"')
+        elif step.join is JoinKind.XOR:
+            attributes.append('xlabel="XOR-join"')
+        if step.step_type is StepType.QUERY:
+            attributes.append('color=gray40')
+        if step.subworkflow:
+            attributes.append('shape=box3d')
+        label = step.name
+        if step.subworkflow:
+            label = f"{step.name}\\n[{step.subworkflow}]"
+        attrs = ", ".join([f'label="{_escape(label)}"'] + attributes)
+        lines.append(f'  "{_escape(step.name)}" [{attrs}];')
+    for arc in schema.arcs:
+        attributes = []
+        if arc.loop:
+            attributes.append("style=dashed")
+            attributes.append(f'label="while {_escape(arc.condition or "")}"')
+        elif arc.condition is not None:
+            attributes.append(f'label="{_escape(arc.condition)}"')
+        elif arc.is_else:
+            attributes.append('label="otherwise"')
+        suffix = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(f'  "{_escape(arc.src)}" -> "{_escape(arc.dst)}"{suffix};')
+    for failed, origin in schema.rollback_points.items():
+        lines.append(
+            f'  "{_escape(failed)}" -> "{_escape(origin)}" '
+            '[style=dotted, color=red, label="rollback"];'
+        )
+    for index, members in enumerate(schema.compensation_sets):
+        joined = ", ".join(sorted(members))
+        lines.append(
+            f'  "compset{index}" [shape=note, label="compensation set: '
+            f'{_escape(joined)}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schema_summary(schema: WorkflowSchema) -> dict[str, Any]:
+    """A structural summary (used by tooling and the CLI ``check`` output)."""
+    compiled = compile_schema(schema)
+    return {
+        "name": schema.name,
+        "steps": len(schema.steps),
+        "arcs": len(schema.arcs),
+        "loops": len(schema.loop_arcs()),
+        "start": compiled.start_step,
+        "terminals": sorted(compiled.terminal_steps),
+        "xor_splits": sorted(compiled.graph.xor_splits),
+        "parallel_splits": sorted(compiled.graph.parallel_splits),
+        "rules": len(compiled.rule_templates),
+        "rollback_points": dict(schema.rollback_points),
+        "compensation_sets": [sorted(m) for m in schema.compensation_sets],
+        "outputs": dict(schema.outputs),
+    }

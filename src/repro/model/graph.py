@@ -1,0 +1,213 @@
+"""Control-flow graph analysis over workflow schemas.
+
+Shared by schema validation and compilation.  All analyses operate on the
+*forward* arcs (loop back-arcs are handled separately because the forward
+graph must be acyclic for topological reasoning).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import SchemaError
+from repro.model.schema import ControlArc, WorkflowSchema
+
+__all__ = ["BranchInfo", "SchemaGraph", "SplitKind"]
+
+
+class SplitKind(enum.Enum):
+    """Classification of a step's outgoing forward arcs."""
+
+    NONE = "none"  # zero or one outgoing arc
+    PARALLEL = "parallel"  # several unconditional arcs (AND-split)
+    XOR = "xor"  # conditional arcs (+ optional else) — if-then-else
+
+
+@dataclass(frozen=True)
+class BranchInfo:
+    """One branch of an XOR split."""
+
+    split: str
+    arc: ControlArc
+    #: Steps reachable only through this branch (what CompensateThread
+    #: must undo when re-execution abandons the branch).
+    exclusive_members: frozenset[str]
+
+
+class SchemaGraph:
+    """Derived adjacency/reachability structure for one schema."""
+
+    def __init__(self, schema: WorkflowSchema):
+        self.schema = schema
+        steps = tuple(schema.steps)
+        self._succs: dict[str, list[str]] = {s: [] for s in steps}
+        self._preds: dict[str, list[str]] = {s: [] for s in steps}
+        for arc in schema.forward_arcs():
+            if arc.src not in schema.steps or arc.dst not in schema.steps:
+                raise SchemaError(
+                    f"arc {arc.src}->{arc.dst} references an undefined step"
+                )
+            self._succs[arc.src].append(arc.dst)
+            self._preds[arc.dst].append(arc.src)
+
+    # -- basic structure ---------------------------------------------------------
+
+    def successors(self, step: str) -> tuple[str, ...]:
+        return tuple(self._succs[step])
+
+    def predecessors(self, step: str) -> tuple[str, ...]:
+        return tuple(self._preds[step])
+
+    @cached_property
+    def start_steps(self) -> tuple[str, ...]:
+        return tuple(s for s in self.schema.steps if not self._preds[s])
+
+    @cached_property
+    def terminal_steps(self) -> tuple[str, ...]:
+        return tuple(s for s in self.schema.steps if not self._succs[s])
+
+    @cached_property
+    def topo_order(self) -> tuple[str, ...]:
+        """Topological order of the forward graph; raises on a cycle."""
+        in_degree = {s: len(self._preds[s]) for s in self.schema.steps}
+        frontier = [s for s in self.schema.steps if in_degree[s] == 0]
+        order: list[str] = []
+        while frontier:
+            step = frontier.pop(0)
+            order.append(step)
+            for succ in self._succs[step]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    frontier.append(succ)
+        if len(order) != len(self.schema.steps):
+            cyclic = sorted(s for s, d in in_degree.items() if d > 0)
+            raise SchemaError(
+                f"workflow {self.schema.name!r}: forward arcs contain a cycle "
+                f"involving {cyclic} (mark back-arcs with loop=True)"
+            )
+        return tuple(order)
+
+    @cached_property
+    def _topo_index(self) -> dict[str, int]:
+        return {step: i for i, step in enumerate(self.topo_order)}
+
+    def topo_index(self, step: str) -> int:
+        return self._topo_index[step]
+
+    # -- reachability --------------------------------------------------------------
+
+    @cached_property
+    def descendants_map(self) -> dict[str, frozenset[str]]:
+        """step -> all strict descendants in the forward graph."""
+        result: dict[str, frozenset[str]] = {}
+        for step in reversed(self.topo_order):
+            acc: set[str] = set()
+            for succ in self._succs[step]:
+                acc.add(succ)
+                acc.update(result[succ])
+            result[step] = frozenset(acc)
+        return result
+
+    @cached_property
+    def ancestors_map(self) -> dict[str, frozenset[str]]:
+        """step -> all strict ancestors in the forward graph."""
+        result: dict[str, frozenset[str]] = {}
+        for step in self.topo_order:
+            acc: set[str] = set()
+            for pred in self._preds[step]:
+                acc.add(pred)
+                acc.update(result[pred])
+            result[step] = frozenset(acc)
+        return result
+
+    def descendants(self, step: str) -> frozenset[str]:
+        return self.descendants_map[step]
+
+    def ancestors(self, step: str) -> frozenset[str]:
+        return self.ancestors_map[step]
+
+    def invalidation_set(self, origin: str) -> frozenset[str]:
+        """Steps whose effects a rollback to ``origin`` invalidates.
+
+        Per the paper, a HaltThread/rollback "invalidates the step.done
+        events corresponding to steps that are successors of the
+        OriginStep"; the origin itself re-executes, so it is included.
+        """
+        return self.descendants_map[origin] | {origin}
+
+    # -- splits and branches ----------------------------------------------------------
+
+    def split_kind(self, step: str) -> SplitKind:
+        arcs = self.schema.out_arcs(step)
+        if len(arcs) <= 1:
+            return SplitKind.NONE
+        if any(arc.condition is not None or arc.is_else for arc in arcs):
+            return SplitKind.XOR
+        return SplitKind.PARALLEL
+
+    @cached_property
+    def xor_splits(self) -> dict[str, tuple[BranchInfo, ...]]:
+        """All XOR splits with per-branch exclusive-member sets."""
+        splits: dict[str, tuple[BranchInfo, ...]] = {}
+        for step in self.schema.steps:
+            if self.split_kind(step) is not SplitKind.XOR:
+                continue
+            arcs = self.schema.out_arcs(step)
+            reach: dict[ControlArc, frozenset[str]] = {
+                arc: self.descendants_map[arc.dst] | {arc.dst} for arc in arcs
+            }
+            branches = []
+            for arc in arcs:
+                others: set[str] = set()
+                for other_arc in arcs:
+                    if other_arc is not arc:
+                        others.update(reach[other_arc])
+                branches.append(
+                    BranchInfo(
+                        split=step,
+                        arc=arc,
+                        exclusive_members=frozenset(reach[arc] - others),
+                    )
+                )
+            splits[step] = tuple(branches)
+        return splits
+
+    @cached_property
+    def parallel_splits(self) -> frozenset[str]:
+        return frozenset(
+            s for s in self.schema.steps if self.split_kind(s) is SplitKind.PARALLEL
+        )
+
+    def are_exclusive(self, a: str, b: str) -> bool:
+        """Whether two steps lie on different branches of some XOR split
+        (and therefore can never both execute in one forward pass)."""
+        if a == b:
+            return False
+        for branches in self.xor_splits.values():
+            branch_of: dict[str, int] = {}
+            for idx, info in enumerate(branches):
+                for member in info.exclusive_members:
+                    branch_of[member] = idx
+            if a in branch_of and b in branch_of and branch_of[a] != branch_of[b]:
+                return True
+        return False
+
+    # -- loops -----------------------------------------------------------------------
+
+    def loop_body(self, arc: ControlArc) -> frozenset[str]:
+        """Steps re-executed when loop arc ``src -> dst`` is taken.
+
+        The body is every step lying on a forward path from the loop
+        target to the loop source, inclusive.
+        """
+        if not arc.loop:
+            raise SchemaError(f"{arc.describe()} is not a loop arc")
+        src, dst = arc.src, arc.dst
+        if dst != src and dst not in self.ancestors_map[src]:
+            raise SchemaError(
+                f"loop arc {src}->{dst}: target must be an ancestor of the source"
+            )
+        on_path = (self.descendants_map[dst] | {dst}) & (self.ancestors_map[src] | {src})
+        return frozenset(on_path)

@@ -1,0 +1,234 @@
+"""Full structural validation of workflow schemas.
+
+``validate_schema`` collects *all* problems before raising, so a designer
+sees every issue in one pass.  The checks encode the assumptions the rest
+of the library (compiler, engines, recovery machinery) relies on:
+
+* exactly one start step (the coordination agent of distributed control is
+  "typically the agent responsible for executing the first step");
+* the forward graph is acyclic, loops go to ancestors;
+* split/join structure is consistent and joins are declared;
+* data references resolve and never cross exclusive XOR branches;
+* failure-handling annotations (rollback points, compensation sets, abort
+  compensation lists) reference real steps with sane relationships.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConditionError, ValidationError
+from repro.model.graph import SchemaGraph
+from repro.model.schema import JoinKind, WorkflowSchema, split_ref
+from repro.rules.conditions import Condition
+
+__all__ = ["validate_schema"]
+
+
+def validate_schema(schema: WorkflowSchema) -> SchemaGraph:
+    """Validate ``schema``; returns its :class:`SchemaGraph` on success.
+
+    Raises :class:`~repro.errors.ValidationError` whose message lists every
+    detected problem, one per line.
+    """
+    problems: list[str] = []
+    graph = SchemaGraph(schema)
+
+    _check_structure(schema, graph, problems)
+    if not problems:
+        # Reachability/branch analyses need an acyclic forward graph, so
+        # they run only once the basic structure is sound.
+        _check_splits_and_joins(schema, graph, problems)
+        _check_data_flow(schema, graph, problems)
+        _check_loops(schema, graph, problems)
+        _check_failure_annotations(schema, graph, problems)
+        _check_conditions(schema, problems)
+        _check_outputs(schema, problems)
+
+    if problems:
+        details = "\n  - ".join(problems)
+        raise ValidationError(
+            f"workflow {schema.name!r} failed validation:\n  - {details}"
+        )
+    return graph
+
+
+def _check_structure(schema: WorkflowSchema, graph: SchemaGraph, problems: list[str]) -> None:
+    for arc in schema.arcs:
+        if arc.src not in schema.steps:
+            problems.append(f"{arc.describe()}: unknown source step")
+        if arc.dst not in schema.steps:
+            problems.append(f"{arc.describe()}: unknown destination step")
+    seen: set[tuple[str, str, bool]] = set()
+    for arc in schema.arcs:
+        key = (arc.src, arc.dst, arc.loop)
+        if key in seen:
+            problems.append(f"duplicate arc {arc.src}->{arc.dst}")
+        seen.add(key)
+    if problems:
+        return
+    try:
+        graph.topo_order
+    except Exception as exc:  # SchemaError carries the cycle detail
+        problems.append(str(exc))
+        return
+    starts = graph.start_steps
+    if len(starts) != 1:
+        problems.append(
+            f"expected exactly one start step, found {list(starts) or 'none'}"
+        )
+
+
+def _check_splits_and_joins(
+    schema: WorkflowSchema, graph: SchemaGraph, problems: list[str]
+) -> None:
+    for step in schema.steps:
+        arcs = schema.out_arcs(step)
+        if len(arcs) <= 1:
+            continue
+        conditional = [a for a in arcs if a.condition is not None]
+        elses = [a for a in arcs if a.is_else]
+        plain = [a for a in arcs if a.condition is None and not a.is_else]
+        if conditional:
+            if plain:
+                problems.append(
+                    f"split at {step!r} mixes conditional and unconditional arcs"
+                )
+            if len(elses) > 1:
+                problems.append(f"split at {step!r} has multiple else-arcs")
+        elif elses:
+            problems.append(f"split at {step!r} has an else-arc but no conditions")
+
+    for step, definition in schema.steps.items():
+        in_degree = len(schema.in_arcs(step))
+        if in_degree > 1 and definition.join is JoinKind.NONE:
+            problems.append(
+                f"step {step!r} has {in_degree} incoming arcs but no declared "
+                "join kind (declare join='and' or join='xor')"
+            )
+        if in_degree <= 1 and definition.join is not JoinKind.NONE:
+            problems.append(
+                f"step {step!r} declares join={definition.join.value!r} but has "
+                f"{in_degree} incoming arc(s)"
+            )
+
+
+def _check_data_flow(schema: WorkflowSchema, graph: SchemaGraph, problems: list[str]) -> None:
+    for step in schema.steps.values():
+        for ref in step.inputs:
+            scope, item = split_ref(ref)
+            if scope == "WF":
+                if item not in schema.inputs:
+                    problems.append(
+                        f"step {step.name!r} reads {ref!r} but the workflow has "
+                        f"no input {item!r}"
+                    )
+                continue
+            if scope not in schema.steps:
+                problems.append(
+                    f"step {step.name!r} reads {ref!r} from an undefined step"
+                )
+                continue
+            producer = schema.steps[scope]
+            if item not in producer.outputs:
+                problems.append(
+                    f"step {step.name!r} reads {ref!r} but step {scope!r} "
+                    f"does not produce {item!r}"
+                )
+                continue
+            if scope == step.name:
+                problems.append(f"step {step.name!r} reads its own output {ref!r}")
+                continue
+            if scope in graph.descendants_map[step.name]:
+                problems.append(
+                    f"step {step.name!r} reads {ref!r} produced by a downstream step"
+                )
+                continue
+            if graph.are_exclusive(step.name, scope):
+                problems.append(
+                    f"step {step.name!r} reads {ref!r} from step {scope!r} on an "
+                    "exclusive if-then-else branch — the item may never be produced"
+                )
+
+
+def _check_loops(schema: WorkflowSchema, graph: SchemaGraph, problems: list[str]) -> None:
+    for arc in schema.loop_arcs():
+        if arc.src not in schema.steps or arc.dst not in schema.steps:
+            continue  # already reported by _check_structure
+        if arc.condition is None:
+            problems.append(f"{arc.describe()}: loop arcs need a continue-condition")
+        if arc.dst != arc.src and arc.dst not in graph.ancestors_map[arc.src]:
+            problems.append(
+                f"{arc.describe()}: loop target must be an ancestor of the source"
+            )
+
+
+def _check_failure_annotations(
+    schema: WorkflowSchema, graph: SchemaGraph, problems: list[str]
+) -> None:
+    for failed, origin in schema.rollback_points.items():
+        if failed not in schema.steps:
+            problems.append(f"rollback point for unknown step {failed!r}")
+            continue
+        if origin not in schema.steps:
+            problems.append(f"rollback point {failed!r} -> unknown origin {origin!r}")
+            continue
+        if origin != failed and origin not in graph.ancestors_map[failed]:
+            problems.append(
+                f"rollback origin {origin!r} is not an ancestor of {failed!r}"
+            )
+
+    claimed: dict[str, int] = {}
+    for idx, members in enumerate(schema.compensation_sets):
+        for member in members:
+            if member not in schema.steps:
+                problems.append(
+                    f"compensation set #{idx} references unknown step {member!r}"
+                )
+                continue
+            if member in claimed:
+                problems.append(
+                    f"step {member!r} belongs to two compensation dependent sets "
+                    f"(#{claimed[member]} and #{idx})"
+                )
+            claimed[member] = idx
+            if not schema.steps[member].compensable:
+                problems.append(
+                    f"compensation set #{idx} includes non-compensable step {member!r}"
+                )
+
+    for step in schema.abort_compensation_steps:
+        if step not in schema.steps:
+            problems.append(f"abort compensation references unknown step {step!r}")
+        elif not schema.steps[step].compensable:
+            problems.append(
+                f"abort compensation includes non-compensable step {step!r}"
+            )
+
+
+def _check_conditions(schema: WorkflowSchema, problems: list[str]) -> None:
+    for arc in schema.arcs:
+        if arc.condition is None:
+            continue
+        try:
+            Condition(arc.condition)
+        except ConditionError as exc:
+            problems.append(f"{arc.describe()}: {exc}")
+
+
+def _check_outputs(schema: WorkflowSchema, problems: list[str]) -> None:
+    for name, ref in schema.outputs.items():
+        try:
+            scope, item = split_ref(ref)
+        except Exception:
+            problems.append(f"workflow output {name!r} has malformed reference {ref!r}")
+            continue
+        if scope == "WF":
+            if item not in schema.inputs:
+                problems.append(
+                    f"workflow output {name!r} references unknown input {ref!r}"
+                )
+        elif scope not in schema.steps:
+            problems.append(f"workflow output {name!r} references unknown step {ref!r}")
+        elif item not in schema.steps[scope].outputs:
+            problems.append(
+                f"workflow output {name!r}: step {scope!r} does not produce {item!r}"
+            )

@@ -1,0 +1,41 @@
+"""Rule-based enactment: events, conditions and the ECA rule engine.
+
+Implements the run-time system sketched in Sections 1 and 3 of the paper:
+rules ``(event, condition, action)`` stored per instance, fired when their
+events are valid and conditions hold, with the dynamic primitives
+``AddRule()``, ``AddEvent()`` and ``AddPrecondition()``.
+"""
+
+from repro.rules.conditions import TRUE, Condition
+from repro.rules.engine import RuleEngine, RuleInstance
+from repro.rules.events import (
+    WF_ABORT,
+    WF_DONE,
+    WF_START,
+    EventOccurrence,
+    EventTable,
+    external_event,
+    is_step_done,
+    step_compensated,
+    step_done,
+    step_fail,
+    step_of_token,
+)
+
+__all__ = [
+    "Condition",
+    "EventOccurrence",
+    "EventTable",
+    "RuleEngine",
+    "RuleInstance",
+    "TRUE",
+    "WF_ABORT",
+    "WF_DONE",
+    "WF_START",
+    "external_event",
+    "is_step_done",
+    "step_compensated",
+    "step_done",
+    "step_fail",
+    "step_of_token",
+]

@@ -1,0 +1,244 @@
+"""Safe condition expressions over workflow data items.
+
+Rules and conditional control arcs in the paper carry a *condition* that is
+"evaluated by referring to the values of the different data items in the
+data table and step status table".  Conditions here are small boolean
+expressions written in Python syntax, referencing data items by their
+dotted workflow names::
+
+    S2.O1 > 10 and WF.I2 == 'Blower'
+    defined(S3.O1) or S1.O2 <= 0
+
+The expression is parsed once with :mod:`ast` and validated against a
+whitelist of node types, so no attribute access, subscripting of arbitrary
+objects, imports or calls (other than a small builtin set) can occur.
+Dotted names like ``S2.O1`` are resolved as single keys in the evaluation
+environment, matching the data-table layout of the workflow packet in
+Figure 7 of the paper.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Mapping
+
+from repro.errors import ConditionError
+
+__all__ = ["Condition", "TRUE"]
+
+_ALLOWED_CALLS = {"abs", "min", "max", "len", "round"}
+
+_CMP_OPS = {
+    ast.Eq: lambda a, b: a == b,
+    ast.NotEq: lambda a, b: a != b,
+    ast.Lt: lambda a, b: a < b,
+    ast.LtE: lambda a, b: a <= b,
+    ast.Gt: lambda a, b: a > b,
+    ast.GtE: lambda a, b: a >= b,
+    ast.In: lambda a, b: a in b,
+    ast.NotIn: lambda a, b: a not in b,
+}
+
+_BIN_OPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.Pow: lambda a, b: a**b,
+}
+
+
+class _Unbound:
+    """Sentinel distinguishing 'absent data item' from a stored ``None``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unbound>"
+
+
+_UNBOUND = _Unbound()
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """Collapse ``Attribute``/``Name`` chains like ``S2.O1`` into a string."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Condition:
+    """A parsed, reusable boolean expression over data-item names.
+
+    The expression is validated at construction; :meth:`evaluate` then runs
+    against a mapping from dotted names (``"S2.O1"``) to values.  Unbound
+    names raise :class:`~repro.errors.ConditionError` unless wrapped in the
+    ``defined(...)`` guard.
+    """
+
+    def __init__(self, text: str):
+        if not text or not text.strip():
+            raise ConditionError("empty condition expression")
+        self.text = text.strip()
+        try:
+            tree = ast.parse(self.text, mode="eval")
+        except SyntaxError as exc:
+            raise ConditionError(f"cannot parse condition {self.text!r}: {exc}") from exc
+        self._tree = tree
+        self.refs = frozenset(self._collect_refs(tree.body))
+
+    # -- construction helpers ------------------------------------------------
+
+    def _collect_refs(self, node: ast.expr) -> set[str]:
+        """Walk the AST, validating node types and gathering data refs."""
+        refs: set[str] = set()
+        self._walk(node, refs)
+        return refs
+
+    def _walk(self, node: ast.expr, refs: set[str]) -> None:
+        if isinstance(node, ast.Constant):
+            if not isinstance(node.value, (bool, int, float, str, type(None))):
+                raise ConditionError(f"unsupported literal in {self.text!r}")
+            return
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = _dotted_name(node)
+            if dotted is None:
+                raise ConditionError(f"unsupported attribute access in {self.text!r}")
+            refs.add(dotted)
+            return
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._walk(value, refs)
+            return
+        if isinstance(node, ast.UnaryOp):
+            if not isinstance(node.op, (ast.Not, ast.USub, ast.UAdd)):
+                raise ConditionError(f"unsupported unary operator in {self.text!r}")
+            self._walk(node.operand, refs)
+            return
+        if isinstance(node, ast.BinOp):
+            if type(node.op) not in _BIN_OPS:
+                raise ConditionError(f"unsupported binary operator in {self.text!r}")
+            self._walk(node.left, refs)
+            self._walk(node.right, refs)
+            return
+        if isinstance(node, ast.Compare):
+            for op in node.ops:
+                if type(op) not in _CMP_OPS:
+                    raise ConditionError(f"unsupported comparison in {self.text!r}")
+            self._walk(node.left, refs)
+            for comparator in node.comparators:
+                self._walk(comparator, refs)
+            return
+        if isinstance(node, ast.Call):
+            name = node.func.id if isinstance(node.func, ast.Name) else None
+            if name == "defined":
+                if len(node.args) != 1 or node.keywords:
+                    raise ConditionError("defined() takes exactly one data item")
+                dotted = _dotted_name(node.args[0])
+                if dotted is None:
+                    raise ConditionError("defined() argument must be a data item name")
+                # Deliberately not added to `refs`: defined() tolerates absence.
+                return
+            if name in _ALLOWED_CALLS:
+                for arg in node.args:
+                    self._walk(arg, refs)
+                if node.keywords:
+                    raise ConditionError(f"{name}() does not accept keyword arguments")
+                return
+            raise ConditionError(f"call to {name or '<expr>'!r} not allowed in conditions")
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                self._walk(element, refs)
+            return
+        raise ConditionError(
+            f"unsupported syntax ({type(node).__name__}) in condition {self.text!r}"
+        )
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(self, env: Mapping[str, Any]) -> bool:
+        """Evaluate to a boolean against ``env`` (dotted name -> value)."""
+        return bool(self._eval(self._tree.body, env))
+
+    def _eval(self, node: ast.expr, env: Mapping[str, Any]) -> Any:
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = _dotted_name(node)
+            value = env.get(dotted, _UNBOUND) if dotted is not None else _UNBOUND
+            if value is _UNBOUND:
+                raise ConditionError(
+                    f"data item {dotted!r} is unbound while evaluating {self.text!r}"
+                )
+            return value
+        if isinstance(node, ast.BoolOp):
+            if isinstance(node.op, ast.And):
+                result: Any = True
+                for value in node.values:
+                    result = self._eval(value, env)
+                    if not result:
+                        return result
+                return result
+            result = False
+            for value in node.values:
+                result = self._eval(value, env)
+                if result:
+                    return result
+            return result
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand, env)
+            if isinstance(node.op, ast.Not):
+                return not operand
+            if isinstance(node.op, ast.USub):
+                return -operand
+            return +operand
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env)
+            right = self._eval(node.right, env)
+            try:
+                return _BIN_OPS[type(node.op)](left, right)
+            except (TypeError, ZeroDivisionError) as exc:
+                raise ConditionError(f"arithmetic error in {self.text!r}: {exc}") from exc
+        if isinstance(node, ast.Compare):
+            left = self._eval(node.left, env)
+            for op, comparator in zip(node.ops, node.comparators):
+                right = self._eval(comparator, env)
+                try:
+                    if not _CMP_OPS[type(op)](left, right):
+                        return False
+                except TypeError as exc:
+                    raise ConditionError(f"comparison error in {self.text!r}: {exc}") from exc
+                left = right
+            return True
+        if isinstance(node, ast.Call):
+            name = node.func.id  # type: ignore[union-attr]  # validated at parse
+            if name == "defined":
+                dotted = _dotted_name(node.args[0])
+                return dotted in env
+            args = [self._eval(arg, env) for arg in node.args]
+            return {"abs": abs, "min": min, "max": max, "len": len, "round": round}[name](*args)
+        if isinstance(node, ast.Tuple):
+            return tuple(self._eval(element, env) for element in node.elts)
+        if isinstance(node, ast.List):
+            return [self._eval(element, env) for element in node.elts]
+        raise ConditionError(f"unsupported syntax in condition {self.text!r}")
+
+    # -- misc -------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Condition) and other.text == self.text
+
+    def __hash__(self) -> int:
+        return hash(self.text)
+
+    def __repr__(self) -> str:
+        return f"Condition({self.text!r})"
+
+
+#: A condition that always holds; used for unconditional rules.
+TRUE = Condition("True")

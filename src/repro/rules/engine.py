@@ -1,0 +1,292 @@
+"""The per-instance ECA rule engine.
+
+Each workflow instance is enacted by rules: "Rules are fired only after
+examining that their conditions evaluate to true.  When a rule is fired it
+triggers the execution of a step."  A rule waits in the *pending-rule
+table* until every required event is valid in the event table.
+
+The engine exposes the paper's three implementation-level primitives used
+to satisfy coordinated-execution requirements:
+
+* ``AddRule()``    — :meth:`RuleEngine.add_rule`
+* ``AddEvent()``   — :meth:`RuleEngine.add_event`
+* ``AddPrecondition()`` — :meth:`RuleEngine.add_precondition`
+
+and the *invalidation* operation used by failure handling: invalidating
+events resets any rule (fired or pending) that depended on them, so the
+re-executed thread can re-trigger it — "rules in the pending rule table
+from which the invalidated step.done events have been deleted are
+discarded to ensure that incorrect rules will not be fired".
+
+The engine is deliberately architecture-neutral: a central engine keeps
+one per instance; a distributed agent keeps one per instance *fragment* it
+participates in, fed by workflow packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
+
+from repro.errors import ConditionError, RuleError
+from repro.rules.conditions import Condition
+from repro.rules.events import EventTable
+
+if TYPE_CHECKING:  # pragma: no cover - break model<->rules import cycle
+    from repro.model.compiler import CompiledSchema, RuleTemplate
+
+__all__ = ["RuleEngine", "RuleInstance"]
+
+
+@dataclass
+class RuleInstance:
+    """A live rule: template state plus dynamic preconditions and firing state.
+
+    ``kind`` is ``"execute"``, ``"loop"`` or any engine-defined action verb
+    for dynamically added rules (e.g. ``"notify"`` used by coordinated
+    execution).  ``payload`` carries action-specific data for dynamic rules.
+    """
+
+    rule_id: str
+    kind: str
+    step: str
+    required: frozenset[str]
+    condition: Condition | None = None
+    loop_target: str | None = None
+    loop_body: frozenset[str] = frozenset()
+    payload: dict[str, Any] = field(default_factory=dict)
+    one_shot: bool = False
+    fired: bool = False
+
+    @classmethod
+    def from_template(
+        cls, template: "RuleTemplate", condition: Condition | None
+    ) -> "RuleInstance":
+        return cls(
+            rule_id=template.rule_id,
+            kind=template.kind,
+            step=template.step,
+            required=template.events,
+            condition=condition,
+            loop_target=template.loop_target,
+            loop_body=template.loop_body,
+        )
+
+    def ready(self, events: EventTable) -> bool:
+        return all(token in events for token in self.required)
+
+
+class RuleEngine:
+    """Event table + rule tables + firing loop for one workflow instance.
+
+    ``action`` is invoked for every fired rule; it must not re-enter the
+    engine synchronously except through the documented entry points
+    (``post_event``/``add_event``/``merge_events``), which are re-entrancy
+    safe because firing is driven by a single fix-point pump.
+    """
+
+    def __init__(
+        self,
+        compiled: "CompiledSchema",
+        action: Callable[[RuleInstance], None],
+        env_provider: Callable[[], Mapping[str, Any]],
+        steps: Iterable[str] | None = None,
+    ):
+        """``steps`` restricts which rule templates are instantiated — a
+        distributed agent only materializes the rules of steps it hosts."""
+        self.compiled = compiled
+        self.events = EventTable()
+        self._action = action
+        self._env_provider = env_provider
+        self._rules: dict[str, RuleInstance] = {}
+        self._pumping = False
+        self._dirty = False
+        hosted = set(steps) if steps is not None else None
+        for template in compiled.rule_templates:
+            if hosted is not None and template.step not in hosted:
+                continue
+            instance = RuleInstance.from_template(
+                template, compiled.condition_for(template.rule_id)
+            )
+            self._rules[instance.rule_id] = instance
+
+    # -- introspection ---------------------------------------------------------
+
+    def rule(self, rule_id: str) -> RuleInstance:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise RuleError(f"unknown rule {rule_id!r}") from None
+
+    def rules_for_step(self, step: str) -> tuple[RuleInstance, ...]:
+        return tuple(
+            r for r in self._rules.values() if r.step == step and r.kind == "execute"
+        )
+
+    def all_rules(self) -> tuple[RuleInstance, ...]:
+        return tuple(self._rules.values())
+
+    def pending_rules(self) -> tuple[RuleInstance, ...]:
+        """Unfired rules with at least one required event already valid —
+        the paper's pending-rule table."""
+        return tuple(
+            r
+            for r in self._rules.values()
+            if not r.fired and any(token in self.events for token in r.required)
+        )
+
+    # -- the three implementation-level primitives --------------------------------
+
+    def add_rule(self, rule: RuleInstance) -> None:
+        """``AddRule()``: install a (dynamic) rule and evaluate immediately."""
+        if rule.rule_id in self._rules:
+            raise RuleError(f"duplicate rule id {rule.rule_id!r}")
+        self._rules[rule.rule_id] = rule
+        self._pump()
+
+    def add_event(self, token: str, time: float) -> None:
+        """``AddEvent()``: post an (external) event and fire eligible rules."""
+        self.events.post(token, time)
+        self._pump()
+
+    def add_precondition(self, rule_id: str, token: str) -> None:
+        """``AddPrecondition()``: require one more event before a rule fires.
+
+        Rejected for already-fired rules — a precondition added after the
+        fact cannot be honoured and indicates a protocol race upstream.
+        """
+        rule = self.rule(rule_id)
+        if rule.fired:
+            raise RuleError(
+                f"cannot add precondition {token!r} to already-fired rule {rule_id!r}"
+            )
+        rule.required = rule.required | {token}
+
+    def add_step_precondition(self, step: str, token: str) -> int:
+        """Add a precondition to every unfired execute-rule of ``step``.
+
+        Returns the number of rules affected (0 when the step's rules all
+        fired already).
+        """
+        affected = 0
+        for rule in self.rules_for_step(step):
+            if not rule.fired:
+                rule.required = rule.required | {token}
+                affected += 1
+        return affected
+
+    # -- event intake ---------------------------------------------------------------
+
+    def post_event(self, token: str, time: float, round: int = 0) -> None:
+        """Record an internal event occurrence and fire eligible rules."""
+        self.events.post(token, time, round)
+        self._pump()
+
+    def merge_events(self, tokens: Mapping[str, object], time: float) -> list[str]:
+        """Fold a workflow packet's event set in; fires eligible rules."""
+        added = self.events.merge(tokens, time)
+        if added:
+            self._pump()
+        return added
+
+    def invalidate_events(self, tokens: Iterable[str]) -> list[str]:
+        """Invalidate events and reset every rule that depended on them."""
+        hit = self.events.invalidate(tokens)
+        self._reset_after_invalidation(hit)
+        return hit
+
+    def _reset_after_invalidation(self, hit: list[str]) -> None:
+        """Re-arm rules affected by invalidated tokens.
+
+        Two kinds of rules reset: rules *depending* on an invalidated event
+        (they fired from now-stale state), and the execute/loop rules *of*
+        a step whose own done/fail event was invalidated — invalidation
+        means the step's completion no longer stands, so it must be able to
+        re-fire during re-execution.
+        """
+        if not hit:
+            return
+        hit_set = set(hit)
+        reset_steps = {
+            token[:-2]
+            for token in hit_set
+            if token.endswith((".D", ".F")) and not token.startswith("EXT.")
+        }
+        for rule in self._rules.values():
+            if rule.fired and (rule.required & hit_set or rule.step in reset_steps):
+                rule.fired = False
+
+    def apply_invalidations(self, invalidations: Mapping[str, int]) -> list[str]:
+        """Apply message-carried invalidations (token -> invalidation round).
+
+        A token is invalidated only when the local occurrence belongs to an
+        *earlier* round, so a re-established event survives stale messages.
+        Rules depending on invalidated tokens (and the rules of steps whose
+        own completion events were invalidated) are re-armed.
+        """
+        hit = []
+        for token, round in invalidations.items():
+            if self.events.invalidate_before_round(token, int(round)):
+                hit.append(token)
+        self._reset_after_invalidation(hit)
+        return hit
+
+    def reset_rules_for_steps(self, steps: Iterable[str]) -> None:
+        """Re-arm the execute-rules of the given steps (used on rollback)."""
+        step_set = set(steps)
+        for rule in self._rules.values():
+            if rule.step in step_set:
+                rule.fired = False
+
+    def remove_rule(self, rule_id: str) -> None:
+        self._rules.pop(rule_id, None)
+
+    def reevaluate(self) -> None:
+        """Re-run the firing loop (after invalidation/reset operations)."""
+        self._pump()
+
+    # -- firing ------------------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Fire rules to fix-point.  Re-entrant calls just mark dirtiness."""
+        if self._pumping:
+            self._dirty = True
+            return
+        self._pumping = True
+        iterations = 0
+        try:
+            progress = True
+            while progress:
+                iterations += 1
+                if iterations > 10_000:
+                    raise RuleError(
+                        "rule engine failed to reach a fix-point after 10000 "
+                        "iterations — a rule action is re-arming its own rule"
+                    )
+                self._dirty = False
+                progress = False
+                for rule in sorted(self._rules.values(), key=lambda r: r.rule_id):
+                    if rule.fired or not rule.ready(self.events):
+                        continue
+                    if not self._condition_holds(rule):
+                        continue
+                    rule.fired = True
+                    self._action(rule)
+                    progress = True
+                    if rule.one_shot:
+                        self._rules.pop(rule.rule_id, None)
+                if self._dirty:
+                    progress = True
+        finally:
+            self._pumping = False
+
+    def _condition_holds(self, rule: RuleInstance) -> bool:
+        if rule.condition is None:
+            return True
+        env = self._env_provider()
+        try:
+            return rule.condition.evaluate(env)
+        except ConditionError:
+            # Referenced data not (yet) bound: the rule is not firable now;
+            # it will be re-evaluated when further events/data arrive.
+            return False

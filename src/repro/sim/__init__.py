@@ -1,0 +1,33 @@
+"""Discrete-event simulation substrate for the CREW reproduction.
+
+The paper's prototype ran on real networked nodes; this package provides
+the deterministic stand-in: a DES kernel (:mod:`repro.sim.kernel`), a
+reliable latency-modelled network with per-mechanism message accounting
+(:mod:`repro.sim.network`), crash-injectable nodes (:mod:`repro.sim.node`),
+seeded random streams (:mod:`repro.sim.rng`) and metric/trace collection
+(:mod:`repro.sim.metrics`, :mod:`repro.sim.tracing`).
+"""
+
+from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.metrics import Mechanism, MetricsCollector, MetricsSnapshot
+from repro.sim.network import FixedLatency, LatencyModel, Message, Network, UniformLatency
+from repro.sim.node import Node
+from repro.sim.rng import SimRandom
+from repro.sim.tracing import Trace, TraceRecord
+
+__all__ = [
+    "EventHandle",
+    "FixedLatency",
+    "LatencyModel",
+    "Mechanism",
+    "Message",
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "Network",
+    "Node",
+    "SimRandom",
+    "Simulator",
+    "Trace",
+    "TraceRecord",
+    "UniformLatency",
+]

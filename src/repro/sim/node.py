@@ -1,0 +1,92 @@
+"""Simulated processing nodes (engines and agents live on these).
+
+A :class:`Node` is a named endpoint on the :class:`~repro.sim.network.Network`
+with:
+
+* a message handler (`handle_message`) implemented by subclasses,
+* per-mechanism *load* accounting in units of ``l`` — the "navigation and
+  other load per step" parameter of the paper's Table 3,
+* crash/recovery support: a crashed node loses volatile state (subclass
+  hook) but keeps its durable stores; the network parks messages addressed
+  to it until recovery, matching the persistent-queue assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import Mechanism
+from repro.sim.network import Message, Network
+
+__all__ = ["Node"]
+
+
+class Node:
+    """Base class for every simulated processing node."""
+
+    def __init__(self, name: str, simulator: Simulator, network: Network):
+        self.name = name
+        self.simulator = simulator
+        self.network = network
+        self.is_up = True
+        self.messages_received = 0
+        self.crash_count = 0
+        network.register(self)
+
+    # -- messaging -----------------------------------------------------------
+
+    def send(
+        self,
+        dst: str,
+        interface: str,
+        payload: Mapping[str, Any],
+        mechanism: Mechanism,
+    ) -> None:
+        """Send one physical message to another node."""
+        self.network.send(self.name, dst, interface, payload, mechanism)
+
+    def receive(self, message: Message) -> None:
+        """Network entry point; dispatches to :meth:`handle_message`."""
+        if not self.is_up:
+            raise SimulationError(f"message delivered to down node {self.name!r}")
+        self.messages_received += 1
+        self.handle_message(message)
+
+    def handle_message(self, message: Message) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # -- load accounting -------------------------------------------------------
+
+    def charge(self, units: float, mechanism: Mechanism) -> None:
+        """Charge navigation load (multiples of ``l``) to this node."""
+        self.network.metrics.record_load(self.name, mechanism, units)
+
+    # -- failure injection -----------------------------------------------------
+
+    def crash(self) -> None:
+        """Take the node down, losing volatile state."""
+        if not self.is_up:
+            raise SimulationError(f"node {self.name!r} is already down")
+        self.is_up = False
+        self.crash_count += 1
+        self.on_crash()
+
+    def recover(self) -> None:
+        """Bring the node back up, replay durable state, drain parked messages."""
+        if self.is_up:
+            raise SimulationError(f"node {self.name!r} is already up")
+        self.is_up = True
+        self.on_recover()
+        self.network.flush_parked(self.name)
+
+    def on_crash(self) -> None:
+        """Subclass hook: discard volatile state.  Default does nothing."""
+
+    def on_recover(self) -> None:
+        """Subclass hook: rebuild volatile state from durable stores."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.is_up else "down"
+        return f"<{type(self).__name__} {self.name} {state}>"

@@ -1,0 +1,106 @@
+"""Structured trace log for simulations.
+
+Workflow enactment is event-soup by nature; when a distributed rollback
+interleaves with in-flight packets the only way to understand (or test)
+what happened is a totally-ordered trace.  :class:`Trace` records
+``(time, node, kind, detail)`` tuples and supports filtered queries, which
+the integration tests use to assert protocol-level orderings (e.g. "all
+HaltThread probes precede the first re-execution packet").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
+
+__all__ = ["Trace", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace entry."""
+
+    time: float
+    node: str
+    kind: str
+    detail: Mapping[str, Any]
+
+    def describe(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:9.3f}] {self.node:<14} {self.kind:<22} {parts}"
+
+
+class Trace:
+    """An append-only, queryable event trace.
+
+    Tracing can be disabled (``enabled=False``) to remove overhead from
+    large benchmark runs; ``record`` then becomes a no-op.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: int | None = None):
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+
+    def record(self, time: float, node: str, kind: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, node, kind, detail))
+
+    # -- queries -------------------------------------------------------------
+
+    def filter(
+        self,
+        kind: str | None = None,
+        node: str | None = None,
+        predicate: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        """Records matching all the given criteria, in time order."""
+        out = []
+        for rec in self.records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if node is not None and rec.node != node:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def kinds(self) -> list[str]:
+        """The distinct record kinds present, sorted."""
+        return sorted({rec.kind for rec in self.records})
+
+    def first(self, kind: str) -> TraceRecord | None:
+        for rec in self.records:
+            if rec.kind == kind:
+                return rec
+        return None
+
+    def last(self, kind: str) -> TraceRecord | None:
+        result = None
+        for rec in self.records:
+            if rec.kind == kind:
+                result = rec
+        return result
+
+    def count(self, kind: str) -> int:
+        return sum(1 for rec in self.records if rec.kind == kind)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def render(self, limit: int | None = None) -> str:
+        """Human-readable multi-line rendering (used by the examples)."""
+        shown = self.records if limit is None else self.records[:limit]
+        lines = [rec.describe() for rec in shown]
+        if limit is not None and len(self.records) > limit:
+            lines.append(f"... ({len(self.records) - limit} more records)")
+        return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Persistent state: instance tables, WAL, workflow and agent databases."""
+
+from repro.storage.agdb import AgentDatabase
+from repro.storage.tables import InstanceState, InstanceStatus, StepRecord, StepStatus
+from repro.storage.wal import WalRecord, WriteAheadLog
+from repro.storage.wfdb import WorkflowDatabase
+
+__all__ = [
+    "AgentDatabase",
+    "InstanceState",
+    "InstanceStatus",
+    "StepRecord",
+    "StepStatus",
+    "WalRecord",
+    "WorkflowDatabase",
+    "WriteAheadLog",
+]

@@ -1,0 +1,83 @@
+"""Append-only write-ahead log providing simulated durability.
+
+The paper's WFDB "provides the persistence necessary to facilitate forward
+recovery in case of failure of the workflow engine", and each distributed
+agent keeps an agent database "in which they store all relevant persistent
+information".  In the simulation, durability means *surviving a node
+crash*: a crashed node loses its in-memory tables but keeps its WAL, and
+``on_recover`` replays the log to rebuild them.
+
+Records are ``(lsn, kind, payload)``; payloads must be plain dict/list/
+scalar structures (the stores only write snapshots, never live objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.errors import StorageError
+
+__all__ = ["WalRecord", "WriteAheadLog"]
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    lsn: int
+    kind: str
+    payload: Mapping[str, Any]
+
+
+class WriteAheadLog:
+    """A durable, append-only sequence of records with checkpoint truncation."""
+
+    def __init__(self) -> None:
+        self._records: list[WalRecord] = []
+        self._next_lsn = 1
+        self.appends = 0
+
+    def append(self, kind: str, payload: Mapping[str, Any]) -> WalRecord:
+        if not isinstance(payload, dict):
+            raise StorageError(f"WAL payload must be a dict, got {type(payload).__name__}")
+        record = WalRecord(lsn=self._next_lsn, kind=kind, payload=payload)
+        self._next_lsn += 1
+        self._records.append(record)
+        self.appends += 1
+        return record
+
+    def replay(
+        self,
+        handlers: Mapping[str, Callable[[Mapping[str, Any]], None]],
+        strict: bool = True,
+    ) -> int:
+        """Replay all records through ``handlers`` (keyed by record kind).
+
+        Returns the number of records replayed.  Unknown kinds raise when
+        ``strict`` (a recovery that silently skips records is a corruption
+        vector), otherwise they are ignored.
+        """
+        replayed = 0
+        for record in self._records:
+            handler = handlers.get(record.kind)
+            if handler is None:
+                if strict:
+                    raise StorageError(f"no WAL replay handler for kind {record.kind!r}")
+                continue
+            handler(record.payload)
+            replayed += 1
+        return replayed
+
+    def checkpoint(self, keep_from_lsn: int) -> int:
+        """Drop records with ``lsn < keep_from_lsn``; returns dropped count."""
+        before = len(self._records)
+        self._records = [r for r in self._records if r.lsn >= keep_from_lsn]
+        return before - len(self._records)
+
+    def last_lsn(self) -> int:
+        return self._records[-1].lsn if self._records else 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[WalRecord]:
+        return iter(self._records)

@@ -1,0 +1,23 @@
+"""Workloads: Table 3 parameters, the shaped generator, canonical scenarios."""
+
+from repro.workloads.generator import GeneratedWorkload, WorkloadGenerator, WorkloadRun
+from repro.workloads.params import PAPER_DEFAULTS, TABLE3_RANGES, WorkloadParameters
+from repro.workloads.scenarios import (
+    Scenario,
+    figure3_workflow,
+    order_processing,
+    travel_booking,
+)
+
+__all__ = [
+    "GeneratedWorkload",
+    "PAPER_DEFAULTS",
+    "Scenario",
+    "TABLE3_RANGES",
+    "WorkloadGenerator",
+    "WorkloadParameters",
+    "WorkloadRun",
+    "figure3_workflow",
+    "order_processing",
+    "travel_booking",
+]

@@ -1,0 +1,115 @@
+"""Table 3 of the paper: the parameters used in the performance analysis.
+
+The default values are reverse-engineered from the "Normalized Value"
+columns of Tables 4-6 (the paper gives ranges but not the chosen points):
+
+====================  ======  ==========================================
+``2·s·a = 60``        s=15, a=2
+``s·a + f = 32``      f=2
+``l·r·pf = 0.5·l``    r=5, pf=0.1
+``(r+v)·pf·a = 1.8``  v=4
+``l·w·pa = 0.05·l``   w=2, pa=0.025
+``l·r·pi = 0.125·l``  pi=0.025
+``2·r·pi·pr·a=0.125`` pr=0.25
+``(me+ro+rd)·a·d·s = 150``  me=2, ro=2, rd=1, d=1
+``l·s/e = 3.75·l``    e=4
+``l·s/z = 0.3·l``     z=50
+====================  ======  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.errors import WorkloadError
+
+__all__ = ["PAPER_DEFAULTS", "TABLE3_RANGES", "WorkloadParameters"]
+
+#: The "Value Range" column of Table 3.
+TABLE3_RANGES: dict[str, tuple[float, float]] = {
+    "s": (5, 25),
+    "c": (1, 20),
+    "i": (1, 1000),
+    "e": (1, 8),
+    "z": (1, 100),
+    "a": (1, 4),
+    "d": (0, 2),
+    "r": (1, 10),
+    "v": (0, 8),
+    "f": (1, 4),
+    "w": (0, 4),
+    "me": (0, 4),
+    "ro": (0, 4),
+    "rd": (0, 2),
+    "pf": (0.0, 0.2),
+    "pi": (0.0, 0.05),
+    "pa": (0.0, 0.05),
+    "pr": (0.0, 0.5),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadParameters:
+    """One point in the Table 3 parameter space.
+
+    Field names follow the paper's symbols exactly; ``l`` (navigation load
+    per step, in instructions) is kept symbolic — loads are reported in
+    multiples of ``l``.
+    """
+
+    s: int = 15  # steps per workflow
+    c: int = 20  # workflow schemas
+    i: int = 10  # concurrent instances per schema
+    e: int = 4  # engines (parallel control)
+    z: int = 50  # agents (distributed control)
+    a: int = 2  # eligible agents per step
+    d: int = 1  # conflicting definitions per step
+    r: int = 5  # steps rolled back on a failure
+    v: int = 4  # steps invalidated on a step failure
+    f: int = 2  # final (terminal) steps per workflow
+    w: int = 2  # steps compensated on a workflow abort
+    me: int = 2  # steps/WF needing mutual exclusion
+    ro: int = 2  # steps/WF needing relative ordering
+    rd: int = 1  # steps/WF having rollback dependency
+    pf: float = 0.1  # probability of logical step failure
+    pi: float = 0.025  # probability of workflow input change
+    pa: float = 0.025  # probability of workflow abort
+    pr: float = 0.25  # probability of step re-execution (vs OCR reuse)
+
+    def __post_init__(self) -> None:
+        for name, (low, high) in TABLE3_RANGES.items():
+            value = getattr(self, name)
+            if not low <= value <= high:
+                raise WorkloadError(
+                    f"parameter {name}={value} outside Table 3 range "
+                    f"[{low}, {high}]"
+                )
+        if self.s < self.r + self.v + self.f + 2:
+            # The Table-3 workload shape needs room for a prefix, the
+            # rollback region (r), the halted parallel branch (v), the join
+            # and the terminal fan (f) — see repro.workloads.generator.
+            raise WorkloadError(
+                f"inconsistent shape: s={self.s} too small for r={self.r}, "
+                f"v={self.v}, f={self.f} (need s >= r+v+f+2)"
+            )
+        if self.me + self.ro + self.rd > self.s:
+            raise WorkloadError("more governed steps than steps per workflow")
+
+    @property
+    def coordination_degree(self) -> int:
+        """The paper's ``me + ro + rd`` factor."""
+        return self.me + self.ro + self.rd
+
+    def evolve(self, **changes: Any) -> "WorkloadParameters":
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        pairs = ", ".join(
+            f"{name}={getattr(self, name)}" for name in TABLE3_RANGES
+        )
+        return f"WorkloadParameters({pairs})"
+
+
+#: The calibration point reproducing the paper's normalized values.
+PAPER_DEFAULTS = WorkloadParameters()

@@ -1,0 +1,215 @@
+"""Canonical scenarios from the paper's motivating examples.
+
+* :func:`order_processing` — Figure 2: order-processing workflows whose
+  conflicting steps (same part) must execute in arrival order;
+* :func:`figure3_workflow` — Figure 3: if-then-else branching where a step
+  failure triggers partial rollback, re-execution takes the other branch,
+  and the abandoned branch is compensated;
+* :func:`travel_booking` — the classic Saga-style itinerary with a
+  compensation dependent set and OCR policies, used by the OCR-savings
+  benchmark and the quickstart example.
+
+Each factory returns a :class:`Scenario`: schemas, coordination specs and
+a ``program`` map to register, so any control system can run it::
+
+    scenario = travel_booking()
+    scenario.install(system)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.programs import (
+    FailEveryNth,
+    FunctionProgram,
+    NoopProgram,
+    StepProgram,
+)
+from repro.engines.base import ControlSystem
+from repro.model.builder import SchemaBuilder
+from repro.model.coordination_spec import CoordinationSpec, RelativeOrderSpec
+from repro.model.policies import (
+    AlwaysReexecute,
+    IncrementalIfInputsChanged,
+    ReuseIfInputsUnchanged,
+)
+from repro.model.schema import WorkflowSchema
+
+__all__ = ["Scenario", "figure3_workflow", "order_processing", "travel_booking"]
+
+
+@dataclass
+class Scenario:
+    """A ready-to-install bundle of schemas, specs and programs."""
+
+    name: str
+    schemas: list[WorkflowSchema]
+    specs: list[CoordinationSpec] = field(default_factory=list)
+    programs: dict[str, StepProgram] = field(default_factory=dict)
+
+    def install(self, system: ControlSystem) -> None:
+        for schema in self.schemas:
+            system.register_schema(schema)
+        for name, program in self.programs.items():
+            system.register_program(name, program)
+        for spec in self.specs:
+            system.add_coordination(spec)
+
+
+def order_processing(parts_in_stock: Mapping[str, int] | None = None) -> Scenario:
+    """Figure 2: order fulfilment with FIFO relative ordering per part.
+
+    Steps: check stock -> reserve parts -> schedule machine -> ship.
+    Orders for the same part must reserve and schedule in arrival order,
+    otherwise "a workflow processing an earlier order may not be able to
+    continue due to lack of resources".
+    """
+    stock = dict(parts_in_stock or {"gasket": 100, "blower": 100})
+    builder = SchemaBuilder("OrderProcessing", inputs=["part", "qty"])
+    builder.step("CheckStock", program="order.check", step_type="query",
+                 inputs=["WF.part", "WF.qty"], outputs=["avail"], cost=1.0)
+    builder.step("Reserve", program="order.reserve", resources={"inventory"},
+                 inputs=["WF.part", "WF.qty", "CheckStock.avail"],
+                 outputs=["rsv"], cost=2.0)
+    builder.step("Schedule", program="order.schedule", resources={"machines"},
+                 inputs=["Reserve.rsv"], outputs=["slot"], cost=2.0)
+    builder.step("Ship", program="order.ship", inputs=["Schedule.slot"],
+                 outputs=["tracking"], cost=1.0)
+    builder.sequence("CheckStock", "Reserve", "Schedule", "Ship")
+    builder.output("tracking", "Ship.tracking")
+    schema = builder.build()
+
+    def check(inputs, ctx):
+        part = inputs["WF.part"]
+        return {"avail": stock.get(part, 0) >= inputs["WF.qty"]}
+
+    def reserve(inputs, ctx):
+        part = inputs["WF.part"]
+        qty = inputs["WF.qty"]
+        if not inputs["CheckStock.avail"] or stock.get(part, 0) < qty:
+            raise RuntimeError(f"insufficient stock of {part}")
+        stock[part] = stock[part] - qty
+        return {"rsv": f"{part}x{qty}"}
+
+    spec = RelativeOrderSpec(
+        name="order-fifo",
+        schema_a="OrderProcessing",
+        schema_b="OrderProcessing",
+        steps_a=("Reserve", "Schedule"),
+        steps_b=("Reserve", "Schedule"),
+        conflict_key="WF.part",
+    )
+    return Scenario(
+        name="order-processing",
+        schemas=[schema],
+        specs=[spec],
+        programs={
+            "order.check": FunctionProgram(check),
+            "order.reserve": FunctionProgram(reserve),
+            "order.schedule": FunctionProgram(
+                lambda i, c: {"slot": f"slot@{c.now:.0f}"}
+            ),
+            "order.ship": FunctionProgram(
+                lambda i, c: {"tracking": f"TRK-{c.instance_id}"}
+            ),
+        },
+    )
+
+
+def figure3_workflow(fail_attempts: frozenset[int] = frozenset({1})) -> Scenario:
+    """Figure 3: if-then-else rollback with a branch change on re-execution.
+
+    S2 decides the branch; S4 (top branch) fails on its first attempt; the
+    workflow rolls back to S2, whose re-execution produces different data
+    and takes the bottom branch — the effect of the abandoned S3 must be
+    compensated.
+    """
+    builder = SchemaBuilder("Figure3", inputs=["load"])
+    builder.step("S1", program="fig3.s1", inputs=["WF.load"], outputs=["x"])
+    builder.step("S2", program="fig3.s2", inputs=["S1.x"], outputs=["route"],
+                 cr_policy=AlwaysReexecute())
+    builder.step("S3", program="fig3.s3", outputs=["top"])
+    builder.step("S4", program="fig3.s4", inputs=["S3.top"], outputs=["y"])
+    builder.step("S5", program="fig3.s5", outputs=["y"])
+    builder.step("S6", program="fig3.s6", join="xor", outputs=["res"])
+    builder.arc("S1", "S2")
+    builder.branch("S2", [("S3", "S2.route == 'top'")], otherwise="S5")
+    builder.arc("S3", "S4")
+    builder.arc("S4", "S6")
+    builder.arc("S5", "S6")
+    builder.rollback_point("S4", "S2")
+    builder.output("result", "S6.res")
+    schema = builder.build()
+    return Scenario(
+        name="figure3",
+        schemas=[schema],
+        programs={
+            "fig3.s1": FunctionProgram(lambda i, c: {"x": i["WF.load"]}),
+            # First execution routes top; after the failure feedback the
+            # re-execution routes bottom.
+            "fig3.s2": FunctionProgram(
+                lambda i, c: {"route": "top" if c.attempt == 1 else "bottom"}
+            ),
+            "fig3.s3": NoopProgram(("top",)),
+            "fig3.s4": FailEveryNth(NoopProgram(("y",)), fail_attempts),
+            "fig3.s5": NoopProgram(("y",)),
+            "fig3.s6": FunctionProgram(lambda i, c: {"res": "shipped"}),
+        },
+    )
+
+
+def travel_booking(
+    flight_fails_on: frozenset[int] = frozenset(),
+    invoice_fails_on: frozenset[int] = frozenset({1}),
+) -> Scenario:
+    """A travel itinerary exercising OCR and compensation dependent sets.
+
+    Book flight and hotel (dependent set: the hotel depends on the flight
+    dates, so they compensate in reverse order), book a car in parallel,
+    then invoice.  The invoice step fails on its first attempt by default,
+    rolling back to the flight; with OCR, unchanged bookings are *reused*
+    rather than cancelled and re-booked — the paper's headline saving.
+    """
+    builder = SchemaBuilder("TravelBooking", inputs=["traveller", "dates"])
+    builder.step("Plan", program="travel.plan", inputs=["WF.dates"],
+                 outputs=["itinerary"], cost=1.0)
+    builder.step("BookFlight", program="travel.flight",
+                 inputs=["Plan.itinerary"], outputs=["pnr"], cost=5.0,
+                 compensation_cost=4.0,
+                 cr_policy=ReuseIfInputsUnchanged())
+    builder.step("BookHotel", program="travel.hotel",
+                 inputs=["BookFlight.pnr"], outputs=["conf"], cost=4.0,
+                 compensation_cost=3.0,
+                 cr_policy=IncrementalIfInputsChanged(0.25))
+    builder.step("BookCar", program="travel.car", inputs=["Plan.itinerary"],
+                 outputs=["car"], cost=2.0,
+                 cr_policy=ReuseIfInputsUnchanged())
+    builder.step("Invoice", program="travel.invoice", join="and",
+                 inputs=["BookHotel.conf", "BookCar.car"], outputs=["total"],
+                 cost=1.0)
+    builder.arc("Plan", "BookFlight")
+    builder.arc("BookFlight", "BookHotel")
+    builder.arc("Plan", "BookCar")
+    builder.join("Invoice", ["BookHotel", "BookCar"], kind="and")
+    builder.compensation_set("BookFlight", "BookHotel")
+    builder.rollback_point("Invoice", "BookFlight")
+    builder.abort_compensation("BookFlight", "BookHotel", "BookCar")
+    builder.output("invoice", "Invoice.total")
+    schema = builder.build()
+    return Scenario(
+        name="travel-booking",
+        schemas=[schema],
+        programs={
+            "travel.plan": FunctionProgram(
+                lambda i, c: {"itinerary": f"IT:{i['WF.dates']}"}
+            ),
+            "travel.flight": FailEveryNth(NoopProgram(("pnr",)), flight_fails_on),
+            "travel.hotel": NoopProgram(("conf",)),
+            "travel.car": NoopProgram(("car",)),
+            "travel.invoice": FailEveryNth(
+                FunctionProgram(lambda i, c: {"total": 1240.0}), invoice_fails_on
+            ),
+        },
+    )

@@ -1,0 +1,72 @@
+"""Tests that Table 7 — the recommendation matrix — is reproduced exactly."""
+
+from repro.analysis.recommend import (
+    SCENARIOS,
+    rank_architectures,
+    recommendation_matrix,
+)
+from repro.workloads.params import PAPER_DEFAULTS
+
+
+def test_load_rankings_match_table7():
+    """Load at engine: (1) Distributed (2) Parallel (3) Central, all columns."""
+    for scenario in SCENARIOS:
+        ranking = rank_architectures("load", scenario)
+        assert ranking.order() == ("distributed", "parallel", "centralized"), scenario
+        assert [rank for rank, __, __v in ranking.entries] == [1, 2, 3]
+
+
+def test_messages_normal_matches_table7():
+    """(1) Distributed (2) Parallel (2) Central — a genuine tie at rank 2."""
+    ranking = rank_architectures("messages", "normal")
+    assert ranking.rank_of("distributed") == 1
+    assert ranking.rank_of("centralized") == 2
+    assert ranking.rank_of("parallel") == 2
+
+
+def test_messages_normal_failures_matches_table7():
+    ranking = rank_architectures("messages", "normal+failures")
+    assert ranking.rank_of("distributed") == 1
+    assert ranking.rank_of("centralized") == 2
+    assert ranking.rank_of("parallel") == 2
+
+
+def test_messages_normal_coordinated_matches_table7():
+    """(1) Central (2) Distributed (3) Parallel."""
+    ranking = rank_architectures("messages", "normal+coordinated")
+    assert ranking.order() == ("centralized", "distributed", "parallel")
+
+
+def test_matrix_covers_all_cells():
+    matrix = recommendation_matrix()
+    assert set(matrix) == {
+        (criterion, scenario)
+        for criterion in ("load", "messages")
+        for scenario in SCENARIOS
+    }
+
+
+def test_heavy_coordination_flips_message_winner():
+    """The paper's crossover: with no coordination requirements distributed
+    wins messages; with heavy coordination centralized does."""
+    none = PAPER_DEFAULTS.evolve(me=0, ro=0, rd=0)
+    ranking = rank_architectures("messages", "normal+coordinated", none)
+    assert ranking.order()[0] == "distributed"
+    heavy = PAPER_DEFAULTS.evolve(me=4, ro=4, rd=2)
+    ranking = rank_architectures("messages", "normal+coordinated", heavy)
+    assert ranking.order()[0] == "centralized"
+
+
+def test_rank_of_unknown_architecture():
+    import pytest
+
+    ranking = rank_architectures("load", "normal")
+    with pytest.raises(KeyError):
+        ranking.rank_of("quantum")
+
+
+def test_invalid_criterion_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        rank_architectures("latency", "normal")

@@ -1,0 +1,154 @@
+"""Unit tests for the OCR planning logic (paper Figure 5)."""
+
+import pytest
+
+from repro.core.ocr import (
+    compensation_set_order,
+    compensation_set_order_from_events,
+    plan_step_action,
+)
+from repro.errors import RecoveryError
+from repro.model.policies import (
+    AlwaysReexecute,
+    CRDecision,
+    IncrementalIfInputsChanged,
+    ReuseIfInputsUnchanged,
+)
+from repro.model.schema import StepDef
+from repro.storage.tables import InstanceState, StepStatus
+
+
+STEP = StepDef(name="S1", cost=10.0, compensation_cost=6.0)
+
+
+def record(status, inputs=None, outputs=None, executions=1):
+    from repro.storage.tables import StepRecord
+
+    return StepRecord(
+        step="S1",
+        status=status,
+        executions=executions,
+        last_inputs=dict(inputs or {}),
+        last_outputs=dict(outputs or {}),
+    )
+
+
+def test_first_execution_plan():
+    plan = plan_step_action(STEP, record(StepStatus.NOT_STARTED, executions=0),
+                            {"a": 1}, ReuseIfInputsUnchanged())
+    assert plan.first_execution
+    assert plan.decision is None
+    assert not plan.compensate
+    assert plan.reexecute and plan.execution_cost == 10.0
+
+
+def test_failed_step_reexecutes_without_compensation():
+    plan = plan_step_action(STEP, record(StepStatus.FAILED), {"a": 1},
+                            ReuseIfInputsUnchanged())
+    assert not plan.compensate
+    assert plan.reexecute
+    assert plan.execution_cost == 10.0
+
+
+def test_compensated_step_runs_fresh():
+    plan = plan_step_action(STEP, record(StepStatus.COMPENSATED), {"a": 1},
+                            ReuseIfInputsUnchanged())
+    assert not plan.compensate
+    assert plan.reexecute
+
+
+def test_reuse_when_inputs_unchanged():
+    plan = plan_step_action(STEP, record(StepStatus.DONE, inputs={"a": 1}),
+                            {"a": 1}, ReuseIfInputsUnchanged())
+    assert plan.decision is CRDecision.REUSE
+    assert plan.reuse_outputs
+    assert not plan.reexecute
+    assert plan.total_cost == 0.0
+
+
+def test_complete_when_inputs_changed():
+    plan = plan_step_action(STEP, record(StepStatus.DONE, inputs={"a": 1}),
+                            {"a": 2}, ReuseIfInputsUnchanged())
+    assert plan.decision is CRDecision.COMPLETE
+    assert plan.compensate and plan.compensation_kind == "complete"
+    assert plan.compensation_cost == 6.0
+    assert plan.execution_cost == 10.0
+
+
+def test_incremental_plan_scales_costs():
+    policy = IncrementalIfInputsChanged(0.25)
+    plan = plan_step_action(STEP, record(StepStatus.DONE, inputs={"a": 1}),
+                            {"a": 2}, policy)
+    assert plan.decision is CRDecision.INCREMENTAL
+    assert plan.compensation_kind == "partial"
+    assert plan.compensation_cost == pytest.approx(1.5)  # 6.0 * 0.25
+    assert plan.execution_cost == pytest.approx(2.5)  # 10.0 * 0.25
+
+
+def test_always_reexecute_baseline():
+    plan = plan_step_action(STEP, record(StepStatus.DONE, inputs={"a": 1}),
+                            {"a": 1}, AlwaysReexecute())
+    assert plan.decision is CRDecision.COMPLETE
+    assert plan.total_cost == 16.0
+
+
+def test_noncompensable_step_skips_compensation():
+    step = StepDef(name="S1", cost=10.0, compensable=False)
+    plan = plan_step_action(step, record(StepStatus.DONE, inputs={"a": 1}),
+                            {"a": 2}, AlwaysReexecute())
+    assert not plan.compensate
+    assert plan.compensation_cost == 0.0
+    assert plan.reexecute
+
+
+def test_running_step_retrigger_is_an_error():
+    with pytest.raises(RecoveryError):
+        plan_step_action(STEP, record(StepStatus.RUNNING), {}, AlwaysReexecute())
+
+
+def test_compensation_set_order_reverse_execution():
+    state = InstanceState(schema_name="W", instance_id="i1")
+    for name, seq in (("A", 1), ("B", 2), ("C", 3)):
+        rec = state.record(name)
+        rec.status = StepStatus.DONE
+        rec.exec_seq = seq
+    members = frozenset({"A", "B", "C"})
+    assert compensation_set_order(members, state) == ["C", "B", "A"]
+
+
+def test_compensation_set_order_up_to_stops_at_member():
+    state = InstanceState(schema_name="W", instance_id="i1")
+    for name, seq in (("A", 1), ("B", 2), ("C", 3)):
+        rec = state.record(name)
+        rec.status = StepStatus.DONE
+        rec.exec_seq = seq
+    members = frozenset({"A", "B", "C"})
+    # Re-executing B: only C (executed after B) and B itself compensate.
+    assert compensation_set_order(members, state, up_to="B") == ["C", "B"]
+
+
+def test_compensation_set_order_skips_unexecuted():
+    state = InstanceState(schema_name="W", instance_id="i1")
+    rec = state.record("A")
+    rec.status = StepStatus.DONE
+    rec.exec_seq = 1
+    state.record("B")  # NOT_STARTED
+    assert compensation_set_order(frozenset({"A", "B"}), state) == ["A"]
+
+
+def test_compensation_set_order_unknown_up_to_raises():
+    state = InstanceState(schema_name="W", instance_id="i1")
+    with pytest.raises(RecoveryError):
+        compensation_set_order(frozenset({"A"}), state, up_to="A")
+
+
+def test_compensation_set_order_from_events():
+    done_times = {"A": 1.0, "B": 3.0, "C": 2.0}
+    members = frozenset({"A", "B", "C"})
+    assert compensation_set_order_from_events(members, done_times) == ["B", "C", "A"]
+    assert compensation_set_order_from_events(members, done_times, up_to="C") == ["B", "C"]
+
+
+def test_compensation_set_order_from_events_tie_breaks_by_name():
+    done_times = {"A": 1.0, "B": 1.0}
+    assert compensation_set_order_from_events(frozenset({"A", "B"}), done_times) == ["A", "B"]

@@ -1,0 +1,62 @@
+"""Unit tests for rollback/invalidation helpers."""
+
+from repro.core.recovery import (
+    RecoveryTokens,
+    abandoned_branch_compensation,
+    invalidation_tokens,
+    steps_to_invalidate,
+)
+from repro.model.compiler import compile_schema
+from repro.storage.tables import InstanceState, StepStatus
+from tests.conftest import branching_schema, linear_schema
+
+
+def test_steps_to_invalidate_descendants_plus_origin():
+    compiled = compile_schema(linear_schema(steps=4))
+    assert steps_to_invalidate(compiled, "S2") == frozenset({"S2", "S3", "S4"})
+
+
+def test_invalidation_tokens_cover_done_and_fail():
+    tokens = invalidation_tokens({"S1", "S2"})
+    assert tokens == frozenset({"S1.D", "S1.F", "S2.D", "S2.F"})
+
+
+def test_recovery_tokens_bundle():
+    compiled = compile_schema(linear_schema(steps=3))
+    recovery = RecoveryTokens(compiled, "S2")
+    assert recovery.origin == "S2"
+    assert recovery.steps == frozenset({"S2", "S3"})
+    assert "S3.D" in recovery.tokens and "S2.F" in recovery.tokens
+
+
+def test_abandoned_branch_compensation_orders_latest_first():
+    compiled = compile_schema(branching_schema())
+    state = InstanceState(schema_name="Branchy", instance_id="i1")
+    for name, seq in (("S3", 1), ("S4", 2)):
+        record = state.record(name)
+        record.status = StepStatus.DONE
+        record.exec_seq = seq
+    # Re-execution took the S5 (else) branch: S3 and S4 must be undone.
+    steps = abandoned_branch_compensation(compiled, state, "S2", "S5")
+    assert steps == ["S4", "S3"]
+
+
+def test_abandoned_branch_skips_unexecuted_and_failed():
+    compiled = compile_schema(branching_schema())
+    state = InstanceState(schema_name="Branchy", instance_id="i1")
+    record = state.record("S3")
+    record.status = StepStatus.DONE
+    record.exec_seq = 1
+    failed = state.record("S4")
+    failed.status = StepStatus.FAILED
+    steps = abandoned_branch_compensation(compiled, state, "S2", "S5")
+    assert steps == ["S3"]
+
+
+def test_abandoned_branch_same_branch_is_empty():
+    compiled = compile_schema(branching_schema())
+    state = InstanceState(schema_name="Branchy", instance_id="i1")
+    record = state.record("S5")
+    record.status = StepStatus.DONE
+    record.exec_seq = 1
+    assert abandoned_branch_compensation(compiled, state, "S2", "S5") == []

@@ -1,0 +1,113 @@
+"""Cross-architecture equivalence: one enactment semantics, three placements.
+
+The same schemas with the same (deterministic) programs must produce the
+same *outcomes* — statuses, workflow outputs, branch decisions — under
+all three control architectures.
+"""
+
+import pytest
+
+from repro.core.programs import FailEveryNth, FunctionProgram, NoopProgram
+from repro.model import AlwaysReexecute, SchemaBuilder
+from repro.workloads import figure3_workflow, order_processing, travel_booking
+from tests.conftest import (
+    ALL_ARCHITECTURES,
+    branching_schema,
+    linear_schema,
+    make_system,
+    parallel_schema,
+    register_programs,
+)
+
+
+def run_everywhere(build_and_start):
+    """Run one scenario under all architectures; return outcome summaries."""
+    results = {}
+    for architecture in ALL_ARCHITECTURES:
+        system = make_system(architecture, seed=11)
+        ids = build_and_start(system)
+        system.run()
+        results[architecture] = [
+            (system.outcome(i).status.value, tuple(sorted(system.outcome(i).outputs)))
+            for i in ids
+        ]
+    assert len({tuple(v) for v in results.values()}) == 1, results
+    return results
+
+
+def test_linear_outcomes_agree():
+    def scenario(system):
+        schema = linear_schema(steps=5)
+        system.register_schema(schema)
+        register_programs(system, schema)
+        return [system.start_workflow("Linear", {"x": i}) for i in range(3)]
+
+    run_everywhere(scenario)
+
+
+def test_parallel_fanout_outcomes_agree():
+    def scenario(system):
+        schema = parallel_schema()
+        system.register_schema(schema)
+        register_programs(system, schema)
+        return [system.start_workflow("Fanout", {"x": 1})]
+
+    run_everywhere(scenario)
+
+
+def test_figure3_recovery_outcomes_agree():
+    def scenario(system):
+        scenario_obj = figure3_workflow()
+        scenario_obj.install(system)
+        return [system.start_workflow("Figure3", {"load": 7})]
+
+    run_everywhere(scenario)
+
+
+def test_travel_booking_ocr_outcomes_agree():
+    def scenario(system):
+        travel_booking().install(system)
+        return [system.start_workflow("TravelBooking",
+                                      {"traveller": "mk", "dates": "d1"})]
+
+    run_everywhere(scenario)
+
+
+def test_branch_decision_identical_across_architectures():
+    """The same data-dependent branch is taken everywhere."""
+    decisions = {}
+    for architecture in ALL_ARCHITECTURES:
+        system = make_system(architecture, seed=12)
+        schema = branching_schema()
+        system.register_schema(schema)
+        register_programs(system, schema, behaviors={
+            "S2": FunctionProgram(lambda i, c: {"route": "top"}),
+        })
+        instance = system.start_workflow("Branchy", {"load": 1})
+        system.run()
+        done = {r.detail["step"] for r in system.trace.filter(kind="step.done")}
+        decisions[architecture] = ("S3" in done, "S5" in done)
+    assert len(set(decisions.values())) == 1
+    assert decisions["centralized"] == (True, False)
+
+
+def test_saga_abort_equivalent_everywhere():
+    statuses = {}
+    for architecture in ALL_ARCHITECTURES:
+        system = make_system(architecture, seed=13)
+        schema = linear_schema(steps=3)
+        system.register_schema(schema)
+        register_programs(system, schema, behaviors={
+            "S3": FailEveryNth(NoopProgram(("out",)), {1, 2, 3}),
+        })
+        instance = system.start_workflow("Linear", {"x": 1})
+        system.run()
+        compensated = [r.detail["step"]
+                       for r in system.trace.filter(kind="step.compensate")]
+        compensated += [r.detail["step"]
+                        for r in system.trace.filter(kind="step.compensated")]
+        statuses[architecture] = (
+            system.outcome(instance).status.value, tuple(compensated)
+        )
+    assert len(set(statuses.values())) == 1
+    assert statuses["centralized"] == ("aborted", ("S2", "S1"))

@@ -1,0 +1,79 @@
+"""Tests for the front-end database facade."""
+
+import pytest
+
+from repro.engines import FrontEndDatabase
+from repro.errors import FrontEndError
+from repro.storage.tables import InstanceStatus
+from tests.conftest import linear_schema, make_system, register_programs
+
+
+def make_frontend(architecture="distributed"):
+    system = make_system(architecture, seed=4)
+    schema = linear_schema()
+    system.register_schema(schema)
+    register_programs(system, schema)
+    return FrontEndDatabase(system), system
+
+
+def test_submit_maps_reference_to_instance():
+    frontend, system = make_frontend()
+    instance = frontend.submit("ORDER-1", "Linear", {"x": 1})
+    assert frontend.instance_of("ORDER-1") == instance
+    assert frontend.reference_of(instance) == "ORDER-1"
+    system.run()
+    assert frontend.status("ORDER-1") is InstanceStatus.COMMITTED
+    assert frontend.result("ORDER-1").committed
+
+
+def test_duplicate_reference_rejected():
+    frontend, __ = make_frontend()
+    frontend.submit("R1", "Linear", {"x": 1})
+    with pytest.raises(FrontEndError):
+        frontend.submit("R1", "Linear", {"x": 2})
+
+
+def test_unknown_reference_rejected():
+    frontend, __ = make_frontend()
+    with pytest.raises(FrontEndError):
+        frontend.instance_of("ghost")
+    with pytest.raises(FrontEndError):
+        frontend.cancel("ghost")
+
+
+def test_cancel_translates_to_abort():
+    frontend, system = make_frontend()
+    frontend.submit("R1", "Linear", {"x": 1})
+    frontend.cancel("R1", delay=0.01)
+    system.run()
+    assert frontend.status("R1") is InstanceStatus.ABORTED
+
+
+def test_amend_translates_to_change_inputs():
+    frontend, system = make_frontend("centralized")
+    frontend.submit("R1", "Linear", {"x": 1})
+    frontend.amend("R1", {"x": 5}, delay=0.01)
+    system.run()
+    assert frontend.status("R1") is InstanceStatus.COMMITTED
+
+
+def test_references_sorted():
+    frontend, __ = make_frontend()
+    frontend.submit("B", "Linear", {"x": 1})
+    frontend.submit("A", "Linear", {"x": 2})
+    assert frontend.references() == ["A", "B"]
+
+
+def test_result_before_finish_raises():
+    frontend, __ = make_frontend()
+    frontend.submit("R1", "Linear", {"x": 1})
+    with pytest.raises(FrontEndError):
+        frontend.result("R1")
+
+
+def test_frontend_works_with_all_architectures():
+    for architecture in ("centralized", "parallel", "distributed"):
+        frontend, system = make_frontend(architecture)
+        frontend.submit("R1", "Linear", {"x": 1})
+        system.run()
+        assert frontend.result("R1").committed

@@ -1,0 +1,79 @@
+"""Parallel-control recovery: one engine crashes, its instances survive."""
+
+import pytest
+
+from repro.engines import ParallelControlSystem, SystemConfig
+from repro.storage.tables import InstanceStatus
+from tests.conftest import linear_schema, register_programs
+from repro.model import SchemaBuilder
+from repro.core.programs import NoopProgram
+
+
+def make():
+    return ParallelControlSystem(SystemConfig(seed=41), num_engines=2,
+                                 num_agents=4, agents_per_step=1)
+
+
+def test_engine_crash_recovers_owned_instances():
+    system = make()
+    builder = SchemaBuilder("W", inputs=["x"])
+    builder.step("A", program="W.A", inputs=["WF.x"], outputs=["o"])
+    builder.step("B", program="W.B", inputs=["A.o"], outputs=["o"], cost=40.0)
+    builder.step("C", program="W.C", inputs=["B.o"], outputs=["o"])
+    builder.sequence("A", "B", "C")
+    schema = builder.build()
+    system.register_schema(schema)
+    register_programs(system, schema)
+    # Two instances, one on each engine.
+    i_zero = system.start_workflow("W", {"x": 0})
+    i_one = system.start_workflow("W", {"x": 1})
+    owner_zero = system.owner_of(i_zero)
+    engine = next(e for e in system.engines if e.name == owner_zero)
+
+    def crash_recover():
+        engine.crash()
+        engine.recover()
+
+    # Crash engine-00 while B is executing for its instance.
+    system.simulator.schedule(4.0, crash_recover)
+    system.run()
+    assert system.outcome(i_zero).committed
+    assert system.outcome(i_one).committed
+
+
+def test_engine_crash_does_not_disturb_other_engines():
+    system = make()
+    schema = linear_schema(steps=3)
+    system.register_schema(schema)
+    register_programs(system, schema)
+    instances = [system.start_workflow("Linear", {"x": i}) for i in range(4)]
+    other = system.engines[1]
+    system.simulator.schedule(1.0, other.crash)
+    system.simulator.schedule(8.0, other.recover)
+    system.run()
+    for instance in instances:
+        assert system.outcome(instance).committed
+
+
+def test_parallel_abort_and_status_after_owner_recovery():
+    system = make()
+    builder = SchemaBuilder("W", inputs=["x"])
+    builder.step("A", program="W.A", inputs=["WF.x"], outputs=["o"])
+    builder.step("B", program="W.B", inputs=["A.o"], cost=500.0)
+    builder.sequence("A", "B")
+    builder.abort_compensation("A")
+    schema = builder.build()
+    system.register_schema(schema)
+    register_programs(system, schema)
+    instance = system.start_workflow("W", {"x": 1})
+    engine = next(e for e in system.engines
+                  if e.name == system.owner_of(instance))
+
+    def crash_recover():
+        engine.crash()
+        engine.recover()
+
+    system.simulator.schedule(5.0, crash_recover)
+    system.abort_workflow(instance, delay=10.0)
+    system.run()
+    assert system.outcome(instance).status is InstanceStatus.ABORTED

@@ -1,0 +1,61 @@
+"""Unit tests for the LAWS tokenizer."""
+
+import pytest
+
+from repro.errors import LawsSyntaxError
+from repro.laws.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text) if t.kind != "eof"]
+
+
+def test_keywords_vs_names():
+    assert kinds("workflow Foo") == [("keyword", "workflow"), ("name", "Foo")]
+
+
+def test_dotted_names():
+    assert kinds("WF.part") == [("name", "WF.part")]
+    assert kinds("order.check") == [("name", "order.check")]
+
+
+def test_arrow_and_range_punctuation():
+    assert kinds("A -> B") == [("name", "A"), ("punct", "->"), ("name", "B")]
+    assert kinds("A..B") == [("name", "A"), ("punct", ".."), ("name", "B")]
+
+
+def test_numbers():
+    assert kinds("cost 2.5") == [("keyword", "cost"), ("number", "2.5")]
+    assert kinds("42") == [("number", "42")]
+
+
+def test_strings_both_quotes():
+    assert kinds('when "S1.o > 1"') == [("keyword", "when"), ("string", "S1.o > 1")]
+    assert kinds("when 'x'") == [("keyword", "when"), ("string", "x")]
+
+
+def test_comments_ignored():
+    assert kinds("A # this is a comment\nB") == [("name", "A"), ("name", "B")]
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("a\n  b")
+    assert tokens[0].line == 1 and tokens[0].column == 1
+    assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(LawsSyntaxError):
+        tokenize('when "unfinished')
+    with pytest.raises(LawsSyntaxError):
+        tokenize('when "multi\nline"')
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(LawsSyntaxError):
+        tokenize("workflow @")
+
+
+def test_punctuation_suite():
+    text = "{ } ; , ( ) [ ] ="
+    assert [v for __, v in kinds(text)] == ["{", "}", ";", ",", "(", ")", "[", "]", "="]

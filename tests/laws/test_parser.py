@@ -1,0 +1,185 @@
+"""Unit tests for the LAWS parser."""
+
+import pytest
+
+from repro.errors import LawsSyntaxError
+from repro.laws.parser import parse_laws
+
+
+MINIMAL = """
+workflow W {
+  inputs x;
+  step A program p.a reads WF.x writes o;
+  step B reads A.o;
+  arc A -> B;
+}
+"""
+
+
+def test_minimal_workflow():
+    doc = parse_laws(MINIMAL)
+    assert len(doc.workflows) == 1
+    wf = doc.workflows[0]
+    assert wf.name == "W"
+    assert wf.inputs == ("x",)
+    assert [s.name for s in wf.steps] == ["A", "B"]
+    assert wf.steps[0].program == "p.a"
+    assert wf.steps[0].reads == ("WF.x",)
+    assert wf.steps[0].writes == ("o",)
+    assert wf.arcs[0].src == "A" and wf.arcs[0].dst == "B"
+
+
+def test_step_attributes():
+    doc = parse_laws("""
+    workflow W {
+      step A program p type query cost 2.5 resources inv, machines
+             writes o compensation cost 1.5 compensation program undo_p;
+      step B noncompensable join xor;
+      step C subworkflow Child;
+    }
+    """)
+    a, b, c = doc.workflows[0].steps
+    assert a.step_type == "query"
+    assert a.cost == 2.5
+    assert a.resources == ("inv", "machines")
+    assert a.compensation_cost == 1.5
+    assert a.compensation_program == "undo_p"
+    assert not b.compensable and b.join == "xor"
+    assert c.subworkflow == "Child"
+
+
+def test_conditional_arcs_and_branch():
+    doc = parse_laws("""
+    workflow W {
+      step A writes o; step B; step C; step D;
+      arc A -> B when "A.o > 1";
+      arc A -> C otherwise;
+      branch B -> C when "A.o > 5", D otherwise;
+    }
+    """)
+    wf = doc.workflows[0]
+    assert wf.arcs[0].condition == "A.o > 1"
+    assert wf.arcs[1].is_else
+    branch = wf.branches[0]
+    assert branch.conditional == (("C", "A.o > 5"),)
+    assert branch.otherwise == "D"
+
+
+def test_parallel_join_loop():
+    doc = parse_laws("""
+    workflow W {
+      step A; step B; step C; step D;
+      parallel A -> B, C;
+      join D from B, C kind and;
+      loop D -> A while "D.n < 3";
+    }
+    """)
+    wf = doc.workflows[0]
+    assert wf.parallels[0].branches == ("B", "C")
+    assert wf.joins[0].sources == ("B", "C") and wf.joins[0].kind == "and"
+    assert wf.loops[0].condition == "D.n < 3"
+
+
+def test_failure_handling_clauses():
+    doc = parse_laws("""
+    workflow W {
+      step A; step B; step C;
+      on failure of C rollback to A;
+      compensation set { A, B };
+      on abort compensate A, B;
+    }
+    """)
+    wf = doc.workflows[0]
+    assert wf.rollbacks[0].failed_step == "C" and wf.rollbacks[0].origin == "A"
+    assert wf.compensation_sets[0].members == ("A", "B")
+    assert wf.abort_compensate[0].steps == ("A", "B")
+
+
+def test_cr_clauses():
+    doc = parse_laws("""
+    workflow W {
+      step A; step B; step C; step D;
+      cr A always;
+      cr B reuse_if_unchanged;
+      cr C incremental 0.4;
+      cr D reuse when "prev.WF.x == new.WF.x" incremental when "new.WF.x > 0" fraction 0.2;
+    }
+    """)
+    crs = {c.step: c for c in doc.workflows[0].cr_decls}
+    assert crs["A"].policy == "always"
+    assert crs["B"].policy == "reuse_if_unchanged"
+    assert crs["C"].policy == "incremental" and crs["C"].fraction == 0.4
+    assert crs["D"].policy == "condition"
+    assert crs["D"].reuse_when == "prev.WF.x == new.WF.x"
+    assert crs["D"].incremental_when == "new.WF.x > 0"
+    assert crs["D"].fraction == 0.2
+
+
+def test_output_clause():
+    doc = parse_laws("""
+    workflow W { step A writes o; output res = A.o; }
+    """)
+    out = doc.workflows[0].outputs[0]
+    assert out.name == "res" and out.ref == "A.o"
+
+
+def test_order_declaration():
+    doc = parse_laws("""
+    workflow A { step S1; step S2; arc S1 -> S2; }
+    workflow B { step T1; step T2; arc T1 -> T2; }
+    order fifo between A(S1, S2) and B(T1, T2) on WF.part;
+    """)
+    order = doc.orders[0]
+    assert order.name == "fifo"
+    assert order.steps_a == ("S1", "S2") and order.steps_b == ("T1", "T2")
+    assert order.conflict_key == "WF.part"
+
+
+def test_mutex_declaration():
+    doc = parse_laws("""
+    workflow A { step S1; step S2; arc S1 -> S2; }
+    mutex lock between A[S1..S2] and A[S1..S2];
+    """)
+    mutex = doc.mutexes[0]
+    assert mutex.region_a == ("S1", "S2")
+    assert mutex.conflict_key is None
+
+
+def test_rollback_dependency_declaration():
+    doc = parse_laws("""
+    workflow A { step S1; step S2; arc S1 -> S2; }
+    workflow B { step T1; }
+    rollback_dependency rd when A.S1 rolls back force B to T1 on WF.k;
+    """)
+    rd = doc.rollback_dependencies[0]
+    assert rd.schema_a == "A" and rd.trigger_step_a == "S1"
+    assert rd.schema_b == "B" and rd.rollback_to_b == "T1"
+
+
+def test_syntax_errors_carry_location():
+    with pytest.raises(LawsSyntaxError) as err:
+        parse_laws("workflow W { step ; }")
+    assert "line" in str(err.value)
+
+
+def test_unexpected_toplevel_rejected():
+    with pytest.raises(LawsSyntaxError):
+        parse_laws("step A;")
+
+
+def test_branch_arm_requires_when_or_otherwise():
+    with pytest.raises(LawsSyntaxError):
+        parse_laws("workflow W { step A; step B; branch A -> B; }")
+
+
+def test_bad_join_kind_rejected():
+    with pytest.raises(LawsSyntaxError):
+        parse_laws("workflow W { step A; step B; step C; join C from A, B kind sideways; }")
+
+
+def test_rollback_dependency_requires_dotted_trigger():
+    with pytest.raises(LawsSyntaxError):
+        parse_laws("""
+        workflow A { step S1; }
+        rollback_dependency rd when S1 rolls back force A to S1;
+        """)

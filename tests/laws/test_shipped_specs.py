@@ -1,0 +1,54 @@
+"""The LAWS specification shipped in examples/ stays loadable and runnable."""
+
+import pathlib
+
+import pytest
+
+from repro.core.programs import NoopProgram
+from repro.laws import load_laws
+from repro.model.export import to_dot
+from tests.conftest import make_system
+
+SPEC_PATH = pathlib.Path(__file__).resolve().parents[2] / "examples" / "order_fulfilment.laws"
+
+
+@pytest.fixture(scope="module")
+def document():
+    return load_laws(SPEC_PATH.read_text())
+
+
+def test_shipped_spec_parses(document):
+    assert [schema.name for schema in document.schemas] == ["Orders"]
+    assert [spec.name for spec in document.specs] == ["part_fifo"]
+    orders = document.schemas[0]
+    assert orders.rollback_points == {"Ship": "Reserve"}
+    assert orders.compensation_sets == (frozenset({"Reserve", "Pack"}),)
+
+
+def test_shipped_spec_renders_to_dot(document):
+    dot = to_dot(document.schemas[0])
+    assert "digraph" in dot
+    assert '"Reserve" -> "Expedite"' in dot
+    assert 'label="otherwise"' in dot
+
+
+@pytest.mark.parametrize("architecture", ["centralized", "distributed"])
+def test_shipped_spec_runs(document, architecture):
+    system = make_system(architecture, seed=61)
+    document.install(system)
+    for program, outputs in (("ord.check", ("ok",)), ("ord.reserve", ("rsv",)),
+                             ("ord.rush", ("tag",)), ("ord.pack", ("box",)),
+                             ("ord.ship", ("trk",))):
+        system.register_program(program, NoopProgram(outputs))
+    small = system.start_workflow("Orders", {"part": "gasket", "qty": 2})
+    bulk = system.start_workflow("Orders", {"part": "gasket", "qty": 50},
+                                 delay=0.2)
+    system.run()
+    assert system.outcome(small).committed
+    assert system.outcome(bulk).committed
+    done = {(r.detail["instance"], r.detail["step"])
+            for r in system.trace.filter(
+                kind="step.done")}
+    # qty>10 takes the Expedite branch; small order skips it.
+    assert (bulk, "Expedite") in done
+    assert (small, "Expedite") not in done

@@ -1,0 +1,133 @@
+"""Unit tests for LAWS -> model translation (and end-to-end execution)."""
+
+import pytest
+
+from repro.errors import LawsSemanticError, ValidationError
+from repro.laws import load_laws
+from repro.model import (
+    AlwaysReexecute,
+    ConditionPolicy,
+    IncrementalIfInputsChanged,
+    JoinKind,
+    MutualExclusionSpec,
+    RelativeOrderSpec,
+    ReuseIfInputsUnchanged,
+    RollbackDependencySpec,
+    StepType,
+)
+from tests.conftest import make_system
+
+
+SOURCE = """
+workflow Orders {
+  inputs part, qty;
+  step Check program p.check type query reads WF.part, WF.qty writes ok cost 1;
+  step Reserve program p.reserve reads Check.ok writes rsv cost 2 compensation cost 1.5;
+  step Ship program p.ship reads Reserve.rsv writes trk;
+  arc Check -> Reserve;
+  arc Reserve -> Ship;
+  on failure of Ship rollback to Reserve;
+  compensation set { Check, Reserve };
+  on abort compensate Reserve;
+  cr Reserve incremental 0.4;
+  cr Check always;
+  output tracking = Ship.trk;
+}
+workflow Billing {
+  inputs part;
+  step B1 program p.bill reads WF.part writes inv;
+  output invoice = B1.inv;
+}
+order fifo between Orders(Reserve, Ship) and Orders(Reserve, Ship) on WF.part;
+mutex lock between Orders[Check..Reserve] and Billing[B1..B1] on WF.part;
+rollback_dependency rd when Orders.Reserve rolls back force Billing to B1 on WF.part;
+"""
+
+
+def test_full_translation():
+    doc = load_laws(SOURCE)
+    assert [s.name for s in doc.schemas] == ["Orders", "Billing"]
+    orders = doc.schemas[0]
+    assert orders.steps["Check"].step_type is StepType.QUERY
+    assert orders.steps["Reserve"].compensation_cost == 1.5
+    assert orders.rollback_points == {"Ship": "Reserve"}
+    assert orders.compensation_sets == (frozenset({"Check", "Reserve"}),)
+    assert orders.abort_compensation_steps == ("Reserve",)
+    assert isinstance(orders.cr_policies["Reserve"], IncrementalIfInputsChanged)
+    assert isinstance(orders.cr_policies["Check"], AlwaysReexecute)
+    assert isinstance(orders.cr_policies["Ship"], ReuseIfInputsUnchanged)
+    assert orders.outputs == {"tracking": "Ship.trk"}
+    assert [type(s) for s in doc.specs] == [
+        RelativeOrderSpec, MutualExclusionSpec, RollbackDependencySpec
+    ]
+
+
+def test_translated_schema_runs():
+    doc = load_laws(SOURCE)
+    system = make_system("distributed", seed=1)
+    doc.install(system)
+    instance = system.start_workflow("Orders", {"part": "gasket", "qty": 2})
+    system.run()
+    assert system.outcome(instance).committed
+
+
+def test_branch_and_join_translation():
+    doc = load_laws("""
+    workflow W {
+      inputs x;
+      step A reads WF.x writes o;
+      step B; step C; step D join xor;
+      branch A -> B when "A.o > 1", C otherwise;
+      arc B -> D;
+      arc C -> D;
+    }
+    """)
+    schema = doc.schemas[0]
+    assert schema.steps["D"].join is JoinKind.XOR
+    conditions = {a.dst: (a.condition, a.is_else) for a in schema.arcs if a.src == "A"}
+    assert conditions["B"] == ("A.o > 1", False)
+    assert conditions["C"] == (None, True)
+
+
+def test_condition_policy_translation():
+    doc = load_laws("""
+    workflow W {
+      inputs x;
+      step A reads WF.x writes o;
+      cr A reuse when "prev.WF.x == new.WF.x" fraction 0.1;
+    }
+    """)
+    policy = doc.schemas[0].cr_policies["A"]
+    assert isinstance(policy, ConditionPolicy)
+    assert policy.incremental_fraction == 0.1
+
+
+def test_cr_for_unknown_step_rejected():
+    with pytest.raises(LawsSemanticError):
+        load_laws("workflow W { step A; cr GHOST always; }")
+
+
+def test_duplicate_workflow_rejected():
+    with pytest.raises(LawsSemanticError):
+        load_laws("workflow W { step A; } workflow W { step B; }")
+
+
+def test_order_with_unknown_schema_rejected():
+    with pytest.raises(LawsSemanticError):
+        load_laws("""
+        workflow A { step S1; }
+        order o between A(S1) and GHOST(T1);
+        """)
+
+
+def test_order_with_unknown_step_rejected():
+    with pytest.raises(LawsSemanticError):
+        load_laws("""
+        workflow A { step S1; }
+        order o between A(S1) and A(GHOST);
+        """)
+
+
+def test_invalid_workflow_structure_fails_validation():
+    with pytest.raises(ValidationError):
+        load_laws("workflow W { step A; step B; }")  # two start steps

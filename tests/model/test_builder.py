@@ -1,0 +1,144 @@
+"""Unit tests for the fluent schema builder."""
+
+import pytest
+
+from repro.errors import SchemaError, ValidationError
+from repro.model.builder import SchemaBuilder
+from repro.model.policies import AlwaysReexecute
+from repro.model.schema import JoinKind, StepType
+
+
+def test_minimal_build():
+    builder = SchemaBuilder("W", inputs=["x"])
+    builder.step("S1", inputs=["WF.x"], outputs=["o"])
+    schema = builder.build()
+    assert schema.name == "W"
+    assert schema.step("S1").outputs == ("o",)
+
+
+def test_duplicate_step_rejected():
+    builder = SchemaBuilder("W")
+    builder.step("S1")
+    with pytest.raises(SchemaError):
+        builder.step("S1")
+
+
+def test_sequence_chains_arcs():
+    builder = SchemaBuilder("W")
+    for name in ("A", "B", "C"):
+        builder.step(name)
+    builder.sequence("A", "B", "C")
+    schema = builder.build()
+    assert schema.successors("A") == ("B",)
+    assert schema.successors("B") == ("C",)
+
+
+def test_sequence_needs_two_steps():
+    builder = SchemaBuilder("W")
+    builder.step("A")
+    with pytest.raises(SchemaError):
+        builder.sequence("A")
+
+
+def test_parallel_split():
+    builder = SchemaBuilder("W")
+    for name in ("A", "B", "C", "D"):
+        builder.step(name)
+    builder.parallel("A", ["B", "C"])
+    builder.step("J", join="and") if False else None
+    builder.join("D", ["B", "C"], kind="and")
+    schema = builder.build()
+    assert set(schema.successors("A")) == {"B", "C"}
+    assert schema.step("D").join is JoinKind.AND
+
+
+def test_branch_with_otherwise():
+    builder = SchemaBuilder("W")
+    for name in ("A", "B", "C"):
+        builder.step(name)
+    builder.branch("A", [("B", "WF.x > 1")], otherwise="C")
+    builder = builder  # chaining returns self
+    schema = SchemaBuilder("W2", inputs=["x"])
+    # rebuild with declared input so validation passes
+    for name in ("A", "B", "C"):
+        schema.step(name, inputs=["WF.x"] if name == "A" else [])
+    schema.branch("A", [("B", "WF.x > 1")], otherwise="C")
+    built = schema.build()
+    arcs = {(a.src, a.dst): a for a in built.arcs}
+    assert arcs[("A", "B")].condition == "WF.x > 1"
+    assert arcs[("A", "C")].is_else
+
+
+def test_branch_requires_conditions():
+    builder = SchemaBuilder("W")
+    builder.step("A")
+    builder.step("B")
+    with pytest.raises(SchemaError):
+        builder.branch("A", [("B", None)])  # type: ignore[list-item]
+
+
+def test_join_requires_predeclared_target():
+    builder = SchemaBuilder("W")
+    builder.step("A")
+    builder.step("B")
+    with pytest.raises(SchemaError):
+        builder.join("Z", ["A", "B"])
+
+
+def test_loop_arc():
+    builder = SchemaBuilder("W")
+    builder.step("A", outputs=["n"])
+    builder.step("B", inputs=["A.n"])
+    builder.arc("A", "B")
+    builder.loop("B", "A", while_condition="A.n < 3")
+    schema = builder.build()
+    assert len(schema.loop_arcs()) == 1
+
+
+def test_cr_policy_attachment():
+    builder = SchemaBuilder("W")
+    builder.step("A", cr_policy=AlwaysReexecute())
+    builder.step("B")
+    builder.arc("A", "B")
+    schema = builder.build()
+    assert isinstance(schema.cr_policies["A"], AlwaysReexecute)
+    # unannotated steps get the library default
+    assert schema.cr_policies["B"] is not None
+
+
+def test_compensation_set_needs_two_members():
+    builder = SchemaBuilder("W")
+    builder.step("A")
+    with pytest.raises(SchemaError):
+        builder.compensation_set("A")
+
+
+def test_step_type_and_join_accept_strings():
+    builder = SchemaBuilder("W")
+    builder.step("A", step_type="query")
+    schema_step = builder._steps["A"]
+    assert schema_step.step_type is StepType.QUERY
+    with pytest.raises(SchemaError):
+        builder.step("B", step_type="bogus")
+    with pytest.raises(SchemaError):
+        builder.step("C", join="bogus")
+
+
+def test_build_runs_validation():
+    builder = SchemaBuilder("W")
+    builder.step("A")
+    builder.step("B")
+    # two start steps -> validation error
+    with pytest.raises(ValidationError):
+        builder.build()
+    assert builder.build(validate=False) is not None
+
+
+def test_abort_compensation_and_output():
+    builder = SchemaBuilder("W", inputs=["x"])
+    builder.step("A", inputs=["WF.x"], outputs=["o"])
+    builder.abort_compensation("A")
+    builder.output("res", "A.o")
+    schema = builder.build()
+    assert schema.abort_compensation_steps == ("A",)
+    assert schema.outputs == {"res": "A.o"}

@@ -1,0 +1,223 @@
+"""Unit tests for schema compilation into rule templates."""
+
+import pytest
+
+from repro.model.builder import SchemaBuilder
+from repro.model.compiler import compile_schema
+from repro.rules.events import WF_START, step_done
+
+
+def rule_for(compiled, step, index=0):
+    templates = compiled.templates_for(step)
+    execute = [t for t in templates if t.kind == "execute"]
+    return execute[index]
+
+
+def test_start_step_rule_requires_workflow_start():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"])
+    compiled = compile_schema(b.build())
+    assert rule_for(compiled, "A").events == frozenset({WF_START})
+
+
+def test_sequential_rule_requires_predecessor_done():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("B", inputs=["A.o"])
+    b.arc("A", "B")
+    compiled = compile_schema(b.build())
+    assert rule_for(compiled, "B").events == frozenset({step_done("A")})
+
+
+def test_data_producer_events_added():
+    """A rule waits for the done events of steps it consumes data from."""
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("B", outputs=["o"])
+    b.step("C")
+    b.step("D", join="and", inputs=["A.o", "B.o"])
+    b.parallel("A", ["B", "C"])
+    b.arc("B", "D")
+    b.arc("C", "D")
+    compiled = compile_schema(b.build())
+    events = rule_for(compiled, "D").events
+    # Preds B and C, plus data producer A.
+    assert events == frozenset({step_done("A"), step_done("B"), step_done("C")})
+
+
+def test_and_join_single_rule_all_preds():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"])
+    b.step("B")
+    b.step("C")
+    b.step("D", join="and")
+    b.parallel("A", ["B", "C"])
+    b.arc("B", "D")
+    b.arc("C", "D")
+    compiled = compile_schema(b.build())
+    rules = [t for t in compiled.templates_for("D") if t.kind == "execute"]
+    assert len(rules) == 1
+    assert rules[0].events == frozenset({step_done("B"), step_done("C")})
+
+
+def test_xor_join_one_rule_per_arc():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("B")
+    b.step("C")
+    b.step("D", join="xor")
+    b.branch("A", [("B", "A.o > 1")], otherwise="C")
+    b.arc("B", "D")
+    b.arc("C", "D")
+    compiled = compile_schema(b.build())
+    rules = [t for t in compiled.templates_for("D") if t.kind == "execute"]
+    assert len(rules) == 2
+    assert {frozenset(r.events) for r in rules} == {
+        frozenset({step_done("B")}),
+        frozenset({step_done("C")}),
+    }
+
+
+def test_branch_conditions_are_mutually_exclusivized():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("B")
+    b.step("C")
+    b.step("D")
+    b.step("J", join="xor")
+    b.branch("A", [("B", "A.o > 10"), ("C", "A.o > 5")], otherwise="D")
+    for step in ("B", "C", "D"):
+        b.arc(step, "J")
+    compiled = compile_schema(b.build())
+    cond_b = rule_for(compiled, "B").condition_text
+    cond_c = rule_for(compiled, "C").condition_text
+    cond_d = rule_for(compiled, "D").condition_text
+    assert cond_b == "A.o > 10"
+    assert "not (A.o > 10)" in cond_c and "A.o > 5" in cond_c
+    assert "not (A.o > 10)" in cond_d and "not (A.o > 5)" in cond_d
+    # exactly one fires for any value of A.o
+    for value in (0, 7, 20):
+        env = {"A.o": value}
+        fired = [
+            s
+            for s, cond in (("B", cond_b), ("C", cond_c), ("D", cond_d))
+            if compiled.condition_for(rule_for(compiled, s).rule_id).evaluate(env)
+        ]
+        assert len(fired) == 1
+
+
+def test_loop_template_and_forward_guard():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("B", outputs=["n"])
+    b.step("C")
+    b.sequence("A", "B", "C")
+    b.loop("B", "A", while_condition="B.n < 3")
+    compiled = compile_schema(b.build())
+    loops = compiled.loop_templates_for("B")
+    assert len(loops) == 1
+    assert loops[0].loop_target == "A"
+    assert loops[0].loop_body == frozenset({"A", "B"})
+    # Forward continuation guarded by the negated loop condition.
+    assert rule_for(compiled, "C").condition_text == "not (B.n < 3)"
+
+
+def test_terminal_profiles_for_xor_terminals():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("B")
+    b.step("C")
+    b.branch("A", [("B", "A.o > 1")], otherwise="C")
+    compiled = compile_schema(b.build())
+    assert compiled.terminal_profiles["B"] == {"A": "B"}
+    assert compiled.terminal_profiles["C"] == {"A": "C"}
+
+
+def test_commit_ready_parallel_terminals():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"])
+    b.step("T1")
+    b.step("T2")
+    b.parallel("A", ["T1", "T2"])
+    compiled = compile_schema(b.build())
+    assert not compiled.commit_ready(set())
+    assert not compiled.commit_ready({"T1"})
+    assert compiled.commit_ready({"T1", "T2"})
+
+
+def test_commit_ready_xor_terminals():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("T1")
+    b.step("T2")
+    b.branch("A", [("T1", "A.o > 1")], otherwise="T2")
+    compiled = compile_schema(b.build())
+    # Either branch terminal alone suffices: the other is unreachable.
+    assert compiled.commit_ready({"T1"})
+    assert compiled.commit_ready({"T2"})
+
+
+def test_commit_ready_mixed_parallel_and_xor():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("P")  # parallel terminal, always expected
+    b.step("X1")
+    b.step("X2")
+    b.parallel("A", ["P", "M"]) if False else None
+    b.step("M", outputs=["o"])
+    b.arc("A", "P")
+    b.arc("A", "M")
+    b.branch("M", [("X1", "M.o > 1")], otherwise="X2")
+    compiled = compile_schema(b.build())
+    assert not compiled.commit_ready({"X1"})
+    assert compiled.commit_ready({"X1", "P"})
+    assert compiled.commit_ready({"X2", "P"})
+    assert not compiled.commit_ready({"P"})
+
+
+def test_invalidation_and_affected_helpers():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("B", outputs=["o"])
+    b.step("C")
+    b.sequence("A", "B", "C")
+    compiled = compile_schema(b.build())
+    assert compiled.invalidation_set("B") == frozenset({"B", "C"})
+    assert compiled.affected_terminals("B") == frozenset({"C"})
+
+
+def test_branch_first_map():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("B")
+    b.step("C")
+    b.step("D", join="xor")
+    b.branch("A", [("B", "A.o > 1")], otherwise="C")
+    b.arc("B", "D")
+    b.arc("C", "D")
+    compiled = compile_schema(b.build())
+    assert compiled.branch_first_map == {"B": "A", "C": "A"}
+
+
+def test_abandoned_branch_members():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("B1", outputs=["o"])
+    b.step("B2")
+    b.step("C")
+    b.step("D", join="xor")
+    b.branch("A", [("B1", "A.o > 1")], otherwise="C")
+    b.arc("B1", "B2")
+    b.arc("B2", "D")
+    b.arc("C", "D")
+    compiled = compile_schema(b.build())
+    assert compiled.abandoned_branch_members("A", "C") == frozenset({"B1", "B2"})
+    assert compiled.abandoned_branch_members("A", "B1") == frozenset({"C"})
+
+
+def test_rule_ids_unique():
+    from tests.conftest import branching_schema
+
+    compiled = compile_schema(branching_schema())
+    ids = [t.rule_id for t in compiled.rule_templates]
+    assert len(ids) == len(set(ids))

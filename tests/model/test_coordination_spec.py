@@ -1,0 +1,70 @@
+"""Unit tests for coordination spec declarations."""
+
+import pytest
+
+from repro.errors import CoordinationError
+from repro.model.coordination_spec import (
+    MutualExclusionSpec,
+    RelativeOrderSpec,
+    RollbackDependencySpec,
+)
+
+
+def test_relative_order_pairs():
+    spec = RelativeOrderSpec(
+        name="ro", schema_a="A", schema_b="B",
+        steps_a=("S1", "S2"), steps_b=("T1", "T2"),
+    )
+    assert spec.pairs == (("S1", "T1"), ("S2", "T2"))
+    assert spec.ordered_steps("A") == ("S1", "S2")
+    assert spec.ordered_steps("B") == ("T1", "T2")
+
+
+def test_relative_order_mismatched_lists():
+    with pytest.raises(CoordinationError):
+        RelativeOrderSpec(name="ro", schema_a="A", schema_b="B",
+                          steps_a=("S1",), steps_b=("T1", "T2"))
+
+
+def test_relative_order_empty_rejected():
+    with pytest.raises(CoordinationError):
+        RelativeOrderSpec(name="ro", schema_a="A", schema_b="B")
+
+
+def test_relative_order_unknown_schema_lookup():
+    spec = RelativeOrderSpec(name="ro", schema_a="A", schema_b="B",
+                             steps_a=("S1",), steps_b=("T1",))
+    with pytest.raises(CoordinationError):
+        spec.ordered_steps("C")
+
+
+def test_mutex_region_validation():
+    with pytest.raises(CoordinationError):
+        MutualExclusionSpec(name="mx", schema_a="A", schema_b="B",
+                            region_a=("", "S2"), region_b=("T1", "T2"))
+
+
+def test_mutex_region_lookup():
+    spec = MutualExclusionSpec(name="mx", schema_a="A", schema_b="B",
+                               region_a=("S1", "S2"), region_b=("T1", "T2"))
+    assert spec.region_of("A") == ("S1", "S2")
+    assert spec.region_of("B") == ("T1", "T2")
+
+
+def test_rollback_dependency_requires_steps():
+    with pytest.raises(CoordinationError):
+        RollbackDependencySpec(name="rd", schema_a="A", schema_b="B")
+
+
+def test_involves_and_name():
+    spec = RollbackDependencySpec(name="rd", schema_a="A", schema_b="B",
+                                  trigger_step_a="S1", rollback_to_b="T1")
+    assert spec.involves("A") and spec.involves("B")
+    assert not spec.involves("C")
+    assert spec.schemas() == ("A", "B")
+
+
+def test_spec_requires_name():
+    with pytest.raises(CoordinationError):
+        RelativeOrderSpec(name="", schema_a="A", schema_b="B",
+                          steps_a=("S1",), steps_b=("T1",))

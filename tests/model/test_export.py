@@ -1,0 +1,72 @@
+"""Tests for DOT export and schema summaries."""
+
+from repro.model.export import schema_summary, to_dot
+from tests.conftest import branching_schema, linear_schema, parallel_schema
+
+
+def test_dot_contains_steps_and_edges():
+    dot = to_dot(linear_schema(steps=3))
+    assert dot.startswith('digraph "Linear"')
+    for step in ("S1", "S2", "S3"):
+        assert f'"{step}"' in dot
+    assert '"S1" -> "S2"' in dot
+
+
+def test_dot_marks_start_and_terminal():
+    dot = to_dot(linear_schema(steps=2))
+    assert "peripheries=2" in dot  # start step
+    assert "style=bold" in dot  # terminal step
+
+
+def test_dot_branch_conditions_and_else():
+    dot = to_dot(branching_schema())
+    assert 'label="S2.route == \'top\'"' in dot or "S2.route" in dot
+    assert 'label="otherwise"' in dot
+    assert "XOR-join" in dot
+
+
+def test_dot_rollback_edge():
+    dot = to_dot(branching_schema())
+    assert '"S4" -> "S2" [style=dotted, color=red, label="rollback"];' in dot
+
+
+def test_dot_loop_edge_dashed():
+    from repro.model import SchemaBuilder
+
+    builder = SchemaBuilder("W", inputs=["x"])
+    builder.step("A", inputs=["WF.x"], outputs=["n"])
+    builder.step("B", inputs=["A.n"], outputs=["n"])
+    builder.sequence("A", "B")
+    builder.loop("B", "A", while_condition="B.n < 3")
+    dot = to_dot(builder.build())
+    assert "style=dashed" in dot
+    assert "while B.n < 3" in dot
+
+
+def test_dot_compensation_set_note():
+    from repro.model import SchemaBuilder
+
+    builder = SchemaBuilder("W", inputs=["x"])
+    builder.step("A", inputs=["WF.x"], outputs=["o"])
+    builder.step("B", inputs=["A.o"])
+    builder.arc("A", "B")
+    builder.compensation_set("A", "B")
+    dot = to_dot(builder.build())
+    assert "compensation set: A, B" in dot
+
+
+def test_summary_fields():
+    summary = schema_summary(parallel_schema())
+    assert summary["name"] == "Fanout"
+    assert summary["steps"] == 4
+    assert summary["start"] == "Start"
+    assert summary["terminals"] == ["End"]
+    assert summary["parallel_splits"] == ["Start"]
+    assert summary["xor_splits"] == []
+    assert summary["rules"] >= 4
+
+
+def test_summary_of_branching_schema():
+    summary = schema_summary(branching_schema())
+    assert summary["xor_splits"] == ["S2"]
+    assert summary["rollback_points"] == {"S4": "S2"}

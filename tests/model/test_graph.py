@@ -1,0 +1,145 @@
+"""Unit tests for control-flow graph analysis."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.builder import SchemaBuilder
+from repro.model.graph import SchemaGraph, SplitKind
+
+
+def diamond():
+    """A -> (B | C by condition) -> D (xor join)."""
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("B", outputs=["o"])
+    b.step("C", outputs=["o"])
+    b.step("D", join="xor")
+    b.branch("A", [("B", "A.o > 1")], otherwise="C")
+    b.arc("B", "D")
+    b.arc("C", "D")
+    return b.build()
+
+
+def fanout():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"])
+    b.step("B")
+    b.step("C")
+    b.step("D", join="and")
+    b.parallel("A", ["B", "C"])
+    b.arc("B", "D")
+    b.arc("C", "D")
+    return b.build()
+
+
+def test_start_and_terminal_steps():
+    graph = SchemaGraph(diamond())
+    assert graph.start_steps == ("A",)
+    assert graph.terminal_steps == ("D",)
+
+
+def test_topo_order_respects_arcs():
+    graph = SchemaGraph(diamond())
+    order = graph.topo_order
+    assert order.index("A") < order.index("B") < order.index("D")
+    assert order.index("A") < order.index("C") < order.index("D")
+
+
+def test_descendants_and_ancestors():
+    graph = SchemaGraph(diamond())
+    assert graph.descendants("A") == frozenset({"B", "C", "D"})
+    assert graph.ancestors("D") == frozenset({"A", "B", "C"})
+    assert graph.descendants("D") == frozenset()
+
+
+def test_invalidation_set_includes_origin():
+    graph = SchemaGraph(diamond())
+    assert graph.invalidation_set("B") == frozenset({"B", "D"})
+
+
+def test_split_kind_classification():
+    xor_graph = SchemaGraph(diamond())
+    assert xor_graph.split_kind("A") is SplitKind.XOR
+    and_graph = SchemaGraph(fanout())
+    assert and_graph.split_kind("A") is SplitKind.PARALLEL
+    assert and_graph.split_kind("B") is SplitKind.NONE
+
+
+def test_xor_branch_exclusive_members():
+    graph = SchemaGraph(diamond())
+    branches = graph.xor_splits["A"]
+    members = {info.arc.dst: info.exclusive_members for info in branches}
+    assert members["B"] == frozenset({"B"})
+    assert members["C"] == frozenset({"C"})  # D is shared, not exclusive
+
+
+def test_are_exclusive():
+    graph = SchemaGraph(diamond())
+    assert graph.are_exclusive("B", "C")
+    assert not graph.are_exclusive("B", "D")
+    assert not graph.are_exclusive("B", "B")
+
+
+def test_parallel_branches_not_exclusive():
+    graph = SchemaGraph(fanout())
+    assert not graph.are_exclusive("B", "C")
+
+
+def test_cycle_detection():
+    from repro.model.schema import ControlArc, StepDef, WorkflowSchema
+
+    schema = WorkflowSchema(
+        name="W",
+        steps={"A": StepDef(name="A"), "B": StepDef(name="B")},
+        arcs=(ControlArc("A", "B"), ControlArc("B", "A")),
+    )
+    graph = SchemaGraph(schema)
+    with pytest.raises(SchemaError):
+        graph.topo_order
+
+
+def test_loop_body():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("B", outputs=["o"])
+    b.step("C", outputs=["o"])
+    b.step("D")
+    b.sequence("A", "B", "C", "D")
+    b.loop("C", "B", while_condition="B.o < 3")
+    schema = b.build()
+    graph = SchemaGraph(schema)
+    loop_arc = schema.loop_arcs()[0]
+    assert graph.loop_body(loop_arc) == frozenset({"B", "C"})
+
+
+def test_loop_body_rejects_forward_arc():
+    schema = diamond()
+    graph = SchemaGraph(schema)
+    with pytest.raises(SchemaError):
+        graph.loop_body(schema.forward_arcs()[0])
+
+
+def test_nested_xor_exclusivity():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("B", outputs=["o"])
+    b.step("B1", outputs=["o"])
+    b.step("B2", outputs=["o"])
+    b.step("C", outputs=["o"])
+    b.step("J2", join="xor")
+    b.step("J", join="xor")
+    b.branch("A", [("B", "A.o > 1")], otherwise="C")
+    b.branch("B", [("B1", "B.o > 1")], otherwise="B2")
+    b.arc("B1", "J2")
+    b.arc("B2", "J2")
+    b.arc("J2", "J")
+    b.arc("C", "J")
+    graph = SchemaGraph(b.build())
+    assert graph.are_exclusive("B1", "B2")
+    assert graph.are_exclusive("B1", "C")
+    assert not graph.are_exclusive("B1", "J")
+
+
+def test_topo_index():
+    graph = SchemaGraph(diamond())
+    assert graph.topo_index("A") < graph.topo_index("D")

@@ -1,0 +1,63 @@
+"""Unit tests for compensation/re-execution policies."""
+
+import pytest
+
+from repro.model.policies import (
+    AlwaysReexecute,
+    ConditionPolicy,
+    CRDecision,
+    IncrementalIfInputsChanged,
+    ReuseIfInputsUnchanged,
+)
+
+
+def test_always_reexecute():
+    policy = AlwaysReexecute()
+    assert policy.decide({"a": 1}, {"a": 1}, {}) is CRDecision.COMPLETE
+
+
+def test_reuse_if_unchanged():
+    policy = ReuseIfInputsUnchanged()
+    assert policy.decide({"a": 1}, {"a": 1}, {}) is CRDecision.REUSE
+    assert policy.decide({"a": 1}, {"a": 2}, {}) is CRDecision.COMPLETE
+
+
+def test_incremental_if_changed():
+    policy = IncrementalIfInputsChanged(0.5)
+    assert policy.decide({"a": 1}, {"a": 1}, {}) is CRDecision.REUSE
+    assert policy.decide({"a": 1}, {"a": 2}, {}) is CRDecision.INCREMENTAL
+    assert policy.incremental_fraction == 0.5
+
+
+def test_incremental_fraction_bounds():
+    with pytest.raises(ValueError):
+        IncrementalIfInputsChanged(0.0)
+    with pytest.raises(ValueError):
+        IncrementalIfInputsChanged(1.5)
+
+
+def test_condition_policy_reuse_branch():
+    policy = ConditionPolicy(reuse_when="prev.WF.x == new.WF.x")
+    assert policy.decide({"WF.x": 1}, {"WF.x": 1}, {}) is CRDecision.REUSE
+    assert policy.decide({"WF.x": 1}, {"WF.x": 2}, {}) is CRDecision.COMPLETE
+
+
+def test_condition_policy_incremental_branch():
+    policy = ConditionPolicy(
+        reuse_when="prev.WF.x == new.WF.x",
+        incremental_when="new.WF.x - prev.WF.x < 10",
+        incremental_fraction=0.2,
+    )
+    assert policy.decide({"WF.x": 1}, {"WF.x": 5}, {}) is CRDecision.INCREMENTAL
+    assert policy.decide({"WF.x": 1}, {"WF.x": 100}, {}) is CRDecision.COMPLETE
+
+
+def test_condition_policy_sees_previous_outputs():
+    policy = ConditionPolicy(reuse_when="out.S1.o > 0")
+    assert policy.decide({}, {}, {"S1.o": 5}) is CRDecision.REUSE
+    assert policy.decide({}, {}, {"S1.o": -1}) is CRDecision.COMPLETE
+
+
+def test_condition_policy_defaults_to_complete():
+    policy = ConditionPolicy()
+    assert policy.decide({}, {}, {}) is CRDecision.COMPLETE

@@ -1,0 +1,146 @@
+"""Unit tests for the schema data model."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.schema import (
+    ControlArc,
+    JoinKind,
+    StepDef,
+    StepType,
+    WorkflowSchema,
+    split_ref,
+    step_output_ref,
+    workflow_input_ref,
+)
+
+
+def test_ref_helpers():
+    assert workflow_input_ref("qty") == "WF.qty"
+    assert step_output_ref("S2", "O1") == "S2.O1"
+    assert split_ref("S2.O1") == ("S2", "O1")
+
+
+def test_split_ref_rejects_malformed():
+    for bad in ("S2", ".O1", "S2.", ""):
+        with pytest.raises(SchemaError):
+            split_ref(bad)
+
+
+def test_step_def_defaults():
+    step = StepDef(name="S1")
+    assert step.step_type is StepType.UPDATE
+    assert step.compensable
+    assert step.effective_compensation_cost == step.cost
+
+
+def test_step_def_compensation_cost_override():
+    step = StepDef(name="S1", cost=4.0, compensation_cost=1.0)
+    assert step.effective_compensation_cost == 1.0
+
+
+def test_step_def_rejects_bad_names():
+    with pytest.raises(SchemaError):
+        StepDef(name="")
+    with pytest.raises(SchemaError):
+        StepDef(name="A.B")
+    with pytest.raises(SchemaError):
+        StepDef(name="WF")
+
+
+def test_step_def_rejects_negative_cost():
+    with pytest.raises(SchemaError):
+        StepDef(name="S1", cost=-1.0)
+
+
+def test_step_def_validates_input_refs():
+    with pytest.raises(SchemaError):
+        StepDef(name="S1", inputs=("notaref",))
+
+
+def test_step_def_rejects_dotted_outputs():
+    with pytest.raises(SchemaError):
+        StepDef(name="S1", outputs=("S1.O1",))
+
+
+def test_step_output_refs_and_producers():
+    step = StepDef(name="S3", inputs=("WF.x", "S1.a", "S2.b"), outputs=("o",))
+    assert step.output_refs() == ("S3.o",)
+    assert step.input_producer_steps() == frozenset({"S1", "S2"})
+
+
+def test_control_arc_rejects_self_loop():
+    with pytest.raises(SchemaError):
+        ControlArc("S1", "S1")
+
+
+def test_control_arc_else_with_condition_rejected():
+    with pytest.raises(SchemaError):
+        ControlArc("S1", "S2", condition="x > 1", is_else=True)
+
+
+def test_loop_arc_cannot_be_else():
+    with pytest.raises(SchemaError):
+        ControlArc("S1", "S2", is_else=True, loop=True)
+
+
+def test_schema_queries():
+    steps = {
+        "S1": StepDef(name="S1", outputs=("o",)),
+        "S2": StepDef(name="S2"),
+        "S3": StepDef(name="S3"),
+    }
+    arcs = (
+        ControlArc("S1", "S2"),
+        ControlArc("S2", "S3"),
+        ControlArc("S3", "S1", condition="True", loop=True),
+    )
+    schema = WorkflowSchema(name="W", inputs=("x",), steps=steps, arcs=arcs)
+    assert schema.successors("S1") == ("S2",)
+    assert schema.predecessors("S2") == ("S1",)
+    assert len(schema.forward_arcs()) == 2
+    assert len(schema.loop_arcs()) == 1
+    assert schema.input_refs() == ("WF.x",)
+
+
+def test_schema_unknown_step_raises():
+    schema = WorkflowSchema(name="W", steps={"S1": StepDef(name="S1")})
+    with pytest.raises(SchemaError):
+        schema.step("missing")
+
+
+def test_schema_requires_steps():
+    with pytest.raises(SchemaError):
+        WorkflowSchema(name="W", steps={})
+
+
+def test_compensation_set_lookup():
+    schema = WorkflowSchema(
+        name="W",
+        steps={"S1": StepDef(name="S1"), "S2": StepDef(name="S2")},
+        compensation_sets=(frozenset({"S1", "S2"}),),
+    )
+    assert schema.compensation_set_of("S1") == frozenset({"S1", "S2"})
+    assert schema.compensation_set_of("S9") is None
+
+
+def test_rollback_origin_lookup():
+    schema = WorkflowSchema(
+        name="W",
+        steps={"S1": StepDef(name="S1"), "S2": StepDef(name="S2")},
+        arcs=(ControlArc("S1", "S2"),),
+        rollback_points={"S2": "S1"},
+    )
+    assert schema.rollback_origin("S2") == "S1"
+    assert schema.rollback_origin("S1") is None
+
+
+def test_describe_renders_structure():
+    schema = WorkflowSchema(
+        name="W",
+        steps={"S1": StepDef(name="S1"), "S2": StepDef(name="S2", join=JoinKind.XOR)},
+        arcs=(ControlArc("S1", "S2"),),
+    )
+    text = schema.describe()
+    assert "workflow W" in text
+    assert "join=xor" in text

@@ -1,0 +1,278 @@
+"""Unit tests for schema validation (each structural check)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.builder import SchemaBuilder
+from repro.model.validation import validate_schema
+
+
+def build_raw(configure):
+    """Build without validation, then validate explicitly."""
+    builder = SchemaBuilder("W", inputs=["x"])
+    configure(builder)
+    return builder.build(validate=False)
+
+
+def expect_problem(configure, fragment):
+    schema = build_raw(configure)
+    with pytest.raises(ValidationError) as err:
+        validate_schema(schema)
+    assert fragment in str(err.value)
+
+
+def test_valid_schema_passes():
+    def configure(b):
+        b.step("A", inputs=["WF.x"], outputs=["o"])
+        b.step("B", inputs=["A.o"])
+        b.arc("A", "B")
+
+    graph = validate_schema(build_raw(configure))
+    assert graph.start_steps == ("A",)
+
+
+def test_unknown_arc_endpoints():
+    def configure(b):
+        b.step("A")
+        b._arcs.append(type(b._arcs)() if False else None)  # placeholder
+
+    # construct directly: arc to a missing step
+    from repro.model.schema import ControlArc, StepDef, WorkflowSchema
+
+    schema = WorkflowSchema(
+        name="W", steps={"A": StepDef(name="A")}, arcs=(ControlArc("A", "GHOST"),)
+    )
+    with pytest.raises(Exception):
+        validate_schema(schema)
+
+
+def test_duplicate_arc_detected():
+    from repro.model.schema import ControlArc, StepDef, WorkflowSchema
+
+    schema = WorkflowSchema(
+        name="W",
+        steps={"A": StepDef(name="A"), "B": StepDef(name="B")},
+        arcs=(ControlArc("A", "B"), ControlArc("A", "B")),
+    )
+    with pytest.raises(ValidationError) as err:
+        validate_schema(schema)
+    assert "duplicate arc" in str(err.value)
+
+
+def test_multiple_start_steps_rejected():
+    expect_problem(
+        lambda b: (b.step("A"), b.step("B")),
+        "exactly one start step",
+    )
+
+
+def test_cycle_in_forward_arcs_rejected():
+    def configure(b):
+        b.step("A")
+        b.step("B")
+        b.arc("A", "B")
+        b.arc("B", "A")
+
+    expect_problem(configure, "cycle")
+
+
+def test_mixed_split_rejected():
+    def configure(b):
+        b.step("A", inputs=["WF.x"], outputs=["o"])
+        b.step("B")
+        b.step("C")
+        b.arc("A", "B", condition="WF.x > 1")
+        b.arc("A", "C")  # unconditional next to conditional
+
+    expect_problem(configure, "mixes conditional and unconditional")
+
+
+def test_multiple_else_arcs_rejected():
+    def configure(b):
+        from repro.model.schema import ControlArc
+
+        b.step("A", inputs=["WF.x"])
+        b.step("B")
+        b.step("C")
+        b.step("D")
+        b.arc("A", "B", condition="WF.x > 1")
+        b._arcs.append(ControlArc("A", "C", is_else=True))
+        b._arcs.append(ControlArc("A", "D", is_else=True))
+
+    expect_problem(configure, "multiple else-arcs")
+
+
+def test_else_without_conditions_rejected():
+    def configure(b):
+        from repro.model.schema import ControlArc
+
+        b.step("A")
+        b.step("B")
+        b.step("C")
+        b.arc("A", "B")
+        b._arcs.append(ControlArc("A", "C", is_else=True))
+
+    expect_problem(configure, "else-arc but no conditions")
+
+
+def test_undeclared_join_rejected():
+    def configure(b):
+        b.step("A")
+        b.step("B")
+        b.step("C")
+        b.step("D")  # join=NONE but two in-arcs
+        b.parallel("A", ["B", "C"])
+        b.arc("B", "D")
+        b.arc("C", "D")
+
+    expect_problem(configure, "no declared")
+
+
+def test_join_declared_without_multiple_inputs_rejected():
+    def configure(b):
+        b.step("A")
+        b.step("B", join="and")
+        b.arc("A", "B")
+
+    expect_problem(configure, "declares join")
+
+
+def test_unknown_workflow_input_ref():
+    expect_problem(
+        lambda b: b.step("A", inputs=["WF.ghost"]),
+        "no input 'ghost'",
+    )
+
+
+def test_input_from_undefined_step():
+    expect_problem(
+        lambda b: b.step("A", inputs=["S9.o"]),
+        "undefined step",
+    )
+
+
+def test_input_item_not_produced():
+    def configure(b):
+        b.step("A", outputs=["o"])
+        b.step("B", inputs=["A.ghost"])
+        b.arc("A", "B")
+
+    expect_problem(configure, "does not produce")
+
+
+def test_input_from_downstream_step_rejected():
+    def configure(b):
+        b.step("A", inputs=["B.o"])
+        b.step("B", outputs=["o"])
+        b.arc("A", "B")
+
+    expect_problem(configure, "downstream")
+
+
+def test_input_across_exclusive_branches_rejected():
+    def configure(b):
+        b.step("A", inputs=["WF.x"], outputs=["o"])
+        b.step("B", outputs=["o"])
+        b.step("C", inputs=["B.o"])
+        b.step("D", join="xor")
+        b.branch("A", [("B", "WF.x > 1")], otherwise="C")
+        b.arc("B", "D")
+        b.arc("C", "D")
+
+    expect_problem(configure, "exclusive")
+
+
+def test_loop_needs_condition():
+    def configure(b):
+        from repro.model.schema import ControlArc
+
+        b.step("A")
+        b.step("B")
+        b.arc("A", "B")
+        b._arcs.append(ControlArc("B", "A", loop=True))
+
+    expect_problem(configure, "continue-condition")
+
+
+def test_loop_target_must_be_ancestor():
+    def configure(b):
+        b.step("A")
+        b.step("B")
+        b.step("C")
+        b.parallel("A", ["B", "C"])
+        b.loop("B", "C", while_condition="True")  # C not an ancestor of B
+
+    expect_problem(configure, "ancestor")
+
+
+def test_rollback_origin_must_be_ancestor():
+    def configure(b):
+        b.step("A")
+        b.step("B")
+        b.step("C")
+        b.parallel("A", ["B", "C"])
+        b.rollback_point("B", "C")
+
+    expect_problem(configure, "not an ancestor")
+
+
+def test_rollback_to_self_allowed():
+    def configure(b):
+        b.step("A")
+        b.rollback_point("A", "A")
+
+    validate_schema(build_raw(configure))
+
+
+def test_overlapping_compensation_sets_rejected():
+    def configure(b):
+        b.step("A")
+        b.step("B")
+        b.step("C")
+        b.sequence("A", "B", "C")
+        b.compensation_set("A", "B")
+        b.compensation_set("B", "C")
+
+    expect_problem(configure, "two compensation dependent sets")
+
+
+def test_noncompensable_member_rejected():
+    def configure(b):
+        b.step("A", compensable=False)
+        b.step("B")
+        b.arc("A", "B")
+        b.compensation_set("A", "B")
+
+    expect_problem(configure, "non-compensable")
+
+
+def test_abort_compensation_unknown_step():
+    def configure(b):
+        b.step("A")
+        b.abort_compensation("GHOST")
+
+    expect_problem(configure, "unknown step 'GHOST'")
+
+
+def test_bad_arc_condition_reported():
+    def configure(b):
+        b.step("A", inputs=["WF.x"])
+        b.step("B")
+        b.step("C")
+        b.branch("A", [("B", "WF.x >")], otherwise="C")
+
+    expect_problem(configure, "cannot parse")
+
+
+def test_output_checks():
+    def configure(b):
+        b.step("A", outputs=["o"])
+        b.output("r", "A.ghost")
+
+    expect_problem(configure, "does not produce")
+
+    def configure2(b):
+        b.step("A")
+        b.output("r", "WF.ghost")
+
+    expect_problem(configure2, "unknown input")

@@ -1,0 +1,121 @@
+"""Unit tests for the safe condition expression language."""
+
+import pytest
+
+from repro.errors import ConditionError
+from repro.rules.conditions import TRUE, Condition
+
+
+def test_simple_comparison():
+    assert Condition("S2.O1 > 10").evaluate({"S2.O1": 20})
+    assert not Condition("S2.O1 > 10").evaluate({"S2.O1": 5})
+
+
+def test_dotted_names_resolve_as_single_keys():
+    cond = Condition("WF.I2 == 'Blower'")
+    assert cond.evaluate({"WF.I2": "Blower"})
+    assert cond.refs == frozenset({"WF.I2"})
+
+
+def test_boolean_combinators():
+    cond = Condition("S1.a > 1 and (S1.b < 5 or not S1.c)")
+    assert cond.evaluate({"S1.a": 2, "S1.b": 10, "S1.c": False})
+    assert not cond.evaluate({"S1.a": 0, "S1.b": 1, "S1.c": False})
+
+
+def test_arithmetic():
+    assert Condition("S1.a * 2 + 1 == 7").evaluate({"S1.a": 3})
+    assert Condition("S1.a % 2 == 0").evaluate({"S1.a": 4})
+    assert Condition("-S1.a == -3").evaluate({"S1.a": 3})
+
+
+def test_chained_comparison():
+    cond = Condition("0 < S1.a < 10")
+    assert cond.evaluate({"S1.a": 5})
+    assert not cond.evaluate({"S1.a": 15})
+
+
+def test_membership():
+    cond = Condition("WF.part in ('gasket', 'blower')")
+    assert cond.evaluate({"WF.part": "gasket"})
+    assert not cond.evaluate({"WF.part": "pump"})
+
+
+def test_defined_guard():
+    cond = Condition("defined(S1.o) and S1.o > 1")
+    assert not cond.evaluate({})
+    assert cond.evaluate({"S1.o": 5})
+
+
+def test_defined_not_counted_as_ref():
+    cond = Condition("defined(S1.o)")
+    assert cond.refs == frozenset()
+
+
+def test_unbound_name_raises():
+    with pytest.raises(ConditionError):
+        Condition("S1.o > 1").evaluate({})
+
+
+def test_allowed_builtin_calls():
+    assert Condition("abs(S1.a) == 3").evaluate({"S1.a": -3})
+    assert Condition("max(S1.a, 10) == 10").evaluate({"S1.a": 4})
+    assert Condition("len(S1.name) == 3").evaluate({"S1.name": "abc"})
+    assert Condition("round(S1.a) == 3").evaluate({"S1.a": 3.2})
+
+
+def test_forbidden_calls_rejected_at_parse():
+    for text in ("__import__('os')", "open('/etc/passwd')", "eval('1')",
+                 "S1.method()", "(lambda: 1)()"):
+        with pytest.raises(ConditionError):
+            Condition(text)
+
+
+def test_forbidden_syntax_rejected():
+    for text in ("[x for x in y]", "x if y else z", "{1: 2}", "x := 1",
+                 "f'{x}'"):
+        with pytest.raises(ConditionError):
+            Condition(text)
+
+
+def test_syntax_error_rejected():
+    with pytest.raises(ConditionError):
+        Condition("S1.o >")
+
+
+def test_empty_condition_rejected():
+    with pytest.raises(ConditionError):
+        Condition("   ")
+
+
+def test_division_by_zero_reported_as_condition_error():
+    with pytest.raises(ConditionError):
+        Condition("1 / S1.a > 0").evaluate({"S1.a": 0})
+
+
+def test_type_error_reported_as_condition_error():
+    with pytest.raises(ConditionError):
+        Condition("S1.a > 'x'").evaluate({"S1.a": 1})
+
+
+def test_true_constant():
+    assert TRUE.evaluate({})
+    assert Condition("True").evaluate({})
+    assert not Condition("False").evaluate({})
+
+
+def test_equality_and_hash_by_text():
+    assert Condition("S1.a > 1") == Condition("S1.a > 1")
+    assert hash(Condition("S1.a > 1")) == hash(Condition("S1.a > 1"))
+    assert Condition("S1.a > 1") != Condition("S1.a > 2")
+
+
+def test_tuple_and_list_literals():
+    assert Condition("S1.a in [1, 2, 3]").evaluate({"S1.a": 2})
+
+
+def test_defined_requires_single_name_argument():
+    with pytest.raises(ConditionError):
+        Condition("defined('S1.o')")
+    with pytest.raises(ConditionError):
+        Condition("defined(S1.o, S2.o)")

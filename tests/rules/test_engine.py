@@ -1,0 +1,210 @@
+"""Unit tests for the ECA rule engine and the three primitives."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.model.builder import SchemaBuilder
+from repro.model.compiler import compile_schema
+from repro.rules.conditions import Condition
+from repro.rules.engine import RuleEngine, RuleInstance
+from repro.rules.events import WF_START, step_done
+
+
+def linear_compiled():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("B", inputs=["A.o"], outputs=["o"])
+    b.step("C", inputs=["B.o"])
+    b.sequence("A", "B", "C")
+    return compile_schema(b.build())
+
+
+def make_engine(compiled=None, env=None, steps=None):
+    fired = []
+    compiled = compiled or linear_compiled()
+    environment = env if env is not None else {}
+    engine = RuleEngine(
+        compiled,
+        action=lambda rule: fired.append(rule),
+        env_provider=lambda: environment,
+        steps=steps,
+    )
+    return engine, fired, environment
+
+
+def test_start_rule_fires_on_workflow_start():
+    engine, fired, __ = make_engine()
+    engine.post_event(WF_START, 0.0)
+    assert [r.step for r in fired] == ["A"]
+
+
+def test_rule_waits_for_all_required_events():
+    compiled = linear_compiled()
+    engine, fired, __ = make_engine(compiled)
+    engine.post_event(step_done("B"), 1.0)  # C needs B.D only
+    assert [r.step for r in fired] == ["C"]
+
+
+def test_rule_fires_once():
+    engine, fired, __ = make_engine()
+    engine.post_event(WF_START, 0.0)
+    engine.post_event(WF_START, 1.0)
+    assert len(fired) == 1
+
+
+def test_condition_blocks_firing():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("B")
+    b.step("C")
+    b.branch("A", [("B", "A.o > 10")], otherwise="C")
+    compiled = compile_schema(b.build())
+    env = {"A.o": 5}
+    engine, fired, __ = make_engine(compiled, env=env)
+    engine.post_event(WF_START, 0.0)
+    engine.post_event(step_done("A"), 1.0)
+    assert [r.step for r in fired] == ["A", "C"]  # only else branch
+
+
+def test_unbound_condition_data_keeps_rule_pending():
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"], outputs=["o"])
+    b.step("B")
+    b.step("C")
+    b.branch("A", [("B", "A.o > 10")], otherwise="C")
+    compiled = compile_schema(b.build())
+    env = {}
+    engine, fired, __ = make_engine(compiled, env=env)
+    engine.post_event(step_done("A"), 1.0)
+    assert fired == []  # A.o unbound: neither branch can be decided
+    env["A.o"] = 50
+    engine.reevaluate()
+    assert [r.step for r in fired] == ["B"]
+
+
+def test_add_event_primitive():
+    engine, fired, __ = make_engine()
+    engine.add_event(step_done("A"), 1.0)
+    assert [r.step for r in fired] == ["B"]
+
+
+def test_add_rule_primitive():
+    engine, fired, __ = make_engine()
+    rule = RuleInstance(
+        rule_id="dyn:1", kind="notify", step="B",
+        required=frozenset({step_done("B")}),
+        payload={"target": "agent-1"},
+    )
+    engine.add_rule(rule)
+    engine.post_event(step_done("B"), 1.0)
+    kinds = [(r.kind, r.step) for r in fired]
+    assert ("notify", "B") in kinds
+
+
+def test_duplicate_rule_id_rejected():
+    engine, __, __e = make_engine()
+    rule = RuleInstance(rule_id="r:B:0", kind="execute", step="B",
+                        required=frozenset())
+    with pytest.raises(RuleError):
+        engine.add_rule(rule)
+
+
+def test_one_shot_rule_removed_after_firing():
+    engine, fired, __ = make_engine()
+    rule = RuleInstance(
+        rule_id="dyn:1", kind="notify", step="B",
+        required=frozenset({step_done("B")}), one_shot=True,
+    )
+    engine.add_rule(rule)
+    engine.post_event(step_done("B"), 1.0)
+    with pytest.raises(RuleError):
+        engine.rule("dyn:1")
+
+
+def test_add_precondition_primitive():
+    engine, fired, __ = make_engine()
+    engine.add_step_precondition("B", "EXT.CLEAR")
+    engine.post_event(step_done("A"), 1.0)
+    assert fired == []  # waiting for the clearance event
+    engine.add_event("EXT.CLEAR", 2.0)
+    assert [r.step for r in fired] == ["B"]
+
+
+def test_add_precondition_to_fired_rule_rejected():
+    engine, fired, __ = make_engine()
+    engine.post_event(step_done("A"), 1.0)
+    rule = engine.rules_for_step("B")[0]
+    with pytest.raises(RuleError):
+        engine.add_precondition(rule.rule_id, "EXT.X")
+
+
+def test_add_step_precondition_returns_affected_count():
+    engine, __, __e = make_engine()
+    assert engine.add_step_precondition("B", "EXT.X") == 1
+    engine.add_event("EXT.X", 0.0)
+    engine.post_event(step_done("A"), 1.0)
+    assert engine.add_step_precondition("B", "EXT.Y") == 0  # already fired
+
+
+def test_invalidation_resets_dependent_rules():
+    engine, fired, __ = make_engine()
+    engine.post_event(step_done("A"), 1.0)
+    assert [r.step for r in fired] == ["B"]
+    engine.invalidate_events([step_done("A")])
+    engine.post_event(step_done("A"), 2.0)
+    assert [r.step for r in fired] == ["B", "B"]  # re-armed and re-fired
+
+
+def test_reset_rules_for_steps():
+    engine, fired, __ = make_engine()
+    engine.post_event(step_done("A"), 1.0)
+    engine.reset_rules_for_steps({"B"})
+    engine.reevaluate()  # A.D still valid -> B re-fires
+    assert [r.step for r in fired] == ["B", "B"]
+
+
+def test_apply_invalidations_respects_rounds():
+    engine, fired, __ = make_engine()
+    engine.post_event(step_done("A"), 5.0, round=2)
+    hit = engine.apply_invalidations({step_done("A"): 2})
+    assert hit == []  # same round: the occurrence is the re-established one
+    hit = engine.apply_invalidations({step_done("A"): 3})
+    assert hit == [step_done("A")]
+
+
+def test_merge_events_fires_rules():
+    engine, fired, __ = make_engine()
+    added = engine.merge_events({WF_START: 0.0, step_done("A"): 1.0}, time=2.0)
+    assert set(added) == {WF_START, step_done("A")}
+    assert {r.step for r in fired} == {"A", "B"}
+
+
+def test_hosted_steps_restriction():
+    compiled = linear_compiled()
+    engine, fired, __ = make_engine(compiled, steps={"B"})
+    engine.post_event(WF_START, 0.0)
+    engine.post_event(step_done("A"), 1.0)
+    engine.post_event(step_done("B"), 2.0)
+    assert [r.step for r in fired] == ["B"]  # only the hosted step's rule
+
+
+def test_pending_rules_listing():
+    engine, __, __e = make_engine()
+    b = SchemaBuilder("W2", inputs=["x"])
+    assert engine.pending_rules() == ()
+    engine.events.post(step_done("A"), 1.0)  # bypass pump to inspect
+    pending = engine.pending_rules()
+    assert any(r.step == "B" for r in pending)
+
+
+def test_deterministic_fire_order():
+    """Rules ready simultaneously fire in rule-id order."""
+    b = SchemaBuilder("W", inputs=["x"])
+    b.step("A", inputs=["WF.x"])
+    b.step("B")
+    b.step("C")
+    b.parallel("A", ["B", "C"])
+    compiled = compile_schema(b.build())
+    engine, fired, __ = make_engine(compiled)
+    engine.post_event(step_done("A"), 1.0)
+    assert [r.step for r in fired] == ["B", "C"]

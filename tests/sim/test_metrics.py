@@ -1,0 +1,95 @@
+"""Unit tests for the metrics collector."""
+
+from repro.sim.metrics import Mechanism, MetricsCollector
+
+
+def test_record_and_total_messages():
+    m = MetricsCollector()
+    m.record_message(Mechanism.NORMAL, "StepExecute")
+    m.record_message(Mechanism.NORMAL, "StepExecute")
+    m.record_message(Mechanism.ABORT, "WorkflowAbort")
+    assert m.total_messages() == 3
+    assert m.total_messages(Mechanism.NORMAL) == 2
+    assert m.total_messages(Mechanism.ABORT) == 1
+
+
+def test_interface_messages_sums_across_mechanisms():
+    m = MetricsCollector()
+    m.record_message(Mechanism.NORMAL, "StepExecute")
+    m.record_message(Mechanism.FAILURE, "StepExecute")
+    assert m.interface_messages("StepExecute") == 2
+
+
+def test_node_load_queries():
+    m = MetricsCollector()
+    m.record_load("engine", Mechanism.NORMAL, 3.0)
+    m.record_load("engine", Mechanism.FAILURE, 1.0)
+    m.record_load("agent-1", Mechanism.NORMAL, 0.5)
+    assert m.node_load("engine") == 4.0
+    assert m.node_load("engine", Mechanism.NORMAL) == 3.0
+    assert m.nodes() == ["agent-1", "engine"]
+
+
+def test_max_and_mean_node_load():
+    m = MetricsCollector()
+    m.record_load("a", Mechanism.NORMAL, 4.0)
+    m.record_load("b", Mechanism.NORMAL, 2.0)
+    assert m.max_node_load(Mechanism.NORMAL) == 4.0
+    assert m.mean_node_load(Mechanism.NORMAL, ["a", "b"]) == 3.0
+
+
+def test_mean_node_load_includes_idle_nodes():
+    m = MetricsCollector()
+    m.record_load("a", Mechanism.NORMAL, 4.0)
+    assert m.mean_node_load(Mechanism.NORMAL, ["a", "idle-1", "idle-2", "idle-3"]) == 1.0
+
+
+def test_per_instance_normalization():
+    m = MetricsCollector()
+    m.instances_started = 4
+    for __ in range(8):
+        m.record_message(Mechanism.NORMAL, "StepExecute")
+    assert m.per_instance_messages(Mechanism.NORMAL) == 2.0
+
+
+def test_per_instance_with_zero_instances_is_zero():
+    m = MetricsCollector()
+    m.record_message(Mechanism.NORMAL, "X")
+    assert m.per_instance_messages(Mechanism.NORMAL) == 0.0
+
+
+def test_work_units_by_kind():
+    m = MetricsCollector()
+    m.record_work("agent-1", "execute", 5.0)
+    m.record_work("agent-2", "execute", 3.0)
+    m.record_work("agent-1", "compensate", 2.0)
+    assert m.total_work("execute") == 8.0
+    assert m.total_work("compensate") == 2.0
+    assert m.total_work() == 10.0
+
+
+def test_snapshot_is_immutable_copy():
+    m = MetricsCollector()
+    m.record_message(Mechanism.NORMAL, "X")
+    snap = m.snapshot()
+    m.record_message(Mechanism.NORMAL, "X")
+    assert snap.messages_for(Mechanism.NORMAL) == 1
+    assert m.total_messages(Mechanism.NORMAL) == 2
+
+
+def test_reset_clears_everything():
+    m = MetricsCollector()
+    m.record_message(Mechanism.NORMAL, "X")
+    m.record_load("n", Mechanism.NORMAL, 1.0)
+    m.record_work("n", "execute", 1.0)
+    m.instances_started = 5
+    m.reset()
+    assert m.total_messages() == 0
+    assert m.node_load("n") == 0.0
+    assert m.total_work() == 0.0
+    assert m.instances_started == 0
+
+
+def test_max_node_load_empty_pool():
+    m = MetricsCollector()
+    assert m.max_node_load(Mechanism.NORMAL) == 0.0

@@ -1,0 +1,68 @@
+"""Unit tests for the structured trace log."""
+
+from repro.sim.tracing import Trace
+
+
+def make_trace():
+    trace = Trace()
+    trace.record(1.0, "engine", "step.done", instance="i1", step="S1")
+    trace.record(2.0, "agent-1", "step.fail", instance="i1", step="S2")
+    trace.record(3.0, "engine", "step.done", instance="i2", step="S1")
+    return trace
+
+
+def test_records_in_order():
+    trace = make_trace()
+    assert [r.time for r in trace] == [1.0, 2.0, 3.0]
+    assert len(trace) == 3
+
+
+def test_filter_by_kind():
+    trace = make_trace()
+    assert len(trace.filter(kind="step.done")) == 2
+
+
+def test_filter_by_node():
+    trace = make_trace()
+    assert len(trace.filter(node="engine")) == 2
+
+
+def test_filter_by_predicate():
+    trace = make_trace()
+    hits = trace.filter(predicate=lambda r: r.detail.get("instance") == "i1")
+    assert len(hits) == 2
+
+
+def test_first_last_count():
+    trace = make_trace()
+    assert trace.first("step.done").time == 1.0
+    assert trace.last("step.done").time == 3.0
+    assert trace.count("step.done") == 2
+    assert trace.first("missing") is None
+    assert trace.last("missing") is None
+
+
+def test_disabled_trace_records_nothing():
+    trace = Trace(enabled=False)
+    trace.record(1.0, "n", "k")
+    assert len(trace) == 0
+
+
+def test_capacity_drops_excess():
+    trace = Trace(capacity=2)
+    for i in range(5):
+        trace.record(float(i), "n", "k")
+    assert len(trace) == 2
+    assert trace.dropped == 3
+
+
+def test_kinds_sorted_unique():
+    trace = make_trace()
+    assert trace.kinds() == ["step.done", "step.fail"]
+
+
+def test_render_with_limit():
+    trace = make_trace()
+    text = trace.render(limit=1)
+    assert "step.done" in text
+    assert "2 more records" in text

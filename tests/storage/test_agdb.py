@@ -1,0 +1,95 @@
+"""Unit tests for the agent database (AGDB)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.agdb import AgentDatabase
+from repro.storage.tables import InstanceStatus, StepStatus
+
+
+def make_db():
+    db = AgentDatabase("agent-1")
+    db.set_eligible_agents("W", "S1", ["agent-1", "agent-2"])
+    return db
+
+
+def test_directory_roundtrip():
+    db = make_db()
+    assert db.eligible_agents("W", "S1") == ("agent-1", "agent-2")
+    with pytest.raises(StorageError):
+        db.eligible_agents("W", "ghost")
+    with pytest.raises(StorageError):
+        db.set_eligible_agents("W", "S2", [])
+
+
+def test_ensure_fragment_idempotent():
+    db = make_db()
+    fragment = db.ensure_fragment("W", "i1", {"x": 1})
+    assert db.ensure_fragment("W", "i1") is fragment
+    assert db.has_fragment("i1")
+    assert db.fragment("i1").data["WF.x"] == 1
+
+
+def test_fragment_missing_raises():
+    db = make_db()
+    with pytest.raises(StorageError):
+        db.fragment("ghost")
+
+
+def test_summary_table():
+    db = make_db()
+    db.set_summary("i1", InstanceStatus.RUNNING)
+    assert db.summary("i1") is InstanceStatus.RUNNING
+    assert db.has_summary("i1")
+    assert db.coordinated_instances() == ("i1",)
+    with pytest.raises(StorageError):
+        db.summary("ghost")
+
+
+def test_purge_drops_fragments_and_remembers():
+    db = make_db()
+    db.ensure_fragment("W", "i1")
+    db.ensure_fragment("W", "i2")
+    assert db.purge_instances(["i1", "ghost"]) == 1
+    assert not db.has_fragment("i1")
+    assert db.has_fragment("i2")
+    assert db.was_purged("i1")
+    assert db.was_purged("ghost")  # remembered even without a fragment
+
+
+def test_recover_restores_fragments_and_summaries():
+    db = make_db()
+    fragment = db.ensure_fragment("W", "i1", {"x": 1})
+    record = fragment.record("S1")
+    record.status = StepStatus.DONE
+    record.agent = "agent-1"
+    fragment.events_snapshot = {"S1.D": 1.0}
+    db.persist_fragment(fragment)
+    db.set_summary("i1", InstanceStatus.RUNNING)
+    db.recover()
+    restored = db.fragment("i1")
+    assert restored.steps["S1"].status is StepStatus.DONE
+    assert restored.events_snapshot == {"S1.D": 1.0}
+    assert db.summary("i1") is InstanceStatus.RUNNING
+    # The static directory survives recovery untouched.
+    assert db.eligible_agents("W", "S1") == ("agent-1", "agent-2")
+
+
+def test_recover_honours_purge():
+    db = make_db()
+    fragment = db.ensure_fragment("W", "i1")
+    db.persist_fragment(fragment)
+    db.purge_instances(["i1"])
+    db.recover()
+    assert not db.has_fragment("i1")
+    assert db.was_purged("i1")
+
+
+def test_recover_uses_latest_fragment_snapshot():
+    db = make_db()
+    fragment = db.ensure_fragment("W", "i1")
+    db.persist_fragment(fragment)
+    fragment.bind("S1.out", 42)
+    db.persist_fragment(fragment)
+    db.recover()
+    assert db.fragment("i1").data["S1.out"] == 42

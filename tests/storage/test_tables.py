@@ -1,0 +1,120 @@
+"""Unit tests for instance/step state tables."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.tables import InstanceState, InstanceStatus, StepRecord, StepStatus
+
+
+def make_state():
+    return InstanceState(schema_name="W", instance_id="i1", inputs={"x": 1})
+
+
+def test_inputs_bound_as_wf_refs():
+    state = make_state()
+    assert state.data["WF.x"] == 1
+
+
+def test_record_creates_on_demand():
+    state = make_state()
+    record = state.record("S1")
+    assert record.status is StepStatus.NOT_STARTED
+    assert state.record("S1") is record
+
+
+def test_exec_seq_monotone():
+    state = make_state()
+    first = state.next_exec_seq()
+    second = state.next_exec_seq()
+    assert second > first
+    state.note_exec_seq(100)
+    assert state.next_exec_seq() == 101
+
+
+def test_executed_steps_in_order():
+    state = make_state()
+    for name, seq in (("B", 2), ("A", 1), ("C", 3)):
+        record = state.record(name)
+        record.status = StepStatus.DONE
+        record.exec_seq = seq
+    assert state.executed_steps_in_order() == ["A", "B", "C"]
+
+
+def test_bind_and_unbind_outputs():
+    state = make_state()
+    state.bind_outputs("S1", {"o": 42})
+    assert state.data["S1.o"] == 42
+    state.unbind_outputs("S1", ["o"])
+    assert "S1.o" not in state.data
+
+
+def test_gather_inputs_resolves_refs():
+    state = make_state()
+    state.bind("S1.o", 7)
+    assert state.gather_inputs(["WF.x", "S1.o"]) == {"WF.x": 1, "S1.o": 7}
+
+
+def test_gather_inputs_unbound_raises():
+    state = make_state()
+    with pytest.raises(StorageError):
+        state.gather_inputs(["S9.o"])
+
+
+def test_apply_input_changes():
+    state = make_state()
+    state.apply_input_changes({"x": 99})
+    assert state.inputs["x"] == 99
+    assert state.data["WF.x"] == 99
+    with pytest.raises(StorageError):
+        state.apply_input_changes({"ghost": 1})
+
+
+def test_merge_data_overwrites():
+    state = make_state()
+    state.bind("S1.o", 1)
+    state.merge_data({"S1.o": 2, "S2.o": 3})
+    assert state.data["S1.o"] == 2
+    assert state.data["S2.o"] == 3
+
+
+def test_snapshot_roundtrip():
+    state = make_state()
+    record = state.record("S1")
+    record.status = StepStatus.DONE
+    record.executions = 2
+    record.last_inputs = {"WF.x": 1}
+    record.last_outputs = {"o": 5}
+    record.exec_seq = state.next_exec_seq()
+    record.agent = "agent-1"
+    state.bind_outputs("S1", {"o": 5})
+    state.recovery_epoch = 3
+    state.events_snapshot = {"S1.D": 1.5}
+    restored = InstanceState.from_snapshot(state.snapshot())
+    assert restored.schema_name == "W"
+    assert restored.recovery_epoch == 3
+    assert restored.events_snapshot == {"S1.D": 1.5}
+    assert restored.steps["S1"].status is StepStatus.DONE
+    assert restored.steps["S1"].last_outputs == {"o": 5}
+    assert restored.data["S1.o"] == 5
+    # counters continue from the snapshot
+    assert restored.next_exec_seq() == 2
+
+
+def test_step_record_copy_is_deep_enough():
+    record = StepRecord(step="S1", last_inputs={"a": 1})
+    clone = record.copy()
+    clone.last_inputs["a"] = 2
+    assert record.last_inputs["a"] == 1
+
+
+def test_step_status_default():
+    state = make_state()
+    assert state.step_status("S9") is StepStatus.NOT_STARTED
+
+
+def test_status_transitions():
+    state = make_state()
+    assert state.status is InstanceStatus.RUNNING
+    state.status = InstanceStatus.COMMITTED
+    snap = state.snapshot()
+    assert InstanceState.from_snapshot(snap).status is InstanceStatus.COMMITTED

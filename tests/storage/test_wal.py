@@ -1,0 +1,72 @@
+"""Unit tests for the write-ahead log."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.wal import WriteAheadLog
+
+
+def test_append_assigns_increasing_lsns():
+    wal = WriteAheadLog()
+    r1 = wal.append("k", {"a": 1})
+    r2 = wal.append("k", {"a": 2})
+    assert r2.lsn == r1.lsn + 1
+    assert len(wal) == 2
+    assert wal.last_lsn() == r2.lsn
+
+
+def test_payload_must_be_dict():
+    wal = WriteAheadLog()
+    with pytest.raises(StorageError):
+        wal.append("k", [1, 2])  # type: ignore[arg-type]
+
+
+def test_replay_dispatches_by_kind():
+    wal = WriteAheadLog()
+    wal.append("a", {"v": 1})
+    wal.append("b", {"v": 2})
+    wal.append("a", {"v": 3})
+    seen = {"a": [], "b": []}
+    count = wal.replay({
+        "a": lambda p: seen["a"].append(p["v"]),
+        "b": lambda p: seen["b"].append(p["v"]),
+    })
+    assert count == 3
+    assert seen == {"a": [1, 3], "b": [2]}
+
+
+def test_replay_strict_unknown_kind_raises():
+    wal = WriteAheadLog()
+    wal.append("mystery", {})
+    with pytest.raises(StorageError):
+        wal.replay({})
+
+
+def test_replay_non_strict_skips_unknown():
+    wal = WriteAheadLog()
+    wal.append("mystery", {})
+    wal.append("known", {"v": 1})
+    seen = []
+    assert wal.replay({"known": seen.append}, strict=False) == 1
+    assert seen == [{"v": 1}]
+
+
+def test_checkpoint_truncates_older_records():
+    wal = WriteAheadLog()
+    for i in range(5):
+        wal.append("k", {"i": i})
+    dropped = wal.checkpoint(keep_from_lsn=4)
+    assert dropped == 3
+    assert [r.payload["i"] for r in wal] == [3, 4]
+
+
+def test_empty_wal_last_lsn_zero():
+    assert WriteAheadLog().last_lsn() == 0
+
+
+def test_appends_counter_survives_checkpoint():
+    wal = WriteAheadLog()
+    wal.append("k", {})
+    wal.checkpoint(keep_from_lsn=10)
+    assert wal.appends == 1
+    assert len(wal) == 0

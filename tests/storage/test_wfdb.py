@@ -1,0 +1,97 @@
+"""Unit tests for the workflow database (WFDB)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.tables import InstanceStatus, StepStatus
+from repro.storage.wfdb import WorkflowDatabase
+from tests.conftest import linear_schema
+from repro.model import compile_schema
+
+
+def make_db():
+    db = WorkflowDatabase()
+    db.register_class(compile_schema(linear_schema()))
+    return db
+
+
+def test_register_and_lookup_class():
+    db = make_db()
+    assert db.workflow_class("Linear").name == "Linear"
+    assert db.class_names() == ("Linear",)
+
+
+def test_duplicate_class_rejected():
+    db = make_db()
+    with pytest.raises(StorageError):
+        db.register_class(compile_schema(linear_schema()))
+
+
+def test_unknown_class_rejected():
+    db = make_db()
+    with pytest.raises(StorageError):
+        db.workflow_class("ghost")
+    with pytest.raises(StorageError):
+        db.create_instance("ghost", "i1", {})
+
+
+def test_create_instance_sets_summary():
+    db = make_db()
+    state = db.create_instance("Linear", "i1", {"x": 1})
+    assert state.data["WF.x"] == 1
+    assert db.status("i1") is InstanceStatus.RUNNING
+    assert db.has_instance("i1")
+
+
+def test_duplicate_instance_rejected():
+    db = make_db()
+    db.create_instance("Linear", "i1", {"x": 1})
+    with pytest.raises(StorageError):
+        db.create_instance("Linear", "i1", {"x": 2})
+
+
+def test_set_status_updates_summary_and_persists():
+    db = make_db()
+    db.create_instance("Linear", "i1", {"x": 1})
+    db.set_status("i1", InstanceStatus.COMMITTED)
+    assert db.status("i1") is InstanceStatus.COMMITTED
+
+
+def test_archive_drops_instance_table_keeps_summary():
+    db = make_db()
+    db.create_instance("Linear", "i1", {"x": 1})
+    db.set_status("i1", InstanceStatus.COMMITTED)
+    db.archive("i1")
+    assert not db.has_instance("i1")
+    assert db.status("i1") is InstanceStatus.COMMITTED
+
+
+def test_archive_running_instance_rejected():
+    db = make_db()
+    db.create_instance("Linear", "i1", {"x": 1})
+    with pytest.raises(StorageError):
+        db.archive("i1")
+
+
+def test_recover_restores_latest_snapshot():
+    db = make_db()
+    state = db.create_instance("Linear", "i1", {"x": 1})
+    record = state.record("S1")
+    record.status = StepStatus.DONE
+    record.exec_seq = state.next_exec_seq()
+    state.bind_outputs("S1", {"out": 7})
+    db.persist(state)
+    # Simulate a crash: rebuild from the WAL.
+    db.recover()
+    restored = db.instance("i1")
+    assert restored.steps["S1"].status is StepStatus.DONE
+    assert restored.data["S1.out"] == 7
+    assert db.status("i1") is InstanceStatus.RUNNING
+
+
+def test_recover_keeps_final_status():
+    db = make_db()
+    db.create_instance("Linear", "i1", {"x": 1})
+    db.set_status("i1", InstanceStatus.ABORTED)
+    db.recover()
+    assert db.status("i1") is InstanceStatus.ABORTED

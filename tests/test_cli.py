@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def laws_file(tmp_path):
+    path = tmp_path / "demo.laws"
+    path.write_text("""
+workflow Demo {
+  inputs x;
+  step A program d.a reads WF.x writes o;
+  step B program d.b reads A.o writes o;
+  arc A -> B;
+  on failure of B rollback to A;
+  output out = B.o;
+}
+order fifo between Demo(A, B) and Demo(A, B) on WF.x;
+""")
+    return str(path)
+
+
+def test_tables_prints_all_architectures(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    for title in ("Centralized", "Parallel", "Distributed", "Recommended Choice"):
+        assert title in out
+    assert "l*s/z" in out
+
+
+def test_tables_with_overrides(capsys):
+    assert main(["tables", "--z", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "0.15 * l" in out  # s/z = 15/100
+
+
+def test_check_validates_laws_file(capsys, laws_file):
+    assert main(["check", laws_file]) == 0
+    out = capsys.readouterr().out
+    assert "Demo" in out
+    assert "RelativeOrderSpec" in out
+    assert "OK: 1 workflow(s), 1 coordination spec(s)." in out
+
+
+def test_check_missing_file_errors(capsys):
+    assert main(["check", "/nonexistent.laws"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_check_invalid_laws_errors(tmp_path, capsys):
+    bad = tmp_path / "bad.laws"
+    bad.write_text("workflow W { step A; step B; }")  # two start steps
+    assert main(["check", str(bad)]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_run_executes_instances(capsys, laws_file):
+    assert main(["run", laws_file, "--instances", "2", "--input", "x=5"]) == 0
+    out = capsys.readouterr().out
+    assert "2/2 committed" in out
+
+
+def test_run_with_trace_and_architecture(capsys, laws_file):
+    assert main(["run", laws_file, "--architecture", "centralized",
+                 "--trace", "--input", "x=1"]) == 0
+    out = capsys.readouterr().out
+    assert "workflow.commit" in out
+    assert "1/1 committed under centralized control" in out
+
+
+def test_scenario_travel(capsys):
+    assert main(["scenario", "travel"]) == 0
+    out = capsys.readouterr().out
+    assert "TravelBooking-1: committed" in out
+    assert "step.reuse" in out  # the OCR recovery is visible in the trace
+
+
+def test_scenario_figure3_all_architectures(capsys):
+    for architecture in ("centralized", "parallel", "distributed"):
+        assert main(["scenario", "figure3", "--architecture", architecture]) == 0
+        out = capsys.readouterr().out
+        assert "Figure3-1: committed" in out
+
+
+def test_compare_runs_all_architectures(capsys):
+    assert main(["compare", "--instances", "3"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("paper model vs simulation") == 3
+
+
+def test_evaluate_writes_markdown_report(tmp_path, capsys):
+    out = tmp_path / "report.md"
+    assert main(["evaluate", "--output", str(out)]) == 0
+    text = out.read_text()
+    assert "# CREW evaluation (regenerated)" in text
+    assert "Table 4 — centralized control" in text
+    assert "Table 7 — recommendation matrix" in text
+    assert "OCR vs Saga ablation" in text
+    assert "Saga baseline" in text

@@ -1,0 +1,102 @@
+"""Unit tests for the Table-3-shaped workload generator."""
+
+import pytest
+
+from repro.model import compile_schema
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.params import WorkloadParameters
+from tests.conftest import make_system
+
+
+def params(**kwargs):
+    defaults = dict(c=2, i=2)
+    defaults.update(kwargs)
+    return WorkloadParameters(**defaults)
+
+
+def test_schema_has_exactly_s_steps_and_f_terminals():
+    p = params()
+    workload = WorkloadGenerator(p, seed=1).build()
+    for schema in workload.schemas:
+        compiled = compile_schema(schema)
+        assert len(schema.steps) == p.s
+        assert len(compiled.terminal_steps) == p.f
+
+
+def test_rollback_region_spans_r_steps():
+    p = params()
+    workload = WorkloadGenerator(p, seed=1).build()
+    schema = workload.schemas[0]
+    failing = workload.failure_steps[schema.name]
+    origin = workload.origins[schema.name]
+    assert schema.rollback_origin(failing) == origin
+    compiled = compile_schema(schema)
+    # Path origin..failing along branch A = r steps.
+    on_path = (compiled.graph.descendants_map[origin] | {origin}) & (
+        compiled.graph.ancestors_map[failing] | {failing}
+    )
+    assert len(on_path) == p.r
+
+
+def test_halted_branch_has_v_steps():
+    p = params()
+    workload = WorkloadGenerator(p, seed=1).build()
+    schema = workload.schemas[0]
+    b_steps = [s for s in schema.steps if s.startswith("B")]
+    assert len(b_steps) == p.v
+
+
+def test_abort_compensation_lists_w_steps():
+    p = params()
+    workload = WorkloadGenerator(p, seed=1).build()
+    for schema in workload.schemas:
+        assert len(schema.abort_compensation_steps) == p.w
+
+
+def test_coordination_specs_generated_when_enabled():
+    workload = WorkloadGenerator(params(), seed=1, coordination=True).build()
+    names = {type(s).__name__ for s in workload.specs}
+    assert names == {
+        "RelativeOrderSpec", "MutualExclusionSpec", "RollbackDependencySpec"
+    }
+    assert len(workload.specs) == 3 * len(workload.schemas)
+
+
+def test_no_specs_without_coordination():
+    workload = WorkloadGenerator(params(), seed=1, coordination=False).build()
+    assert workload.specs == []
+
+
+def test_generated_workload_runs_on_every_architecture():
+    p = params(pf=0.2)
+    for architecture in ("centralized", "parallel", "distributed"):
+        generator = WorkloadGenerator(p, seed=3)
+        workload = generator.build()
+        system = make_system(architecture, seed=3, num_agents=8, agents_per_step=2)
+        generator.install(system, workload)
+        run = generator.drive(system, workload, instances_per_schema=2)
+        system.run()
+        finished = [i for i in run.instances if i in system.outcomes]
+        assert len(finished) == len(run.instances), architecture
+
+
+def test_deterministic_generation():
+    w1 = WorkloadGenerator(params(), seed=9).build()
+    w2 = WorkloadGenerator(params(), seed=9).build()
+    assert [s.name for s in w1.schemas] == [s.name for s in w2.schemas]
+    policies1 = [type(p).__name__ for p in w1.schemas[0].cr_policies.values()]
+    policies2 = [type(p).__name__ for p in w2.schemas[0].cr_policies.values()]
+    assert policies1 == policies2
+
+
+def test_drive_schedules_admin_operations():
+    p = params(pi=0.05, pa=0.05, i=4)
+    generator = WorkloadGenerator(p, seed=1)
+    workload = generator.build()
+    system = make_system("centralized", seed=1)
+    generator.install(system, workload)
+    run = generator.drive(system, workload, instances_per_schema=20)
+    # Some instances get input changes or aborts at these probabilities.
+    assert run.instances
+    assert len(run.input_changed) + len(run.aborted_requests) >= 1
+    system.run()

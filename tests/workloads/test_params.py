@@ -1,0 +1,52 @@
+"""Unit tests for Table 3 parameters."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.params import PAPER_DEFAULTS, TABLE3_RANGES, WorkloadParameters
+
+
+def test_paper_defaults_reproduce_normalized_values():
+    p = PAPER_DEFAULTS
+    assert 2 * p.s * p.a == 60  # Table 4 normal messages
+    assert p.s * p.a + p.f == 32  # Table 6 normal messages
+    assert p.r * p.pf == pytest.approx(0.5)  # Table 4 failure load
+    assert (p.r + p.v) * p.pf * p.a == pytest.approx(1.8)  # Table 6 failure msgs
+    assert (p.r + p.v) * p.pi * p.a == pytest.approx(0.45)
+    assert 2 * p.w * p.pa * p.a == pytest.approx(0.2)
+    assert p.coordination_degree == 5
+    assert p.coordination_degree * p.a * p.d * p.s == 150
+    assert p.s / p.e == pytest.approx(3.75)
+    assert p.s / p.z == pytest.approx(0.3)
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(WorkloadError):
+        WorkloadParameters(s=100)
+    with pytest.raises(WorkloadError):
+        WorkloadParameters(pf=0.9)
+    with pytest.raises(WorkloadError):
+        WorkloadParameters(z=0)
+
+
+def test_shape_consistency_check():
+    with pytest.raises(WorkloadError):
+        WorkloadParameters(s=5, r=5, v=4, f=2)
+
+
+def test_evolve_creates_modified_copy():
+    p = PAPER_DEFAULTS.evolve(z=100)
+    assert p.z == 100
+    assert PAPER_DEFAULTS.z == 50
+
+
+def test_all_defaults_within_table3_ranges():
+    for name, (low, high) in TABLE3_RANGES.items():
+        value = getattr(PAPER_DEFAULTS, name)
+        assert low <= value <= high
+
+
+def test_describe_mentions_every_parameter():
+    text = PAPER_DEFAULTS.describe()
+    for name in TABLE3_RANGES:
+        assert f"{name}=" in text
