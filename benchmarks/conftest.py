@@ -1,0 +1,39 @@
+"""Benchmark provenance: stamp run metadata into benchmark results.
+
+Each benchmark that drives :func:`harness.run_architecture` gets the
+metadata of its runs (seed, parameter point, wall time, commit counts,
+message totals, trace summary) attached to ``benchmark.extra_info``, and
+the complete run log is added to the ``--benchmark-json`` output under
+the ``crew_runs`` key.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+
+import pytest
+
+import harness
+
+
+@pytest.fixture(autouse=True)
+def _stamp_run_metadata(request):
+    """Attach the runs performed by this test to its benchmark record."""
+    start = len(harness.RUN_LOG)
+    yield
+    benchmark = getattr(request.node, "funcargs", {}).get("benchmark")
+    if benchmark is None:
+        return
+    runs = harness.RUN_LOG[start:]
+    if runs:
+        benchmark.extra_info["crew_runs"] = runs
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Make ``--benchmark-json`` files self-describing."""
+    output_json["crew_runs"] = list(harness.RUN_LOG)
+    output_json["crew_environment"] = {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }

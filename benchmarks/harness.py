@@ -2,15 +2,34 @@
 
 Thin wrapper over :mod:`repro.analysis.experiment` (the library-level
 evaluation runner) so the pytest-benchmark files stay declarative.
+
+Every :func:`run_architecture` call is logged to :data:`RUN_LOG` with its
+run metadata (seed, parameter point, wall time, commit counts, message
+totals and trace summary); the benchmark conftest stamps that provenance
+into each benchmark's ``extra_info`` and into the ``--benchmark-json``
+output, so result files are self-describing.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 from repro.analysis.experiment import (
     EVAL_PARAMS as BENCH_PARAMS,
     ArchitectureResult as BenchResult,
     build_control_system as build_system,
-    run_architecture_experiment as run_architecture,
+    run_architecture_experiment,
 )
 
-__all__ = ["BENCH_PARAMS", "BenchResult", "build_system", "run_architecture"]
+__all__ = ["BENCH_PARAMS", "BenchResult", "RUN_LOG", "build_system",
+           "run_architecture"]
+
+#: Metadata of every experiment run in this process, in call order.
+RUN_LOG: list[dict[str, Any]] = []
+
+
+def run_architecture(architecture: str, **kwargs) -> BenchResult:
+    """Run one Table 4/5/6 measurement and log its run metadata."""
+    result = run_architecture_experiment(architecture, **kwargs)
+    RUN_LOG.append(result.run_metadata())
+    return result

@@ -11,7 +11,9 @@ exposed as ``python -m repro evaluate``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any
 
 from repro.analysis.model import architecture_model
 from repro.analysis.report import (
@@ -79,11 +81,29 @@ class ArchitectureResult:
     measured: MeasuredCosts
     committed: int
     aborted: int
+    seed: int = 7
+    wall_time_s: float = 0.0
+    messages: int = 0
+    spans: int = 0
+    trace_records: int = 0
 
     def report(self) -> str:
         return render_comparison(
             architecture_model(self.architecture, self.params), self.measured
         )
+
+    def run_metadata(self) -> dict[str, Any]:
+        """JSON-safe provenance record for benchmark result files."""
+        return {
+            "architecture": self.architecture,
+            "seed": self.seed,
+            "params": asdict(self.params),
+            "wall_time_s": round(self.wall_time_s, 6),
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "messages": self.messages,
+            "trace": {"spans": self.spans, "records": self.trace_records},
+        }
 
 
 def run_architecture_experiment(
@@ -94,6 +114,7 @@ def run_architecture_experiment(
     seed: int = 7,
 ) -> ArchitectureResult:
     """Run the Table-3 workload under one architecture and normalize."""
+    started = time.perf_counter()
     generator = WorkloadGenerator(params, seed=seed, key_pool=2,
                                   coordination=coordination)
     workload = generator.build()
@@ -110,6 +131,11 @@ def run_architecture_experiment(
         measured=measured,
         committed=system.metrics.instances_committed,
         aborted=system.metrics.instances_aborted,
+        seed=seed,
+        wall_time_s=time.perf_counter() - started,
+        messages=system.metrics.total_messages(),
+        spans=len(system.tracer.spans),
+        trace_records=len(system.trace),
     )
 
 

@@ -19,6 +19,11 @@ Commands
 ``evaluate``
     Regenerate the paper's full evaluation (Tables 4-7 + the OCR ablation)
     as a markdown report.
+``trace``
+    Run a scenario and export its span trace (Chrome trace-event JSON,
+    loadable in Perfetto / chrome://tracing, or JSONL).
+``metrics``
+    Run a scenario and export its metrics in Prometheus text format.
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ from repro.engines import (
 from repro.errors import CrewError
 from repro.laws import load_laws
 from repro.model import compile_schema
+from repro.obs import prometheus_text, render_chrome_trace, trace_to_jsonl
 from repro.workloads import (
     WorkloadGenerator,
     WorkloadParameters,
@@ -68,6 +74,52 @@ def _make_system(architecture: str, params: WorkloadParameters, seed: int,
                                      agents_per_step=params.a)
     return DistributedControlSystem(config, num_agents=params.z,
                                     agents_per_step=params.a)
+
+
+def _emit(text: str, out: str | None) -> None:
+    """Write exporter output to ``--out`` (or stdout)."""
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    else:
+        print(text)
+
+
+def _export_observability(system, args) -> None:
+    """Honour ``--trace-out`` / ``--metrics-out`` flags after a run."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        return
+    system.tracer.finish(system.simulator.now)
+    if trace_out:
+        _emit(render_chrome_trace(system.tracer, system.trace), trace_out)
+    if metrics_out:
+        _emit(prometheus_text(system.registry), metrics_out)
+
+
+SCENARIOS = {
+    "figure3": (figure3_workflow, "Figure3", {"load": 5}),
+    "orders": (order_processing, "OrderProcessing",
+               {"part": "gasket", "qty": 2}),
+    "travel": (travel_booking, "TravelBooking",
+               {"traveller": "cli", "dates": "now"}),
+}
+
+
+def _run_scenario(args) -> tuple:
+    """Run one canonical scenario with tracing on; returns (system, ids)."""
+    factory, schema_name, inputs = SCENARIOS[args.name]
+    params = WorkloadParameters()
+    system = _make_system(args.architecture, params, args.seed, trace=True)
+    factory().install(system)
+    instances = [
+        system.start_workflow(schema_name, inputs, delay=i * 0.5)
+        for i in range(args.instances)
+    ]
+    system.run()
+    return system, instances
 
 
 def _params_from(args) -> WorkloadParameters:
@@ -141,7 +193,8 @@ def cmd_run(args) -> int:
     with open(args.file, "r", encoding="utf-8") as handle:
         document = load_laws(handle.read())
     params = WorkloadParameters()
-    system = _make_system(args.architecture, params, args.seed, trace=args.trace)
+    instrument = args.trace or bool(args.trace_out) or bool(args.metrics_out)
+    system = _make_system(args.architecture, params, args.seed, trace=instrument)
     document.install(system)
     schema_name = args.workflow or document.schemas[0].name
     inputs = {}
@@ -169,6 +222,7 @@ def cmd_run(args) -> int:
     print(f"\n{committed}/{len(instances)} committed under "
           f"{args.architecture} control; "
           f"{system.metrics.total_messages()} physical messages.")
+    _export_observability(system, args)
     return 0
 
 
@@ -185,27 +239,30 @@ def cmd_evaluate(args) -> int:
 
 
 def cmd_scenario(args) -> int:
-    factories = {
-        "figure3": (figure3_workflow, "Figure3", {"load": 5}),
-        "orders": (order_processing, "OrderProcessing",
-                   {"part": "gasket", "qty": 2}),
-        "travel": (travel_booking, "TravelBooking",
-                   {"traveller": "cli", "dates": "now"}),
-    }
-    factory, schema_name, inputs = factories[args.name]
-    params = WorkloadParameters()
-    system = _make_system(args.architecture, params, args.seed, trace=True)
-    factory().install(system)
-    instances = [
-        system.start_workflow(schema_name, inputs, delay=i * 0.5)
-        for i in range(args.instances)
-    ]
-    system.run()
+    system, instances = _run_scenario(args)
     print(system.trace.render(limit=60))
     print()
     for instance in instances:
         outcome = system.outcome(instance)
         print(f"{instance}: {outcome.status.value}  {outcome.outputs}")
+    _export_observability(system, args)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    system, __ = _run_scenario(args)
+    system.tracer.finish(system.simulator.now)
+    if args.format == "chrome":
+        _emit(render_chrome_trace(system.tracer, system.trace), args.out)
+    else:
+        _emit(trace_to_jsonl(system.trace, system.tracer), args.out)
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    system, __ = _run_scenario(args)
+    system.tracer.finish(system.simulator.now)
+    _emit(prometheus_text(system.registry), args.out)
     return 0
 
 
@@ -245,6 +302,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--input", action="append", metavar="NAME=VALUE")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--trace", action="store_true")
+    run.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write a Chrome trace-event JSON of the run "
+                          "(implies --trace instrumentation)")
+    run.add_argument("--metrics-out", default=None, metavar="FILE",
+                     help="write Prometheus text-format metrics of the run")
     run.set_defaults(fn=cmd_run)
 
     evaluate = sub.add_parser(
@@ -255,13 +317,39 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the report to this file")
     evaluate.set_defaults(fn=cmd_evaluate)
 
+    def scenario_args(p, trace_outs: bool = True) -> None:
+        p.add_argument("name", choices=tuple(SCENARIOS))
+        p.add_argument("--architecture", default="distributed",
+                       choices=("centralized", "parallel", "distributed"))
+        p.add_argument("--instances", type=int, default=1)
+        p.add_argument("--seed", type=int, default=0)
+        if trace_outs:
+            p.add_argument("--trace-out", default=None, metavar="FILE")
+            p.add_argument("--metrics-out", default=None, metavar="FILE")
+
     scenario = sub.add_parser("scenario", help="run a canonical paper scenario")
-    scenario.add_argument("name", choices=("figure3", "orders", "travel"))
-    scenario.add_argument("--architecture", default="distributed",
-                          choices=("centralized", "parallel", "distributed"))
-    scenario.add_argument("--instances", type=int, default=1)
-    scenario.add_argument("--seed", type=int, default=0)
+    scenario_args(scenario)
     scenario.set_defaults(fn=cmd_scenario)
+
+    trace = sub.add_parser(
+        "trace", help="run a scenario and export its span trace"
+    )
+    scenario_args(trace, trace_outs=False)
+    trace.add_argument("--format", default="chrome",
+                       choices=("chrome", "jsonl"),
+                       help="chrome = trace-event JSON (Perfetto), "
+                            "jsonl = one JSON object per line")
+    trace.add_argument("--out", default=None, metavar="FILE",
+                       help="output file (default: stdout)")
+    trace.set_defaults(fn=cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="run a scenario and export Prometheus metrics"
+    )
+    scenario_args(metrics, trace_outs=False)
+    metrics.add_argument("--out", default=None, metavar="FILE",
+                         help="output file (default: stdout)")
+    metrics.set_defaults(fn=cmd_metrics)
     return parser
 
 

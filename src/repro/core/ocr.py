@@ -66,6 +66,23 @@ class OCRPlan:
     def total_cost(self) -> float:
         return self.compensation_cost + self.execution_cost
 
+    def span_attrs(self) -> dict[str, Any]:
+        """Observability attributes for rollback/re-execution spans.
+
+        Flat, JSON-safe key/value pairs so every engine annotates its
+        recovery and step spans identically — what the OCR condition
+        decided, how it will be realized and what it costs.
+        """
+        return {
+            "ocr.step": self.step,
+            "ocr.first_execution": self.first_execution,
+            "ocr.decision": self.decision.name if self.decision else "NONE",
+            "ocr.compensation": self.compensation_kind or "none",
+            "ocr.execution": self.execution_kind or "none",
+            "ocr.reuse": self.reuse_outputs,
+            "ocr.cost": self.total_cost,
+        }
+
 
 def plan_step_action(
     step_def: StepDef,

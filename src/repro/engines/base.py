@@ -30,6 +30,8 @@ from repro.model.coordination_spec import (
     RollbackDependencySpec,
 )
 from repro.model.schema import StepDef, WorkflowSchema
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import NULL_SPAN, Span, Tracer
 from repro.rules.events import step_compensated, step_done, step_fail
 from repro.sim.kernel import Simulator
 from repro.sim.metrics import MetricsCollector
@@ -51,6 +53,18 @@ __all__ = [
 ]
 
 
+# Histogram bucket presets (simulated time units / counts).  Latencies in
+# a default deployment are a few units (two network hops at latency 1.0
+# plus cost x work_time_scale); makespans and recoveries run longer.
+STEP_LATENCY_BUCKETS = (0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0,
+                        16.0, 32.0, 64.0)
+MAKESPAN_BUCKETS = (4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+                    1024.0, 2048.0)
+RECOVERY_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+PENDING_RULE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+QUEUE_DEPTH_BUCKETS = (1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0)
+
+
 @dataclass
 class SystemConfig:
     """Tunable knobs shared by all architectures.
@@ -67,6 +81,7 @@ class SystemConfig:
     latency: float = 1.0
     trace: bool = True
     trace_capacity: int | None = 500_000
+    trace_ring: bool = False
     work_time_scale: float = 0.1
     successor_selection: str = "hash"
     dispatch_probes: bool = True
@@ -265,8 +280,25 @@ class ControlSystem:
             self.simulator, self.metrics, FixedLatency(self.config.latency)
         )
         self.trace = Trace(
-            enabled=self.config.trace, capacity=self.config.trace_capacity
+            enabled=self.config.trace, capacity=self.config.trace_capacity,
+            ring=self.config.trace_ring,
         )
+        # Observability: the span tracer and metrics registry follow the
+        # single `trace` switch so benchmark runs stay un-instrumented.
+        self.tracer = Tracer(trace=self.trace, enabled=self.config.trace)
+        self.registry = MetricsRegistry()
+        if self.config.trace:
+            self.network.registry = self.registry
+            depth_hist = self.registry.histogram(
+                "crew_event_queue_depth",
+                "Simulator event-queue depth sampled at each event.",
+                buckets=QUEUE_DEPTH_BUCKETS,
+            )
+            self.simulator.event_hook = (
+                lambda time, depth: depth_hist.observe(depth)
+            )
+        self._workflow_spans: dict[str, Span] = {}
+        self._recovery_spans: dict[str, Span] = {}
         self.programs = ProgramRegistry()
         self.schemas: dict[str, CompiledSchema] = {}
         self.specs: list[CoordinationSpec] = []
@@ -334,11 +366,199 @@ class ControlSystem:
     def workflow_status(self, instance_id: str) -> InstanceStatus:
         raise NotImplementedError  # pragma: no cover - interface
 
+    # -- observability hooks (shared by every architecture) ---------------------------
+
+    def obs_instance_started(
+        self,
+        instance_id: str,
+        schema_name: str,
+        node: str,
+        now: float,
+        parent_instance: str | None = None,
+    ) -> Span:
+        """Count the start and open the workflow-instance span.
+
+        Nested workflows pass ``parent_instance`` so their span nests
+        under the parent's step that launched them.
+        """
+        self.metrics.instances_started += 1
+        if not self.tracer.enabled:
+            return NULL_SPAN
+        parent = None
+        if parent_instance is not None:
+            parent = self._workflow_spans.get(parent_instance)
+        span = self.tracer.start(
+            instance_id, "workflow", node, now, parent=parent,
+            schema=schema_name, architecture=self.architecture,
+        )
+        self._workflow_spans[instance_id] = span
+        self.registry.counter(
+            "crew_instances_started_total", "Workflow instances started.",
+            architecture=self.architecture,
+        ).inc()
+        return span
+
+    def workflow_span(self, instance_id: str) -> Span:
+        """The open workflow span of an instance (NULL_SPAN if unknown)."""
+        if not self.tracer.enabled:
+            return NULL_SPAN
+        return self._workflow_spans.get(instance_id, NULL_SPAN)
+
+    def obs_step_dispatched(
+        self, instance_id: str, step: str, node: str, now: float, **attrs: Any
+    ) -> Span:
+        """Open a step span (engine dispatch or local program launch)."""
+        if not self.tracer.enabled:
+            return NULL_SPAN
+        parent = self._recovery_spans.get(instance_id)
+        if parent is None or not parent.open:
+            parent = self.workflow_span(instance_id)
+        return self.tracer.start(
+            f"{instance_id}/{step}", "step", node, now, parent=parent,
+            instance=instance_id, step=step, **attrs,
+        )
+
+    def obs_step_finished(self, span: Span, now: float, **attrs: Any) -> None:
+        """Close a step span and feed the step-latency histogram."""
+        if not self.tracer.enabled or span.is_null or not span.open:
+            return
+        self.tracer.end(span, now, **attrs)
+        self.registry.histogram(
+            "crew_step_latency",
+            "Step dispatch-to-result latency in simulated time units.",
+            buckets=STEP_LATENCY_BUCKETS,
+            architecture=self.architecture,
+        ).observe(span.duration)
+
+    def obs_step_done(self, instance_id: str, step: str, now: float) -> None:
+        """A step completed successfully; closes a recovery episode whose
+        rollback origin just re-established itself."""
+        if not self.tracer.enabled:
+            return
+        episode = self._recovery_spans.get(instance_id)
+        if (episode is not None and episode.open
+                and episode.attrs.get("origin") == step):
+            self._obs_end_recovery(instance_id, now, resolved="origin-reexecuted")
+
+    def obs_recovery_started(
+        self,
+        instance_id: str,
+        node: str,
+        now: float,
+        origin: str | None,
+        epoch: int,
+        mechanism: str,
+    ) -> Span:
+        """Open a recovery-episode span (rollback / unhandled failure).
+
+        A newer rollback supersedes a still-open episode: the old span is
+        closed here so episodes never overlap for one instance.
+        """
+        if not self.tracer.enabled:
+            return NULL_SPAN
+        if instance_id in self._recovery_spans:
+            self._obs_end_recovery(instance_id, now, resolved="superseded")
+        span = self.tracer.start(
+            f"recovery:{instance_id}#{epoch}", "recovery", node, now,
+            parent=self.workflow_span(instance_id),
+            instance=instance_id, origin=origin or "-", epoch=epoch,
+            mechanism=mechanism,
+        )
+        self._recovery_spans[instance_id] = span
+        self.registry.counter(
+            "crew_recoveries_total", "Recovery episodes (rollbacks) started.",
+            architecture=self.architecture,
+        ).inc()
+        return span
+
+    def _obs_end_recovery(self, instance_id: str, now: float, **attrs: Any) -> None:
+        episode = self._recovery_spans.pop(instance_id, None)
+        if episode is None or not episode.open:
+            return
+        self.tracer.end(episode, now, **attrs)
+        self.registry.histogram(
+            "crew_recovery_duration",
+            "Rollback-to-reestablishment duration in simulated time units.",
+            buckets=RECOVERY_BUCKETS,
+            architecture=self.architecture,
+        ).observe(episode.duration)
+
+    def obs_ocr_planned(
+        self, instance_id: str, node: str, now: float, plan: Any
+    ) -> None:
+        """Instant span for a non-trivial OCR decision (re-triggered step)."""
+        if not self.tracer.enabled:
+            return
+        parent = self._recovery_spans.get(instance_id)
+        if parent is None or not parent.open:
+            parent = self.workflow_span(instance_id)
+        self.tracer.instant(
+            f"ocr:{plan.step}", "recovery", node, now, parent=parent,
+            instance=instance_id, **plan.span_attrs(),
+        )
+
+    def obs_coordination(
+        self, instance_id: str | None, node: str, now: float, op: str,
+        spec_name: str | None = None, **attrs: Any,
+    ) -> None:
+        """Instant coordination-round span plus the per-op counter."""
+        if not self.tracer.enabled:
+            return
+        parent = (self.workflow_span(instance_id)
+                  if instance_id is not None else None)
+        self.tracer.instant(
+            f"coord:{op}", "coordination", node, now, parent=parent,
+            spec=spec_name or "-", **attrs,
+        )
+        self.registry.counter(
+            "crew_coordination_ops_total", "Coordination operations performed.",
+            op=op,
+        ).inc()
+
+    def rule_fire_hook(self, node: str, instance_id: str):
+        """A RuleEngine ``fire_hook`` for one instance, or None when off.
+
+        Emits an instant rule span under the instance's workflow span and
+        samples the pending-rule-table depth after each firing.
+        """
+        if not self.tracer.enabled:
+            return None
+        fired = self.registry.counter(
+            "crew_rules_fired_total", "ECA rules fired.", node=node,
+        )
+        depth = self.registry.histogram(
+            "crew_pending_rules",
+            "Pending-rule-table depth sampled after each rule firing.",
+            buckets=PENDING_RULE_BUCKETS,
+        )
+
+        def hook(rule: Any, engine: Any) -> None:
+            fired.inc()
+            depth.observe(len(engine.pending_rules()))
+            self.tracer.instant(
+                f"rule:{rule.rule_id}", "rule", node, self.simulator.now,
+                parent=self.workflow_span(instance_id),
+                instance=instance_id, step=rule.step, kind=rule.kind,
+            )
+
+        return hook
+
     # -- driving the simulation -------------------------------------------------------
 
     def run(self, until: float | None = None) -> int:
         """Run the simulation to quiescence (or ``until``)."""
-        return self.simulator.run(until=until, max_events=self.config.max_events)
+        fired = self.simulator.run(until=until, max_events=self.config.max_events)
+        if self.config.trace:
+            self.registry.gauge(
+                "crew_sim_events_processed", "Simulation events processed.",
+            ).set(self.simulator.events_processed)
+            self.registry.gauge(
+                "crew_sim_time", "Current simulated time.",
+            ).set(self.simulator.now)
+            self.registry.gauge(
+                "crew_trace_dropped_records", "Trace records lost to capacity.",
+            ).set(self.trace.dropped)
+        return fired
 
     def new_instance_id(self, schema_name: str) -> str:
         return f"{schema_name}-{next(self._instance_ids)}"
@@ -388,6 +608,22 @@ class ControlSystem:
             self.metrics.instances_committed += 1
         elif status is InstanceStatus.ABORTED:
             self.metrics.instances_aborted += 1
+        if not self.tracer.enabled:
+            return
+        self._obs_end_recovery(instance_id, now, resolved=status.name.lower())
+        span = self._workflow_spans.pop(instance_id, None)
+        if span is not None and span.open:
+            self.tracer.end(span, now, status=status.name)
+            self.registry.histogram(
+                "crew_instance_makespan",
+                "Workflow start-to-finish time in simulated time units.",
+                buckets=MAKESPAN_BUCKETS,
+                architecture=self.architecture,
+            ).observe(span.duration)
+        self.registry.counter(
+            "crew_instances_finished_total", "Workflow instances finished.",
+            architecture=self.architecture, status=status.name,
+        ).inc()
 
     @staticmethod
     def workflow_outputs(

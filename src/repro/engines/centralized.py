@@ -161,6 +161,7 @@ class _Inflight:
     attempt: int
     mechanism: Mechanism
     agent: str
+    span: Any = None  # open step Span (or NULL_SPAN when tracing is off)
 
 
 @dataclass
@@ -247,6 +248,7 @@ class CentralEngineNode(Node):
             compiled,
             action=lambda rule, iid=instance_id: self._on_rule(iid, rule),
             env_provider=state.env,
+            fire_hook=self.system.rule_fire_hook(self.name, instance_id),
         )
         runtime = _Runtime(
             state=state,
@@ -258,7 +260,10 @@ class CentralEngineNode(Node):
         self.runtimes[instance_id] = runtime
         self.system._note_owner(instance_id, self.name)
         self._install_preconditions(runtime)
-        self.system.metrics.instances_started += 1
+        self.system.obs_instance_started(
+            instance_id, schema_name, self.name, self.simulator.now,
+            parent_instance=parent_link[0] if parent_link else None,
+        )
         self.trace.record(self.simulator.now, self.name, "workflow.start",
                           instance=instance_id, schema=schema_name)
         self._charge(Mechanism.NORMAL)
@@ -284,6 +289,10 @@ class CentralEngineNode(Node):
         self._charge(Mechanism.ABORT)
         # Halt everything first: bump the epoch so in-flight results are stale.
         runtime.state.recovery_epoch += 1
+        self.system.obs_recovery_started(
+            instance_id, self.name, self.simulator.now, origin=None,
+            epoch=runtime.state.recovery_epoch, mechanism="abort",
+        )
         schema = runtime.compiled.schema
         to_compensate = [
             s
@@ -309,6 +318,10 @@ class CentralEngineNode(Node):
         for key in [k for k in self._inflight if k[0] == instance_id]:
             retired = self._inflight.pop(key)
             self._agent_load_view[retired.agent] -= 1
+            if retired.span is not None:
+                self.system.tracer.end(
+                    retired.span, self.simulator.now, status="cancelled"
+                )
         self.wfdb.set_status(instance_id, InstanceStatus.ABORTED)
         self._release_coordination(runtime, aborted=True)
         self.system._record_outcome(
@@ -413,12 +426,17 @@ class CentralEngineNode(Node):
         if policy is None:
             from repro.model.policies import DEFAULT_POLICY as policy  # type: ignore[no-redef]
         plan = plan_step_action(step_def, record, new_inputs, policy)
+        if plan.decision is not None:
+            self.system.obs_ocr_planned(
+                instance_id, self.name, self.simulator.now, plan
+            )
 
         if plan.reuse_outputs:
             record.reuses += 0  # updated inside record_reuse
             token = record_reuse(runtime.state, step_def, self.simulator.now)
             self.trace.record(self.simulator.now, self.name, "step.reuse",
                               instance=instance_id, step=step)
+            self.system.obs_step_done(instance_id, step, self.simulator.now)
             self.wfdb.persist(runtime.state)
             runtime.engine.post_event(token, self.simulator.now)
             self._after_step_done(instance_id, step)
@@ -453,8 +471,9 @@ class CentralEngineNode(Node):
                               instance=instance_id, step=step,
                               comp=plan.compensation_kind or "-",
                               chain=",".join(ordered))
+            partial = {step} if plan.compensation_kind == "partial" else None
             self._compensate_chain(runtime, ordered, mechanism, on_done=proceed,
-                                   partial_for={step} if plan.compensation_kind == "partial" else None)
+                                   partial_for=partial)
         else:
             proceed()
 
@@ -538,6 +557,10 @@ class CentralEngineNode(Node):
             attempt=attempt,
             mechanism=mechanism,
             agent=agent,
+            span=self.system.obs_step_dispatched(
+                instance_id, step, self.name, self.simulator.now,
+                agent=agent, attempt=attempt, mechanism=mechanism.value,
+            ),
         )
         self._agent_load_view[agent] += 1
         self.trace.record(self.simulator.now, self.name, "step.dispatch",
@@ -588,6 +611,10 @@ class CentralEngineNode(Node):
             )
             self.trace.record(self.simulator.now, self.name, "step.done",
                               instance=instance_id, step=step)
+            self.system.obs_step_finished(
+                inflight.span, self.simulator.now, status="done"
+            )
+            self.system.obs_step_done(instance_id, step, self.simulator.now)
             self.wfdb.persist(state)
             runtime.engine.post_event(token, self.simulator.now)
             self._after_step_done(instance_id, step)
@@ -598,6 +625,10 @@ class CentralEngineNode(Node):
             self.trace.record(self.simulator.now, self.name, "step.fail",
                               instance=instance_id, step=step,
                               error=payload.get("error") or "-")
+            self.system.obs_step_finished(
+                inflight.span, self.simulator.now, status="failed",
+                error=payload.get("error") or "-",
+            )
             self.wfdb.persist(state)
             runtime.engine.post_event(token, self.simulator.now)
             self._handle_failure(instance_id, step)
@@ -641,6 +672,7 @@ class CentralEngineNode(Node):
         token = record_execution_success(
             runtime.state, step_def, inputs, outputs, self.simulator.now, self.name
         )
+        self.system.obs_step_done(parent_id, parent_step, self.simulator.now)
         self.wfdb.persist(runtime.state)
         runtime.engine.post_event(token, self.simulator.now)
         self._after_step_done(parent_id, parent_step)
@@ -694,6 +726,10 @@ class CentralEngineNode(Node):
         for spec, pair_index in self.spec_index.ro_roles(schema_name, step):
             authority = self.authorities.ro[spec.name]
             key = SpecIndex.conflict_key_value(spec, runtime.state)
+            self.system.obs_coordination(
+                instance_id, self.name, self.simulator.now, "ro.report",
+                spec_name=spec.name, step=step, pair=pair_index,
+            )
             grants = authority.report_completion(schema_name, instance_id, pair_index, key)
             if pair_index == 0:
                 n_pairs = len(spec.steps_a)
@@ -717,6 +753,10 @@ class CentralEngineNode(Node):
         # Rollback dependency: register target-step completion.
         for spec in self.spec_index.rd_targets(schema_name, step):
             authority = self.authorities.rd[spec.name]
+            self.system.obs_coordination(
+                instance_id, self.name, self.simulator.now, "rd.report",
+                spec_name=spec.name, step=step,
+            )
             authority.report_target_executed(
                 instance_id, SpecIndex.conflict_key_value(spec, runtime.state)
             )
@@ -729,6 +769,10 @@ class CentralEngineNode(Node):
         key = SpecIndex.conflict_key_value(spec, runtime.state)
         instance_id = runtime.state.instance_id
         granted = authority.acquire(runtime.state.schema_name, instance_id, key)
+        self.system.obs_coordination(
+            instance_id, self.name, self.simulator.now, "mx.acquire",
+            spec_name=spec.name, granted=granted,
+        )
         if granted:
             runtime.mx_state[spec.name] = "held"
             self._deliver_grant(instance_id, mx_clearance_token(spec.name, instance_id))
@@ -741,6 +785,10 @@ class CentralEngineNode(Node):
         authority = self.authorities.mx[spec.name]
         key = SpecIndex.conflict_key_value(spec, runtime.state)
         runtime.mx_state[spec.name] = "released"
+        self.system.obs_coordination(
+            runtime.state.instance_id, self.name, self.simulator.now,
+            "mx.release", spec_name=spec.name,
+        )
         grantee = authority.release(
             runtime.state.schema_name, runtime.state.instance_id, key
         )
@@ -779,6 +827,10 @@ class CentralEngineNode(Node):
             self.trace.record(self.simulator.now, self.name, "failure.unhandled",
                               instance=instance_id, step=failed_step)
             runtime.state.recovery_epoch += 1
+            self.system.obs_recovery_started(
+                instance_id, self.name, self.simulator.now, origin=None,
+                epoch=runtime.state.recovery_epoch, mechanism="failure",
+            )
             executed = [
                 s
                 for s in reversed(runtime.state.executed_steps_in_order())
@@ -810,6 +862,10 @@ class CentralEngineNode(Node):
         self.trace.record(self.simulator.now, self.name, "rollback",
                           instance=instance_id, origin=origin,
                           epoch=state.recovery_epoch)
+        self.system.obs_recovery_started(
+            instance_id, self.name, self.simulator.now, origin=origin,
+            epoch=state.recovery_epoch, mechanism=mechanism.value,
+        )
         # Halting threads is local work in centralized control; one unit of
         # navigation load per affected step.
         self._charge(mechanism, len(recovery.steps))
@@ -822,6 +878,10 @@ class CentralEngineNode(Node):
             retired = self._inflight.pop((instance_id, step), None)
             if retired is not None:
                 self._agent_load_view[retired.agent] -= 1
+                if retired.span is not None:
+                    self.system.tracer.end(
+                        retired.span, self.simulator.now, status="cancelled"
+                    )
         runtime.reported -= recovery.steps
         self.wfdb.persist(state)
 
@@ -848,6 +908,10 @@ class CentralEngineNode(Node):
                                   "rollback.dependency",
                                   trigger=instance_id, dependent=dependent,
                                   spec=spec.name)
+                self.system.obs_coordination(
+                    instance_id, self.name, self.simulator.now,
+                    "rd.propagate", spec_name=spec.name, dependent=dependent,
+                )
                 self._rollback(
                     dependent, spec.rollback_to_b, Mechanism.FAILURE, from_rd=True
                 )
@@ -1016,6 +1080,7 @@ class CentralEngineNode(Node):
                 compiled,
                 action=lambda rule, iid=state.instance_id: self._on_rule(iid, rule),
                 env_provider=state.env,
+                fire_hook=self.system.rule_fire_hook(self.name, state.instance_id),
             )
             runtime = _Runtime(
                 state=state,

@@ -134,6 +134,8 @@ class _AgentRuntime:
     running_exec: dict[str, int] = field(default_factory=dict)
     input_overrides: dict[str, Any] = field(default_factory=dict)
     pending_exec: dict[str, tuple] = field(default_factory=dict)
+    #: step -> open execution Span of the program currently running here.
+    exec_spans: dict[str, Any] = field(default_factory=dict)
     parent_link: tuple[str, str] | None = None
     governed: int = 0
     watchdogs: set[str] = field(default_factory=set)
@@ -222,6 +224,7 @@ class WorkflowAgentNode(Node):
             action=lambda rule, iid=instance_id: self._on_rule(iid, rule),
             env_provider=fragment.env,
             steps=hosted,
+            fire_hook=self.system.rule_fire_hook(self.name, instance_id),
         )
         runtime = _AgentRuntime(
             fragment=fragment,
@@ -273,7 +276,10 @@ class WorkflowAgentNode(Node):
         self.agdb.set_summary(instance_id, InstanceStatus.RUNNING)
         self.trackers[instance_id] = _CommitTracker(parent_link=parent_link)
         runtime = self._runtime(schema_name, instance_id, inputs, parent_link)
-        self.system.metrics.instances_started += 1
+        self.system.obs_instance_started(
+            instance_id, schema_name, self.name, self.simulator.now,
+            parent_instance=parent_link[0] if parent_link else None,
+        )
         self.system._note_owner(instance_id, self.name)
         self.trace.record(self.simulator.now, self.name, "workflow.start",
                           instance=instance_id, schema=schema_name)
@@ -327,6 +333,10 @@ class WorkflowAgentNode(Node):
                     self.send(agent, WI.STEP_COMPENSATE.value, payload, Mechanism.ABORT)
         # Halt every thread starting from the first step.
         epoch = runtime.fragment.recovery_epoch + 1
+        self.system.obs_recovery_started(
+            instance_id, self.name, self.simulator.now, origin=None,
+            epoch=epoch, mechanism="abort",
+        )
         self._halt_from(runtime, instance_id, compiled.start_step, epoch,
                         Mechanism.ABORT, include_origin_agent=True)
         tracker.finished = True
@@ -562,11 +572,16 @@ class WorkflowAgentNode(Node):
         new_inputs = fragment.gather_inputs(step_def.inputs)
         policy = compiled.schema.cr_policies.get(step, DEFAULT_POLICY)
         plan = plan_step_action(step_def, record, new_inputs, policy)
+        if plan.decision is not None:
+            self.system.obs_ocr_planned(
+                instance_id, self.name, self.simulator.now, plan
+            )
 
         if plan.reuse_outputs:
             token = record_reuse(fragment, step_def, self.simulator.now)
             self.trace.record(self.simulator.now, self.name, "step.reuse",
                               instance=instance_id, step=step)
+            self.system.obs_step_done(instance_id, step, self.simulator.now)
             runtime.executors[step] = self.name
             self._persist(runtime)
             runtime.engine.post_event(token, self.simulator.now,
@@ -654,6 +669,15 @@ class WorkflowAgentNode(Node):
         attempt = record.executions + 1
         epoch = runtime.fragment.recovery_epoch
         runtime.running_exec[step] = epoch
+        stale_span = runtime.exec_spans.pop(step, None)
+        if stale_span is not None:
+            self.system.tracer.end(
+                stale_span, self.simulator.now, status="cancelled"
+            )
+        runtime.exec_spans[step] = self.system.obs_step_dispatched(
+            instance_id, step, self.name, self.simulator.now,
+            attempt=attempt, epoch=epoch, mechanism=mechanism.value,
+        )
         self.trace.record(self.simulator.now, self.name, "step.execute",
                           instance=instance_id, step=step, attempt=attempt)
         delay = cost * self.config.work_time_scale
@@ -698,6 +722,7 @@ class WorkflowAgentNode(Node):
         result = program.execute(inputs, ctx)
         self.network.metrics.record_work(self.name, "execute", cost)
         runtime.executors[step] = self.name
+        exec_span = runtime.exec_spans.pop(step, None)
         if result.success:
             token = record_execution_success(
                 fragment, step_def, inputs, result.outputs, self.simulator.now,
@@ -705,6 +730,11 @@ class WorkflowAgentNode(Node):
             )
             self.trace.record(self.simulator.now, self.name, "step.done",
                               instance=instance_id, step=step)
+            if exec_span is not None:
+                self.system.obs_step_finished(
+                    exec_span, self.simulator.now, status="done"
+                )
+            self.system.obs_step_done(instance_id, step, self.simulator.now)
             self._persist(runtime)
             runtime.engine.post_event(token, self.simulator.now,
                                       runtime.fragment.invalidation_round)
@@ -716,6 +746,11 @@ class WorkflowAgentNode(Node):
             self.trace.record(self.simulator.now, self.name, "step.fail",
                               instance=instance_id, step=step,
                               error=result.error or "-")
+            if exec_span is not None:
+                self.system.obs_step_finished(
+                    exec_span, self.simulator.now, status="failed",
+                    error=result.error or "-",
+                )
             self._persist(runtime)
             runtime.engine.post_event(token, self.simulator.now,
                                       runtime.fragment.invalidation_round)
@@ -730,7 +765,6 @@ class WorkflowAgentNode(Node):
         if runtime is None or runtime.fragment.status is not InstanceStatus.RUNNING:
             return
         compiled = runtime.compiled
-        schema_name = compiled.name
         self._coord_on_step_done(runtime, instance_id, step)
         if step in compiled.terminal_steps and not self._loop_continues(runtime, step):
             self._report_completion(runtime, instance_id, step, mechanism)
@@ -1201,6 +1235,10 @@ class WorkflowAgentNode(Node):
             return  # already handled (duplicate rollback request)
         self.trace.record(self.simulator.now, self.name, "rollback",
                           instance=instance_id, origin=origin, epoch=epoch)
+        self.system.obs_recovery_started(
+            instance_id, self.name, self.simulator.now, origin=origin,
+            epoch=epoch, mechanism=mechanism.value,
+        )
         fragment.recovery_epoch = epoch
         runtime.recovery_mechanism = mechanism
         runtime.origin_history[epoch] = origin
@@ -1351,6 +1389,10 @@ class WorkflowAgentNode(Node):
         # see the staleness regardless of message arrival order.
         invalidations: dict[str, int] = {}
         if runtime is not None:
+            self.system.obs_recovery_started(
+                instance_id, self.name, self.simulator.now, origin=None,
+                epoch=runtime.fragment.recovery_epoch + 1, mechanism="failure",
+            )
             epoch = runtime.fragment.recovery_epoch + 1
             runtime.fragment.recovery_epoch = epoch
             self._halt_from(runtime, instance_id, compiled.start_step, epoch,
@@ -1823,6 +1865,10 @@ class WorkflowAgentNode(Node):
 
     def _to_authority(self, spec: CoordinationSpec, payload: dict[str, Any]) -> None:
         authority = self.system.authority_agent_for(spec)
+        self.system.obs_coordination(
+            payload.get("instance_id"), self.name, self.simulator.now,
+            payload["op"], spec_name=spec.name, authority=authority,
+        )
         if authority == self.name:
             self._apply_authority_op(payload)
         else:
@@ -2093,6 +2139,7 @@ class WorkflowAgentNode(Node):
                 action=lambda rule, iid=instance_id: self._on_rule(iid, rule),
                 env_provider=fragment.env,
                 steps=hosted,
+                fire_hook=self.system.rule_fire_hook(self.name, instance_id),
             )
             runtime = _AgentRuntime(
                 fragment=fragment,

@@ -122,8 +122,14 @@ class ParallelEngineNode(CentralEngineNode):
 
     def _broadcast(self, payload: dict[str, Any]) -> None:
         """Send a coordination op to every peer engine and apply locally."""
-        for peer in self._peers():
+        peers = self._peers()
+        for peer in peers:
             self.send(peer, VERB_COORD_OP, payload, Mechanism.COORDINATION)
+        self.system.obs_coordination(
+            payload.get("instance"), self.name, self.simulator.now,
+            f"broadcast.{payload['op']}", spec_name=payload.get("spec"),
+            peers=len(peers),
+        )
         self._apply_coord_op(payload)
 
     def handle_message(self, message: Message) -> None:

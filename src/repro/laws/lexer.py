@@ -116,7 +116,11 @@ def tokenize(text: str) -> list[Token]:
             start = index
             start_col = column
             seen_dot = False
-            while index < length and (text[index].isdigit() or (text[index] == "." and not seen_dot and not text.startswith("..", index))):
+            while index < length and (
+                text[index].isdigit()
+                or (text[index] == "." and not seen_dot
+                    and not text.startswith("..", index))
+            ):
                 if text[index] == ".":
                     seen_dot = True
                 index += 1

@@ -1,0 +1,50 @@
+"""Unified observability layer: spans, metrics registry, exporters.
+
+The simulation's :class:`~repro.sim.tracing.Trace` answers *what happened*
+as a flat, totally-ordered event log; this package adds the causal and
+distributional views the paper's evaluation methodology implies but never
+shows:
+
+* :mod:`repro.obs.spans` — span-based tracing (workflow-instance, step,
+  recovery-episode, coordination and rule-firing spans) with parent/child
+  causality, layered on top of the flat trace;
+* :mod:`repro.obs.registry` — a metrics registry of counters, gauges and
+  fixed-bucket histograms (p50/p95/p99 for step latency, instance
+  makespan, recovery duration, pending-rule-table depth);
+* :mod:`repro.obs.export` — JSONL trace dumps, Chrome trace-event JSON
+  (loadable in ``chrome://tracing`` / Perfetto) and Prometheus text-format
+  metric snapshots.
+
+Every control system owns one :class:`~repro.obs.spans.Tracer` and one
+:class:`~repro.obs.registry.MetricsRegistry`; both follow the system's
+``trace`` config switch so large benchmark runs pay (almost) nothing.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    render_chrome_trace,
+    trace_to_jsonl,
+)
+from repro.obs.registry import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+from repro.obs.spans import NULL_SPAN, Span, SpanContext, Tracer
+
+__all__ = [
+    "NULL_SPAN",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "chrome_trace",
+    "prometheus_text",
+    "render_chrome_trace",
+    "trace_to_jsonl",
+]

@@ -1,0 +1,214 @@
+"""Exporters: JSONL traces, Chrome trace-event JSON, Prometheus text.
+
+Three standard formats so runs can be inspected with off-the-shelf
+tooling instead of ad-hoc scripts:
+
+* :func:`trace_to_jsonl` — one JSON object per line; flat trace records
+  (``{"type": "record", ...}``) merged with spans (``{"type": "span",
+  ...}``) in time order, suitable for ``jq``/pandas post-processing.
+* :func:`chrome_trace` — the Chrome trace-event format (JSON object with
+  a ``traceEvents`` array) loadable in ``chrome://tracing`` and Perfetto.
+  Spans become complete (``"ph": "X"``) events, flat trace records become
+  instant (``"ph": "i"``) events; nodes map to threads.
+* :func:`prometheus_text` — the Prometheus exposition text format
+  (``# HELP`` / ``# TYPE`` plus samples, histogram children expanded into
+  cumulative ``_bucket{le=...}`` series with ``_sum`` and ``_count``).
+
+Simulated time is unitless; Chrome/Perfetto expect microseconds.  One
+simulated time unit is exported as one millisecond (``ts = t * 1000``)
+so typical runs land in a readable zoom range.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.obs.registry import HistogramMetric, MetricsRegistry
+from repro.obs.spans import Tracer
+from repro.sim.tracing import Trace
+
+__all__ = [
+    "chrome_trace",
+    "prometheus_text",
+    "render_chrome_trace",
+    "trace_to_jsonl",
+]
+
+#: Exported microseconds per simulated time unit (1 unit -> 1 ms).
+US_PER_TIME_UNIT = 1000.0
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _safe_attrs(attrs: dict[str, Any]) -> dict[str, Any]:
+    return {k: _json_safe(v) for k, v in attrs.items()}
+
+
+# -- JSONL ----------------------------------------------------------------
+
+
+def trace_to_jsonl(trace: Trace | None, tracer: Tracer | None = None) -> str:
+    """Merge flat records and spans into time-ordered JSON lines."""
+    rows: list[tuple[float, int, dict[str, Any]]] = []
+    order = 0
+    if trace is not None:
+        for rec in trace:
+            rows.append((rec.time, order, {
+                "type": "record",
+                "time": rec.time,
+                "node": rec.node,
+                "kind": rec.kind,
+                "detail": _safe_attrs(dict(rec.detail)),
+            }))
+            order += 1
+    if tracer is not None:
+        for span in tracer:
+            rows.append((span.start, order, {
+                "type": "span",
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "category": span.category,
+                "node": span.node,
+                "start": span.start,
+                "end": span.end,
+                "duration": span.duration,
+                "attrs": _safe_attrs(span.attrs),
+            }))
+            order += 1
+    rows.sort(key=lambda r: (r[0], r[1]))
+    return "\n".join(json.dumps(row, sort_keys=True) for __, ___, row in rows)
+
+
+# -- Chrome trace-event format --------------------------------------------
+
+
+def chrome_trace(
+    tracer: Tracer | None,
+    trace: Trace | None = None,
+    process_name: str = "crew-sim",
+) -> dict[str, Any]:
+    """Build a Chrome trace-event document (``chrome://tracing``/Perfetto).
+
+    Nodes become threads of a single process; spans become complete
+    events with durations, flat trace records become thread-scoped
+    instant events.  Still-open spans are skipped (callers should run
+    ``tracer.finish(now)`` first).
+    """
+    events: list[dict[str, Any]] = []
+    tids: dict[str, int] = {}
+
+    def tid_of(node: str) -> int:
+        if node not in tids:
+            tids[node] = len(tids) + 1
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tids[node],
+                "args": {"name": node},
+            })
+        return tids[node]
+
+    events.append({
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 0,
+        "args": {"name": process_name},
+    })
+    if tracer is not None:
+        for span in tracer:
+            if span.end is None:
+                continue
+            args = _safe_attrs(span.attrs)
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            events.append({
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start * US_PER_TIME_UNIT,
+                "dur": max(span.duration * US_PER_TIME_UNIT, 1.0),
+                "pid": 1,
+                "tid": tid_of(span.node),
+                "args": args,
+            })
+    if trace is not None:
+        for rec in trace:
+            events.append({
+                "name": rec.kind,
+                "cat": "trace",
+                "ph": "i",
+                "s": "t",
+                "ts": rec.time * US_PER_TIME_UNIT,
+                "pid": 1,
+                "tid": tid_of(rec.node),
+                "args": _safe_attrs(dict(rec.detail)),
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def render_chrome_trace(
+    tracer: Tracer | None,
+    trace: Trace | None = None,
+    process_name: str = "crew-sim",
+) -> str:
+    """:func:`chrome_trace` serialized to a JSON string."""
+    return json.dumps(
+        chrome_trace(tracer, trace, process_name=process_name), indent=1
+    )
+
+
+# -- Prometheus text format ------------------------------------------------
+
+
+def _fmt_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus exposition text format."""
+    lines: list[str] = []
+    for name, children in registry:
+        kind = registry.kind_of(name)
+        help_text = registry.help_of(name)
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for child in children:
+            if isinstance(child, HistogramMetric):
+                cumulative = 0
+                for bound, count in zip(
+                    (*child.bounds, math.inf), child.counts
+                ):
+                    cumulative += count
+                    le = _fmt_labels(child.labels, f'le="{_fmt_value(bound)}"')
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                labels = _fmt_labels(child.labels)
+                lines.append(f"{name}_sum{labels} {_fmt_value(child.sum)}")
+                lines.append(f"{name}_count{labels} {child.count}")
+            else:
+                labels = _fmt_labels(child.labels)
+                lines.append(f"{name}{labels} {_fmt_value(child.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")

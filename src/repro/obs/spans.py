@@ -1,0 +1,244 @@
+"""Span-based tracing with parent/child causality.
+
+A :class:`Span` is a named interval of simulated time attributed to one
+node, with an optional parent span.  The standard categories emitted by
+the engines are:
+
+``workflow``
+    One span per workflow instance, from WorkflowStart to commit/abort.
+``step``
+    One span per step dispatch, from the engine sending StepExecute (or a
+    distributed agent launching the program) to the result landing.
+``recovery``
+    A recovery episode: opened at rollback, closed when the rollback
+    origin re-completes (or at instance end), plus compensation chains.
+``coordination``
+    A coordination round: clearance reports, lock traffic, broadcasts.
+``rule``
+    An (instant) span per ECA rule firing.
+
+Invariant: **a child span never ends after its parent.**  Ending a span
+auto-closes any still-open descendants at the parent's end time, so the
+span tree is always well nested and Chrome trace viewers render it
+without overlap errors.
+
+The tracer is deliberately cheap when disabled: :meth:`Tracer.start`
+returns the shared :data:`NULL_SPAN` and every other operation is a no-op,
+so hot paths can call it unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.sim.tracing import Trace
+
+__all__ = ["NULL_SPAN", "Span", "SpanContext", "Tracer"]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Immutable identity of a span (propagatable across nodes)."""
+
+    span_id: int
+    parent_id: int | None = None
+
+
+class Span:
+    """A named, attributed interval of simulation time."""
+
+    __slots__ = ("attrs", "category", "end", "name", "node", "span_id",
+                 "parent_id", "start")
+
+    is_null = False
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        category: str,
+        node: str,
+        start: float,
+        parent_id: int | None = None,
+        attrs: dict[str, Any] | None = None,
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.node = node
+        self.start = start
+        self.end: float | None = None
+        self.attrs: dict[str, Any] = attrs if attrs is not None else {}
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.span_id, self.parent_id)
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed simulated time (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def annotate(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.open else f"dur={self.duration:.3f}"
+        return (f"<Span #{self.span_id} {self.category}:{self.name} "
+                f"@{self.node} t={self.start:.3f} {state}>")
+
+
+class _NullSpan(Span):
+    """Shared sentinel returned by a disabled tracer.  All ops no-op."""
+
+    is_null = True
+
+    def __init__(self) -> None:
+        super().__init__(-1, "null", "null", "", 0.0)
+
+    def annotate(self, **attrs: Any) -> "Span":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Factory and registry for spans, layered over the flat trace.
+
+    When a :class:`~repro.sim.tracing.Trace` is attached, span boundaries
+    are *not* duplicated into it (the engines already record their own
+    flat events); instead the exporters in :mod:`repro.obs.export` merge
+    both views.  ``tracer.trace`` keeps the association explicit.
+    """
+
+    def __init__(self, trace: Trace | None = None, enabled: bool = True):
+        self.enabled = enabled
+        self.trace = trace
+        self.spans: list[Span] = []
+        self._next_id = 1
+        #: open children per parent span id, for end-time clamping.
+        self._open_children: dict[int, list[Span]] = {}
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def start(
+        self,
+        name: str,
+        category: str,
+        node: str,
+        time: float,
+        parent: Span | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a new span (returns :data:`NULL_SPAN` when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        parent_id = None
+        if parent is not None and not parent.is_null:
+            parent_id = parent.span_id
+        span = Span(self._next_id, name, category, node, time,
+                    parent_id=parent_id, attrs=dict(attrs) if attrs else None)
+        self._next_id += 1
+        self.spans.append(span)
+        if parent_id is not None:
+            self._open_children.setdefault(parent_id, []).append(span)
+        return span
+
+    def end(self, span: Span, time: float, **attrs: Any) -> None:
+        """Close ``span`` at ``time``; auto-closes open descendants first.
+
+        The auto-close keeps the invariant that a child span never ends
+        after its parent even when in-flight work (steps, compensation
+        chains) is cut short by a commit or abort.
+        """
+        if not self.enabled or span.is_null or span.end is not None:
+            return
+        for child in self._open_children.pop(span.span_id, ()):
+            if child.end is None:
+                self.end(child, time, auto_closed=True)
+        span.end = time
+        if attrs:
+            span.attrs.update(attrs)
+
+    def instant(
+        self,
+        name: str,
+        category: str,
+        node: str,
+        time: float,
+        parent: Span | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """A zero-duration span (rendered as an instant event)."""
+        span = self.start(name, category, node, time, parent=parent, **attrs)
+        self.end(span, time)
+        return span
+
+    def finish(self, time: float) -> int:
+        """Close every still-open span at ``time``; returns how many."""
+        closed = 0
+        for span in self.spans:
+            if span.end is None:
+                self.end(span, time, auto_closed=True)
+                closed += 1
+        self._open_children.clear()
+        return closed
+
+    # -- queries -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def by_category(self, category: str) -> list[Span]:
+        return [s for s in self.spans if s.category == category]
+
+    def open_spans(self) -> list[Span]:
+        return [s for s in self.spans if s.end is None]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def find(self, span_id: int) -> Span | None:
+        for span in self.spans:
+            if span.span_id == span_id:
+                return span
+        return None
+
+    def check_nesting(self) -> list[str]:
+        """Violations of the parent/child interval invariant (for tests)."""
+        by_id = {s.span_id: s for s in self.spans}
+        problems = []
+        for span in self.spans:
+            if span.parent_id is None:
+                continue
+            parent = by_id.get(span.parent_id)
+            if parent is None:
+                problems.append(f"span #{span.span_id} has unknown parent")
+                continue
+            if span.start < parent.start:
+                problems.append(
+                    f"span #{span.span_id} starts before parent #{parent.span_id}"
+                )
+            if (span.end is not None and parent.end is not None
+                    and span.end > parent.end):
+                problems.append(
+                    f"span #{span.span_id} ends after parent #{parent.span_id}"
+                )
+        return problems
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.enabled else "off"
+        return f"<Tracer {state} spans={len(self.spans)}>"

@@ -91,13 +91,19 @@ class RuleEngine:
         action: Callable[[RuleInstance], None],
         env_provider: Callable[[], Mapping[str, Any]],
         steps: Iterable[str] | None = None,
+        fire_hook: Callable[[RuleInstance, "RuleEngine"], None] | None = None,
     ):
         """``steps`` restricts which rule templates are instantiated — a
-        distributed agent only materializes the rules of steps it hosts."""
+        distributed agent only materializes the rules of steps it hosts.
+        ``fire_hook`` is an observability callback invoked after each rule
+        fires (before its action runs) with the rule and this engine; the
+        engines use it to emit rule-firing spans and sample the
+        pending-rule-table depth."""
         self.compiled = compiled
         self.events = EventTable()
         self._action = action
         self._env_provider = env_provider
+        self._fire_hook = fire_hook
         self._rules: dict[str, RuleInstance] = {}
         self._pumping = False
         self._dirty = False
@@ -271,6 +277,8 @@ class RuleEngine:
                     if not self._condition_holds(rule):
                         continue
                     rule.fired = True
+                    if self._fire_hook is not None:
+                        self._fire_hook(rule, self)
                     self._action(rule)
                     progress = True
                     if rule.one_shot:

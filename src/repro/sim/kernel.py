@@ -77,6 +77,10 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self.events_processed = 0
+        #: Optional observability hook called as ``hook(time, queue_len)``
+        #: before each event fires.  Left ``None`` in benchmark runs so
+        #: the hot loop pays only one attribute check per event.
+        self.event_hook: Callable[[float, int], None] | None = None
 
     @property
     def now(self) -> float:
@@ -112,6 +116,8 @@ class Simulator:
                 continue
             self._now = entry.time
             self.events_processed += 1
+            if self.event_hook is not None:
+                self.event_hook(entry.time, len(self._queue))
             handle.action(*handle.args)
             return True
         return False

@@ -133,6 +133,26 @@ class MetricsCollector:
             return 0.0
         return sum(self.node_load(node, mechanism) for node in pool) / len(pool)
 
+    # -- combination -------------------------------------------------------
+
+    def merge(self, other: "MetricsCollector") -> "MetricsCollector":
+        """Fold another collector's counts into this one (in place).
+
+        The distributed engine keeps one logical collector today, but
+        per-node collectors (e.g. sharded simulations, or registries
+        rebuilt from per-agent WALs) combine into a single report with
+        ``fleet = MetricsCollector(); fleet.merge(a).merge(b)``.
+        Returns ``self`` for chaining.
+        """
+        self.messages.update(other.messages)
+        self.messages_by_interface.update(other.messages_by_interface)
+        self.load.update(other.load)
+        self.work.update(other.work)
+        self.instances_started += other.instances_started
+        self.instances_committed += other.instances_committed
+        self.instances_aborted += other.instances_aborted
+        return self
+
     # -- lifecycle ---------------------------------------------------------
 
     def snapshot(self) -> MetricsSnapshot:

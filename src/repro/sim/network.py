@@ -102,6 +102,10 @@ class Network:
         self.simulator = simulator
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.latency = latency if latency is not None else FixedLatency(1.0)
+        #: Optional observability registry; when set (by the owning
+        #: control system, before nodes are constructed) every node feeds
+        #: per-node message/load/crash instruments into it.
+        self.registry = None
         self._nodes: dict[str, "Node"] = {}
         self._parked: dict[str, list[Message]] = {}
         self._msg_ids = itertools.count(1)

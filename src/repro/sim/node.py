@@ -33,6 +33,25 @@ class Node:
         self.is_up = True
         self.messages_received = 0
         self.crash_count = 0
+        # Observability: the owning control system injects a
+        # MetricsRegistry on the network when tracing is enabled; nodes
+        # cache their per-node instruments so the hot path is one `is
+        # None` check plus an attribute increment.
+        self.registry = getattr(network, "registry", None)
+        if self.registry is not None:
+            self._msg_counter = self.registry.counter(
+                "crew_node_messages_received_total",
+                "Physical messages delivered to a node.",
+                node=name,
+            )
+            self._load_counter = self.registry.counter(
+                "crew_node_load_units_total",
+                "Navigation load charged to a node, in units of l.",
+                node=name,
+            )
+        else:
+            self._msg_counter = None
+            self._load_counter = None
         network.register(self)
 
     # -- messaging -----------------------------------------------------------
@@ -52,6 +71,8 @@ class Node:
         if not self.is_up:
             raise SimulationError(f"message delivered to down node {self.name!r}")
         self.messages_received += 1
+        if self._msg_counter is not None:
+            self._msg_counter.inc()
         self.handle_message(message)
 
     def handle_message(self, message: Message) -> None:  # pragma: no cover - interface
@@ -62,6 +83,8 @@ class Node:
     def charge(self, units: float, mechanism: Mechanism) -> None:
         """Charge navigation load (multiples of ``l``) to this node."""
         self.network.metrics.record_load(self.name, mechanism, units)
+        if self._load_counter is not None:
+            self._load_counter.inc(units)
 
     # -- failure injection -----------------------------------------------------
 
@@ -71,6 +94,10 @@ class Node:
             raise SimulationError(f"node {self.name!r} is already down")
         self.is_up = False
         self.crash_count += 1
+        if self.registry is not None:
+            self.registry.counter(
+                "crew_node_crashes_total", "Node crash events.", node=self.name
+            ).inc()
         self.on_crash()
 
     def recover(self) -> None:

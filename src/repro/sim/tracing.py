@@ -10,6 +10,7 @@ HaltThread probes precede the first re-execution packet").
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping
 
@@ -35,12 +36,31 @@ class Trace:
 
     Tracing can be disabled (``enabled=False``) to remove overhead from
     large benchmark runs; ``record`` then becomes a no-op.
+
+    When ``capacity`` is set, the default policy drops the *newest*
+    records once full (the historical behaviour, cheapest and safest for
+    post-mortem analysis of a run's beginning).  ``ring=True`` switches
+    to a ring buffer that evicts the *oldest* records instead, keeping
+    the most recent window — the right mode for long-running soak tests
+    where only the tail matters.  Either way ``dropped`` counts how many
+    records were lost.
     """
 
-    def __init__(self, enabled: bool = True, capacity: int | None = None):
+    def __init__(
+        self,
+        enabled: bool = True,
+        capacity: int | None = None,
+        ring: bool = False,
+    ):
         self.enabled = enabled
         self.capacity = capacity
-        self.records: list[TraceRecord] = []
+        self.ring = ring
+        if ring and capacity is not None:
+            self.records: deque[TraceRecord] | list[TraceRecord] = deque(
+                maxlen=capacity
+            )
+        else:
+            self.records = []
         self.dropped = 0
 
     def record(self, time: float, node: str, kind: str, **detail: Any) -> None:
@@ -48,7 +68,9 @@ class Trace:
             return
         if self.capacity is not None and len(self.records) >= self.capacity:
             self.dropped += 1
-            return
+            if not self.ring:
+                return
+            # deque(maxlen=...) evicts the oldest record on append.
         self.records.append(TraceRecord(time, node, kind, detail))
 
     # -- queries -------------------------------------------------------------
@@ -99,8 +121,15 @@ class Trace:
 
     def render(self, limit: int | None = None) -> str:
         """Human-readable multi-line rendering (used by the examples)."""
-        shown = self.records if limit is None else self.records[:limit]
+        if limit is None:
+            shown = list(self.records)
+        else:
+            shown = [rec for __, rec in zip(range(limit), self.records)]
         lines = [rec.describe() for rec in shown]
         if limit is not None and len(self.records) > limit:
             lines.append(f"... ({len(self.records) - limit} more records)")
+        if self.dropped:
+            policy = "oldest" if self.ring else "newest"
+            lines.append(f"({self.dropped} {policy} records dropped at "
+                         f"capacity {self.capacity})")
         return "\n".join(lines)

@@ -4,14 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.programs import FailEveryNth, FunctionProgram, NoopProgram
+from repro.core.programs import NoopProgram
 from repro.engines import (
     CentralizedControlSystem,
     DistributedControlSystem,
     ParallelControlSystem,
     SystemConfig,
 )
-from repro.model import SchemaBuilder, compile_schema
+from repro.model import SchemaBuilder
 
 
 def linear_schema(name="Linear", steps=3, outputs=True):

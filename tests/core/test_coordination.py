@@ -18,7 +18,8 @@ def ro_spec(same_schema=False):
     other = "A" if same_schema else "B"
     return RelativeOrderSpec(
         name="ro", schema_a="A", schema_b=other,
-        steps_a=("S1", "S2", "S3"), steps_b=("T1", "T2", "T3") if not same_schema else ("S1", "S2", "S3"),
+        steps_a=("S1", "S2", "S3"),
+        steps_b=("S1", "S2", "S3") if same_schema else ("T1", "T2", "T3"),
         conflict_key="WF.k",
     )
 

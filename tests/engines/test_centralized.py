@@ -1,13 +1,6 @@
 """Integration tests for centralized workflow control."""
 
-import pytest
-
-from repro.core.programs import (
-    ConstantProgram,
-    FailEveryNth,
-    FunctionProgram,
-    NoopProgram,
-)
+from repro.core.programs import FailEveryNth, FunctionProgram, NoopProgram
 from repro.engines import CentralizedControlSystem, SystemConfig
 from repro.model import AlwaysReexecute, SchemaBuilder
 from repro.sim.metrics import Mechanism

@@ -1,7 +1,5 @@
 """Integration tests for distributed workflow control."""
 
-import pytest
-
 from repro.core.programs import FailEveryNth, FunctionProgram, NoopProgram
 from repro.engines import DistributedControlSystem, SystemConfig
 from repro.engines.distributed import elect_executor

@@ -1,12 +1,9 @@
 """Tests for distributed-control extensions: load-based successor selection
 and the workflow-status probe chain (paper Section 4.1)."""
 
-import pytest
-
 from repro.core.programs import NoopProgram
 from repro.engines import DistributedControlSystem, SystemConfig
 from repro.model import SchemaBuilder
-from repro.sim.metrics import Mechanism
 from tests.conftest import linear_schema, register_programs
 
 
@@ -53,13 +50,11 @@ def test_load_mode_prefers_idle_agent():
     schema = linear_schema(steps=3)
     system.register_schema(schema)
     register_programs(system, schema)
-    blocked = system.start_workflow("Blocker", {"x": 1})
+    system.start_workflow("Blocker", {"x": 1})
     instance = system.start_workflow("Linear", {"x": 1}, delay=5.0)
     system.run(until=150.0)
     assert system.outcome(instance).committed
     busy_agent = system.assignment.eligible("Blocker", "L")[0]
-    executed_by = {r.node for r in system.trace.filter(kind="step.execute")
-                   if r.detail["instance"] == instance}
     # The dispatcher routed around the busy agent wherever a choice existed.
     linear_steps_on_busy = [
         r for r in system.trace.filter(kind="step.execute")

@@ -4,9 +4,8 @@ import pytest
 
 from repro.core.programs import FailEveryNth, FunctionProgram, NoopProgram
 from repro.core.packets import WorkflowPacket
-from repro.engines import DistributedControlSystem, ParallelControlSystem, SystemConfig
-from repro.model import AlwaysReexecute, SchemaBuilder
-from repro.storage.tables import InstanceStatus
+from repro.engines import DistributedControlSystem, SystemConfig
+from repro.model import SchemaBuilder
 from tests.conftest import linear_schema, make_system, register_programs
 
 

@@ -5,11 +5,8 @@ same *outcomes* — statuses, workflow outputs, branch decisions — under
 all three control architectures.
 """
 
-import pytest
-
 from repro.core.programs import FailEveryNth, FunctionProgram, NoopProgram
-from repro.model import AlwaysReexecute, SchemaBuilder
-from repro.workloads import figure3_workflow, order_processing, travel_booking
+from repro.workloads import figure3_workflow, travel_booking
 from tests.conftest import (
     ALL_ARCHITECTURES,
     branching_schema,
@@ -83,7 +80,7 @@ def test_branch_decision_identical_across_architectures():
         register_programs(system, schema, behaviors={
             "S2": FunctionProgram(lambda i, c: {"route": "top"}),
         })
-        instance = system.start_workflow("Branchy", {"load": 1})
+        system.start_workflow("Branchy", {"load": 1})
         system.run()
         done = {r.detail["step"] for r in system.trace.filter(kind="step.done")}
         decisions[architecture] = ("S3" in done, "S5" in done)

@@ -1,9 +1,7 @@
 """Adversarial failure-injection tests: races the paper's protocols must survive."""
 
-import pytest
-
 from repro.core.programs import FailEveryNth, FunctionProgram, NoopProgram
-from repro.engines import DistributedControlSystem, SystemConfig
+from repro.engines import SystemConfig
 from repro.engines.distributed import elect_executor
 from repro.model import AlwaysReexecute, SchemaBuilder
 from repro.storage.tables import InstanceStatus

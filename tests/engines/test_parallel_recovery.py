@@ -1,12 +1,9 @@
 """Parallel-control recovery: one engine crashes, its instances survive."""
 
-import pytest
-
 from repro.engines import ParallelControlSystem, SystemConfig
 from repro.storage.tables import InstanceStatus
 from tests.conftest import linear_schema, register_programs
 from repro.model import SchemaBuilder
-from repro.core.programs import NoopProgram
 
 
 def make():

@@ -1,7 +1,5 @@
 """Unit tests for schema compilation into rule templates."""
 
-import pytest
-
 from repro.model.builder import SchemaBuilder
 from repro.model.compiler import compile_schema
 from repro.rules.events import WF_START, step_done

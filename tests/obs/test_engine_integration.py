@@ -1,0 +1,115 @@
+"""End-to-end observability: spans and metrics emitted by real runs.
+
+Runs the canonical Figure-3 scenario (which exercises failure handling
+and recovery) under each architecture and asserts the span tree and the
+metrics registry reflect what happened.
+"""
+
+import pytest
+
+from repro.engines import SystemConfig
+from repro.workloads import figure3_workflow
+from tests.conftest import ALL_ARCHITECTURES, make_system
+
+
+def run_figure3(architecture, instances=3, trace=True):
+    system = make_system(
+        architecture, config=SystemConfig(seed=11, trace=trace)
+    )
+    figure3_workflow().install(system)
+    ids = [system.start_workflow("Figure3", {"load": 5}, delay=i * 0.5)
+           for i in range(instances)]
+    system.run()
+    return system, ids
+
+
+@pytest.mark.parametrize("architecture", ALL_ARCHITECTURES)
+def test_span_categories_present(architecture):
+    system, ids = run_figure3(architecture)
+    assert len(system.tracer.by_category("workflow")) == len(ids)
+    assert system.tracer.by_category("step")
+    assert system.tracer.by_category("rule")
+    assert system.tracer.by_category("recovery")  # Figure 3 always rolls back
+
+
+@pytest.mark.parametrize("architecture", ALL_ARCHITECTURES)
+def test_span_tree_is_well_nested(architecture):
+    system, __ = run_figure3(architecture)
+    system.tracer.finish(system.simulator.now)
+    assert system.tracer.check_nesting() == []
+    assert system.tracer.open_spans() == []
+
+
+@pytest.mark.parametrize("architecture", ALL_ARCHITECTURES)
+def test_steps_parent_under_their_workflow(architecture):
+    system, __ = run_figure3(architecture, instances=1)
+    (wf,) = system.tracer.by_category("workflow")
+    by_id = {s.span_id: s for s in system.tracer.spans}
+
+    def root_of(span):
+        while span.parent_id is not None:
+            span = by_id[span.parent_id]
+        return span
+
+    steps = system.tracer.by_category("step")
+    assert steps
+    assert all(root_of(s) is wf for s in steps)
+
+
+@pytest.mark.parametrize("architecture", ALL_ARCHITECTURES)
+def test_step_latency_histogram_is_populated(architecture):
+    system, __ = run_figure3(architecture)
+    hist = system.registry.get("crew_step_latency", architecture=architecture)
+    assert hist is not None
+    assert hist.count > 0
+    assert hist.p95 > 0.0
+
+
+@pytest.mark.parametrize("architecture", ALL_ARCHITECTURES)
+def test_instance_counters_match_outcomes(architecture):
+    system, ids = run_figure3(architecture)
+    started = system.registry.get(
+        "crew_instances_started_total", architecture=architecture
+    )
+    assert started.value == len(ids)
+    finished = system.registry.children("crew_instances_finished_total")
+    assert sum(c.value for c in finished) == len(ids)
+
+
+@pytest.mark.parametrize("architecture", ALL_ARCHITECTURES)
+def test_recovery_spans_resolve(architecture):
+    system, __ = run_figure3(architecture)
+    system.tracer.finish(system.simulator.now)
+    episodes = system.tracer.by_category("recovery")
+    durations = [s for s in episodes if s.name.startswith("recovery:")]
+    assert durations
+    assert all("resolved" in s.attrs or s.attrs.get("auto_closed")
+               for s in durations)
+    recoveries = system.registry.get(
+        "crew_recovery_duration", architecture=architecture
+    )
+    assert recoveries is not None and recoveries.count > 0
+
+
+@pytest.mark.parametrize("architecture", ALL_ARCHITECTURES)
+def test_tracing_disabled_emits_nothing(architecture):
+    system, ids = run_figure3(architecture, trace=False)
+    assert len(system.tracer) == 0
+    assert len(system.registry) == 0
+    assert len(system.trace) == 0
+    # the run itself is unaffected
+    assert all(system.outcome(i).status.value == "committed" for i in ids)
+
+
+def test_outcomes_identical_with_and_without_tracing():
+    """Observability must not perturb the simulation."""
+    for architecture in ALL_ARCHITECTURES:
+        outcomes = []
+        for trace in (True, False):
+            system, ids = run_figure3(architecture, trace=trace)
+            outcomes.append([
+                (system.outcome(i).status.value,
+                 tuple(sorted(system.outcome(i).outputs.items())))
+                for i in ids
+            ])
+        assert outcomes[0] == outcomes[1], architecture

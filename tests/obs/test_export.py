@@ -1,0 +1,112 @@
+"""Unit tests for the trace/metrics exporters."""
+
+import json
+
+from repro.obs.export import (
+    US_PER_TIME_UNIT,
+    chrome_trace,
+    prometheus_text,
+    render_chrome_trace,
+    trace_to_jsonl,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Tracer
+from repro.sim.tracing import Trace
+
+
+def make_tracer():
+    tracer = Tracer()
+    wf = tracer.start("wf-1", "workflow", "engine", 0.0, schema="Demo")
+    step = tracer.start("wf-1/S1", "step", "agent-1", 1.0, parent=wf)
+    tracer.end(step, 3.0, status="done")
+    tracer.end(wf, 4.0, status="COMMITTED")
+    return tracer
+
+
+def test_jsonl_merges_records_and_spans_in_time_order():
+    trace = Trace()
+    trace.record(0.5, "engine", "workflow.start", instance="wf-1")
+    text = trace_to_jsonl(trace, make_tracer())
+    rows = [json.loads(line) for line in text.splitlines()]
+    assert [r["type"] for r in rows] == ["span", "record", "span"]
+    times = [r.get("time", r.get("start")) for r in rows]
+    assert times == sorted(times)
+    span_row = rows[-1]
+    assert span_row["duration"] == 2.0
+    assert span_row["parent_id"] == rows[0]["span_id"]
+
+
+def test_jsonl_stringifies_non_json_values():
+    trace = Trace()
+    trace.record(1.0, "n", "k", payload=object())
+    row = json.loads(trace_to_jsonl(trace))
+    assert isinstance(row["detail"]["payload"], str)
+
+
+def test_chrome_trace_structure():
+    doc = chrome_trace(make_tracer())
+    events = doc["traceEvents"]
+    metas = [e for e in events if e["ph"] == "M"]
+    completes = [e for e in events if e["ph"] == "X"]
+    assert {m["args"]["name"] for m in metas} >= {"crew-sim", "engine", "agent-1"}
+    assert len(completes) == 2
+    wf = next(e for e in completes if e["cat"] == "workflow")
+    step = next(e for e in completes if e["cat"] == "step")
+    assert wf["ts"] == 0.0
+    assert step["ts"] == 1.0 * US_PER_TIME_UNIT
+    assert step["dur"] == 2.0 * US_PER_TIME_UNIT
+    assert step["args"]["parent_id"] == wf["args"]["span_id"]
+    # thread ids: one per node, stable within the document
+    assert wf["tid"] != step["tid"]
+
+
+def test_chrome_trace_skips_open_spans_and_adds_instants():
+    tracer = Tracer()
+    tracer.start("left-open", "workflow", "engine", 0.0)
+    trace = Trace()
+    trace.record(2.0, "engine", "step.done", step="S1")
+    doc = chrome_trace(tracer, trace)
+    assert not [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == 1
+    assert instants[0]["name"] == "step.done"
+    assert instants[0]["cat"] == "trace"
+
+
+def test_render_chrome_trace_is_valid_json():
+    parsed = json.loads(render_chrome_trace(make_tracer()))
+    assert parsed["displayTimeUnit"] == "ms"
+    assert isinstance(parsed["traceEvents"], list)
+
+
+def test_prometheus_counter_and_gauge_lines():
+    reg = MetricsRegistry()
+    reg.counter("crew_recoveries_total", help="recovery episodes",
+                node="engine").inc(3)
+    reg.gauge("crew_sim_time").set(12.5)
+    text = prometheus_text(reg)
+    assert "# HELP crew_recoveries_total recovery episodes" in text
+    assert "# TYPE crew_recoveries_total counter" in text
+    assert 'crew_recoveries_total{node="engine"} 3' in text
+    assert "crew_sim_time 12.5" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_histogram_is_cumulative_with_inf_bucket():
+    reg = MetricsRegistry()
+    h = reg.histogram("crew_step_latency", buckets=(1.0, 5.0))
+    for v in (0.5, 2.0, 99.0):
+        h.observe(v)
+    lines = prometheus_text(reg).splitlines()
+    buckets = [ln for ln in lines if "_bucket" in ln]
+    assert buckets == [
+        'crew_step_latency_bucket{le="1"} 1',
+        'crew_step_latency_bucket{le="5"} 2',
+        'crew_step_latency_bucket{le="+Inf"} 3',
+    ]
+    assert "crew_step_latency_sum 101.5" in lines
+    assert "crew_step_latency_count 3" in lines
+
+
+def test_prometheus_empty_registry_is_empty_string():
+    assert prometheus_text(MetricsRegistry()) == ""

@@ -1,0 +1,136 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.registry import DEFAULT_BUCKETS, MetricsRegistry
+
+
+def test_counter_get_or_create_and_inc():
+    reg = MetricsRegistry()
+    c = reg.counter("crew_rules_fired_total", node="engine")
+    c.inc()
+    c.inc(2)
+    assert reg.counter("crew_rules_fired_total", node="engine") is c
+    assert c.value == 3.0
+
+
+def test_counter_rejects_negative_increment():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("c").inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("crew_sim_time")
+    g.set(10.0)
+    g.inc(5.0)
+    g.dec(2.0)
+    assert g.value == 13.0
+
+
+def test_label_sets_create_distinct_children():
+    reg = MetricsRegistry()
+    reg.counter("m", node="a").inc()
+    reg.counter("m", node="b").inc(4)
+    children = reg.children("m")
+    assert [dict(c.labels)["node"] for c in children] == ["a", "b"]
+    assert reg.get("m", node="b").value == 4.0
+    assert reg.get("m", node="missing") is None
+
+
+def test_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("m")
+    with pytest.raises(ValueError, match="already registered"):
+        reg.gauge("m")
+
+
+def test_histogram_buckets_must_increase():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError, match="strictly increasing"):
+        reg.histogram("h", buckets=(1.0, 1.0, 2.0))
+
+
+def test_histogram_counts_sum_and_extremes():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=(1.0, 10.0))
+    for v in (0.5, 5.0, 50.0):
+        h.observe(v)
+    assert h.counts == [1, 1, 1]  # one per bucket plus overflow
+    assert h.sum == 55.5
+    assert h.count == 3
+    assert h.min == 0.5
+    assert h.max == 50.0
+    assert h.mean == pytest.approx(18.5)
+
+
+def test_histogram_percentiles_interpolate():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=(10.0, 20.0, 30.0))
+    for __ in range(50):
+        h.observe(5.0)
+    for __ in range(50):
+        h.observe(15.0)
+    assert 0.0 < h.p50 <= 10.0
+    assert 10.0 < h.p95 <= 20.0
+    assert h.p99 <= 20.0
+
+
+def test_histogram_overflow_percentile_reports_max():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=(1.0,))
+    h.observe(100.0)
+    assert h.p99 == 100.0
+
+
+def test_empty_histogram_percentile_is_zero():
+    reg = MetricsRegistry()
+    assert reg.histogram("h").p95 == 0.0
+
+
+def test_percentile_rejects_out_of_range():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.histogram("h").percentile(1.5)
+
+
+def test_default_buckets_used_when_unspecified():
+    reg = MetricsRegistry()
+    assert reg.histogram("h").bounds == DEFAULT_BUCKETS
+
+
+def test_registry_iteration_and_introspection():
+    reg = MetricsRegistry()
+    reg.counter("b_total", help="b things")
+    reg.gauge("a_gauge")
+    names = [name for name, __ in reg]
+    assert names == ["a_gauge", "b_total"]  # sorted family order
+    assert reg.kind_of("b_total") == "counter"
+    assert reg.help_of("b_total") == "b things"
+    assert len(reg) == 2
+
+
+def test_merge_adds_counters_and_histograms():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("c", node="n").inc(1)
+    b.counter("c", node="n").inc(2)
+    b.gauge("g").set(7.0)
+    a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+    b.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+    a.merge(b)
+    assert a.get("c", node="n").value == 3.0
+    assert a.get("g").value == 7.0
+    merged = a.get("h")
+    assert merged.count == 2
+    assert merged.counts == [1, 1, 0]
+    assert merged.min == 0.5
+    assert merged.max == 1.5
+
+
+def test_merge_rejects_bucket_mismatch():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+    b.histogram("h", buckets=(5.0, 6.0)).observe(5.5)
+    with pytest.raises(ValueError, match="bucket mismatch"):
+        a.merge(b)

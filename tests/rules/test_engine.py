@@ -5,7 +5,6 @@ import pytest
 from repro.errors import RuleError
 from repro.model.builder import SchemaBuilder
 from repro.model.compiler import compile_schema
-from repro.rules.conditions import Condition
 from repro.rules.engine import RuleEngine, RuleInstance
 from repro.rules.events import WF_START, step_done
 
@@ -190,7 +189,6 @@ def test_hosted_steps_restriction():
 
 def test_pending_rules_listing():
     engine, __, __e = make_engine()
-    b = SchemaBuilder("W2", inputs=["x"])
     assert engine.pending_rules() == ()
     engine.events.post(step_done("A"), 1.0)  # bypass pump to inspect
     pending = engine.pending_rules()

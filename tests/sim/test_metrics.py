@@ -93,3 +93,43 @@ def test_reset_clears_everything():
 def test_max_node_load_empty_pool():
     m = MetricsCollector()
     assert m.max_node_load(Mechanism.NORMAL) == 0.0
+
+
+def test_merge_folds_counts_and_instances():
+    a, b = MetricsCollector(), MetricsCollector()
+    a.record_message(Mechanism.NORMAL, "StepExecute")
+    b.record_message(Mechanism.NORMAL, "StepExecute")
+    b.record_message(Mechanism.ABORT, "WorkflowAbort")
+    b.record_load("agent-1", Mechanism.NORMAL, 2.0)
+    b.record_work("agent-1", "execute", 3.0)
+    b.instances_started = 4
+    b.instances_committed = 3
+    b.instances_aborted = 1
+    result = a.merge(b)
+    assert result is a  # chains
+    assert a.total_messages(Mechanism.NORMAL) == 2
+    assert a.total_messages(Mechanism.ABORT) == 1
+    assert a.node_load("agent-1") == 2.0
+    assert a.total_work("execute") == 3.0
+    assert a.instances_started == 4
+    assert a.instances_committed == 3
+    assert a.instances_aborted == 1
+
+
+def test_merge_does_not_mutate_other():
+    a, b = MetricsCollector(), MetricsCollector()
+    b.record_message(Mechanism.NORMAL, "X")
+    a.merge(b)
+    a.record_message(Mechanism.NORMAL, "X")
+    assert b.total_messages() == 1
+
+
+def test_merge_chain_combines_fleet():
+    fleet = MetricsCollector()
+    parts = []
+    for node in ("a", "b", "c"):
+        m = MetricsCollector()
+        m.record_load(node, Mechanism.NORMAL, 1.0)
+        parts.append(m)
+    fleet.merge(parts[0]).merge(parts[1]).merge(parts[2])
+    assert fleet.nodes() == ["a", "b", "c"]

@@ -131,7 +131,7 @@ def test_payload_is_copied_not_aliased():
 
 def test_message_ids_are_unique_and_increasing():
     sim, __, net = make_net()
-    a = Recorder("a", sim, net)
+    Recorder("a", sim, net)
     Recorder("b", sim, net)
     m1 = net.send("a", "b", "Ping", {}, Mechanism.NORMAL)
     m2 = net.send("a", "b", "Ping", {}, Mechanism.NORMAL)

@@ -66,3 +66,63 @@ def test_render_with_limit():
     text = trace.render(limit=1)
     assert "step.done" in text
     assert "2 more records" in text
+
+
+def test_ring_capacity_keeps_newest():
+    trace = Trace(capacity=2, ring=True)
+    for i in range(5):
+        trace.record(float(i), "n", "k", seq=i)
+    assert len(trace) == 2
+    assert [r.time for r in trace] == [3.0, 4.0]
+    assert trace.dropped == 3
+
+
+def test_default_capacity_keeps_oldest():
+    trace = Trace(capacity=2)
+    for i in range(5):
+        trace.record(float(i), "n", "k")
+    assert [r.time for r in trace] == [0.0, 1.0]
+
+
+def test_ring_without_capacity_is_unbounded():
+    trace = Trace(ring=True)
+    for i in range(10):
+        trace.record(float(i), "n", "k")
+    assert len(trace) == 10
+    assert trace.dropped == 0
+
+
+def test_ring_queries_work_over_deque():
+    trace = Trace(capacity=3, ring=True)
+    for i in range(6):
+        trace.record(float(i), "n", "even" if i % 2 == 0 else "odd")
+    assert trace.count("odd") == 2
+    assert trace.first("even").time == 4.0
+    assert trace.kinds() == ["even", "odd"]
+
+
+def test_render_reports_dropped_newest():
+    trace = Trace(capacity=1)
+    trace.record(1.0, "n", "k")
+    trace.record(2.0, "n", "k")
+    assert "1 newest records dropped at capacity 1" in trace.render()
+
+
+def test_render_reports_dropped_oldest():
+    trace = Trace(capacity=1, ring=True)
+    trace.record(1.0, "n", "k")
+    trace.record(2.0, "n", "k")
+    assert "1 oldest records dropped at capacity 1" in trace.render()
+
+
+def test_render_without_drops_has_no_drop_line():
+    trace = make_trace()
+    assert "dropped" not in trace.render()
+
+
+def test_filter_combined_criteria():
+    trace = make_trace()
+    hits = trace.filter(kind="step.done", node="engine",
+                        predicate=lambda r: r.detail["instance"] == "i2")
+    assert [r.time for r in hits] == [3.0]
+    assert trace.filter(kind="step.fail", node="engine") == []

@@ -99,3 +99,66 @@ def test_evaluate_writes_markdown_report(tmp_path, capsys):
     assert "Table 7 — recommendation matrix" in text
     assert "OCR vs Saga ablation" in text
     assert "Saga baseline" in text
+
+
+def test_trace_chrome_is_valid_trace_event_json(capsys):
+    import json
+
+    assert main(["trace", "figure3", "--architecture", "centralized"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    events = doc["traceEvents"]
+    cats = {e.get("cat") for e in events if e["ph"] == "X"}
+    assert {"workflow", "step", "recovery"} <= cats
+    # every complete event's parent starts no later and ends no earlier
+    spans = {e["args"]["span_id"]: e for e in events if e["ph"] == "X"}
+    for e in spans.values():
+        parent = spans.get(e["args"].get("parent_id"))
+        if parent is not None:
+            assert parent["ts"] <= e["ts"]
+            assert e["ts"] + e["dur"] <= parent["ts"] + parent["dur"] + 1.0
+
+
+def test_trace_jsonl_lines_parse(capsys):
+    import json
+
+    assert main(["trace", "figure3", "--format", "jsonl"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    rows = [json.loads(line) for line in lines]
+    assert {"record", "span"} == {r["type"] for r in rows}
+
+
+def test_trace_out_writes_file(tmp_path):
+    import json
+
+    out = tmp_path / "trace.json"
+    assert main(["trace", "figure3", "--out", str(out)]) == 0
+    assert json.loads(out.read_text())["traceEvents"]
+
+
+def test_metrics_prometheus_output(capsys):
+    assert main(["metrics", "figure3", "--instances", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE crew_step_latency histogram" in out
+    assert "crew_step_latency_bucket" in out
+    assert "crew_instances_started_total" in out
+
+
+def test_scenario_with_observability_outputs(tmp_path, capsys):
+    import json
+
+    trace_out = tmp_path / "t.json"
+    metrics_out = tmp_path / "m.prom"
+    assert main(["scenario", "figure3", "--trace-out", str(trace_out),
+                 "--metrics-out", str(metrics_out)]) == 0
+    assert json.loads(trace_out.read_text())["traceEvents"]
+    assert "crew_step_latency" in metrics_out.read_text()
+
+
+def test_run_trace_out_implies_instrumentation(tmp_path, laws_file):
+    import json
+
+    out = tmp_path / "run-trace.json"
+    assert main(["run", laws_file, "--input", "x=1",
+                 "--trace-out", str(out)]) == 0
+    events = json.loads(out.read_text())["traceEvents"]
+    assert any(e.get("cat") == "workflow" for e in events)

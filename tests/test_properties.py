@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 from repro.core.coordination import MutualExclusionAuthority, RelativeOrderAuthority
 from repro.core.ocr import plan_step_action, stale_compensation_chain
 from repro.model.builder import SchemaBuilder
-from repro.model.compiler import compile_schema
 from repro.model.coordination_spec import MutualExclusionSpec, RelativeOrderSpec
 from repro.model.policies import (
     AlwaysReexecute,
@@ -14,7 +13,7 @@ from repro.model.policies import (
     ReuseIfInputsUnchanged,
 )
 from repro.model.schema import StepDef
-from repro.rules.events import EventTable, step_done
+from repro.rules.events import EventTable
 from repro.sim.kernel import Simulator
 from repro.storage.tables import StepRecord, StepStatus
 from tests.conftest import make_system, register_programs

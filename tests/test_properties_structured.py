@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.programs import FailEveryNth, FunctionProgram, NoopProgram
+from repro.core.programs import FailEveryNth, NoopProgram
 from repro.model.builder import SchemaBuilder
 from tests.conftest import make_system, register_programs
 

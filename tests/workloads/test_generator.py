@@ -1,7 +1,5 @@
 """Unit tests for the Table-3-shaped workload generator."""
 
-import pytest
-
 from repro.model import compile_schema
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.params import WorkloadParameters

@@ -21,7 +21,7 @@ def test_order_processing_fifo_per_part(architecture):
         assert system.outcome(instance).committed
     times = {
         (r.detail["instance"], r.detail["step"]): r.time
-        for r in system.trace.filter(kind="step.done" if architecture != "centralized" else "step.done")
+        for r in system.trace.filter(kind="step.done")
     }
     assert times[(i1, "Schedule")] < times[(i2, "Schedule")]
 
