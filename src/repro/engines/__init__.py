@@ -26,6 +26,7 @@ from repro.engines.centralized import (
 )
 from repro.engines.coord import AuthorityBundle, SpecIndex
 from repro.engines.distributed import (
+    CommitTracker,
     DistributedControlSystem,
     WorkflowAgentNode,
     elect_executor,
@@ -36,17 +37,22 @@ from repro.engines.parallel import (
     ParallelEngineNode,
     TimestampMutex,
 )
+from repro.engines.runtime import AgentRuntime, EngineRuntime, InstanceRuntime
 
 __all__ = [
     "AgentAssignment",
+    "AgentRuntime",
     "ApplicationAgentNode",
     "AuthorityBundle",
     "CentralEngineNode",
     "CentralizedControlSystem",
+    "CommitTracker",
     "ControlSystem",
     "DistributedControlSystem",
+    "EngineRuntime",
     "FrontEndDatabase",
     "InstanceOutcome",
+    "InstanceRuntime",
     "ParallelControlSystem",
     "ParallelEngineNode",
     "SpecIndex",

@@ -1,0 +1,43 @@
+"""Centralized workflow control (paper Section 2, Figure 1).
+
+One :class:`CentralEngineNode` owns all workflow state in a WFDB and
+performs all navigation; :class:`ApplicationAgentNode` instances only
+execute step programs.  Per step execution the engine exchanges
+``2·a`` physical messages with the agent pool (``a-1`` StateInformation
+probe round-trips to pick the least-loaded eligible agent plus the
+StepExecute/StepResult round-trip), matching the paper's Table 4 count
+``2·s·a`` per instance.
+
+Failure handling (rollback + OCR re-execution), coordinated execution and
+abort/input-change processing all run *inside* the engine — coordinated
+execution costs load but zero messages, the paper's headline advantage of
+centralized control under heavy coordination requirements.
+
+Package layout:
+
+* :mod:`~repro.engines.centralized.agents` — the "dumb" application agent;
+* :mod:`~repro.engines.centralized.engine` — the central engine node;
+* :mod:`~repro.engines.centralized.coordination` — engine-local
+  coordination authorities (RO/MX/RD);
+* :mod:`~repro.engines.centralized.recovery` — rollback, compensation
+  chains, abort and input-change processing;
+* :mod:`~repro.engines.centralized.system` — the public facade.
+"""
+
+from repro.engines.centralized.agents import (
+    VERB_COMPENSATE_ACK,
+    VERB_STATE_INFO_REPLY,
+    VERB_STEP_RESULT,
+    ApplicationAgentNode,
+)
+from repro.engines.centralized.engine import CentralEngineNode
+from repro.engines.centralized.system import CentralizedControlSystem
+
+__all__ = [
+    "ApplicationAgentNode",
+    "CentralEngineNode",
+    "CentralizedControlSystem",
+    "VERB_COMPENSATE_ACK",
+    "VERB_STATE_INFO_REPLY",
+    "VERB_STEP_RESULT",
+]

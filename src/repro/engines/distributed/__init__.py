@@ -1,0 +1,72 @@
+"""Distributed workflow control (paper Sections 4 and 5).
+
+No central engine: the agents that execute steps also schedule and
+coordinate the workflow instances.  Per instance:
+
+* the **coordination agent** — the (first) agent eligible for the start
+  step — handles WorkflowStart/Abort/Status/ChangeInputs, tracks terminal
+  step completions (StepCompleted) and commits the workflow;
+* **execution agents** navigate by exchanging *workflow packets* carrying
+  the accumulated data/event state; every eligible agent of a successor
+  step receives the packet ("in the case of an if-then-else branching ...
+  the workflow packet is sent to the two agents"), which yields the
+  paper's ``s·a + f`` normal-execution message count per instance;
+* **termination agents** (those executing terminal steps) report to the
+  coordination agent via StepCompleted.
+
+The package splits the agent along its protocol boundaries:
+
+* :mod:`~repro.engines.distributed.navigation` — packet forwarding,
+  successor dispatch and :func:`elect_executor` leader election;
+* :mod:`~repro.engines.distributed.commit` — the terminal-profile commit
+  protocol at the coordination agent;
+* :mod:`~repro.engines.distributed.halting` — WorkflowRollback/HaltThread
+  probes, event invalidation and CompensateSet/Thread chains;
+* :mod:`~repro.engines.distributed.failure` — StepStatus polling, crash
+  watchdogs, status-probe chains and the purge broadcast;
+* :mod:`~repro.engines.distributed.coordination` — inter-workflow
+  authority protocols (relative order, mutual exclusion, rollback
+  dependency);
+* :mod:`~repro.engines.distributed.roles` — the
+  :class:`WorkflowAgentNode` composition, front-end WIs, dispatch and
+  crash/recovery;
+* :mod:`~repro.engines.distributed.system` — the
+  :class:`DistributedControlSystem` facade.
+"""
+
+from repro.engines.distributed.commit import AgentCommitMixin, CommitTracker
+from repro.engines.distributed.coordination import AgentCoordinationMixin
+from repro.engines.distributed.failure import (
+    VERB_PURGE,
+    VERB_STATUS_PROBE,
+    VERB_STATUS_PROBE_REPORT,
+    VERB_STEP_STATUS_REPLY,
+    VERB_UNHANDLED_FAILURE,
+    AgentFailureMixin,
+)
+from repro.engines.distributed.halting import AgentHaltingMixin
+from repro.engines.distributed.navigation import (
+    VERB_NESTED_DONE,
+    AgentNavigationMixin,
+    elect_executor,
+)
+from repro.engines.distributed.roles import WorkflowAgentNode
+from repro.engines.distributed.system import DistributedControlSystem
+
+__all__ = [
+    "AgentCommitMixin",
+    "AgentCoordinationMixin",
+    "AgentFailureMixin",
+    "AgentHaltingMixin",
+    "AgentNavigationMixin",
+    "CommitTracker",
+    "DistributedControlSystem",
+    "VERB_NESTED_DONE",
+    "VERB_PURGE",
+    "VERB_STATUS_PROBE",
+    "VERB_STATUS_PROBE_REPORT",
+    "VERB_STEP_STATUS_REPLY",
+    "VERB_UNHANDLED_FAILURE",
+    "WorkflowAgentNode",
+    "elect_executor",
+]

@@ -34,12 +34,9 @@ from repro.core.coordination import (
     mx_clearance_token,
 )
 from repro.engines.base import ControlSystem, SystemConfig
-from repro.engines.centralized import (
-    ApplicationAgentNode,
-    CentralEngineNode,
-    _Runtime,
-)
+from repro.engines.centralized import ApplicationAgentNode, CentralEngineNode
 from repro.engines.coord import SpecIndex
+from repro.engines.runtime import EngineRuntime
 from repro.errors import FrontEndError, SchemaError
 from repro.model.compiler import CompiledSchema
 from repro.model.coordination_spec import CoordinationSpec
@@ -141,7 +138,7 @@ class ParallelEngineNode(CentralEngineNode):
 
     # -- overridden coordination hooks ---------------------------------------------
 
-    def _coord_on_step_done(self, runtime: _Runtime, step: str) -> None:
+    def _coord_on_step_done(self, runtime: EngineRuntime, step: str) -> None:
         schema_name = runtime.state.schema_name
         instance_id = runtime.state.instance_id
         now = self.simulator.now
@@ -170,7 +167,7 @@ class ParallelEngineNode(CentralEngineNode):
                 "key": key,
             })
 
-    def _mx_acquire(self, runtime: _Runtime, spec: CoordinationSpec) -> None:
+    def _mx_acquire(self, runtime: EngineRuntime, spec: CoordinationSpec) -> None:
         current = runtime.mx_state.get(spec.name, "none")
         if current in ("requested", "held"):
             return
@@ -185,7 +182,7 @@ class ParallelEngineNode(CentralEngineNode):
             "time": self.simulator.now,
         })
 
-    def _mx_release(self, runtime: _Runtime, spec: CoordinationSpec) -> None:
+    def _mx_release(self, runtime: EngineRuntime, spec: CoordinationSpec) -> None:
         if runtime.mx_state.get(spec.name) not in ("held", "requested"):
             return
         runtime.mx_state[spec.name] = "released"
@@ -197,7 +194,7 @@ class ParallelEngineNode(CentralEngineNode):
             "key": key,
         })
 
-    def _coord_on_rollback(self, runtime: _Runtime, inval_steps) -> None:
+    def _coord_on_rollback(self, runtime: EngineRuntime, inval_steps) -> None:
         state = runtime.state
         for spec in self.spec_index.rd_triggers(state.schema_name):
             if spec.trigger_step_a not in inval_steps:
@@ -210,7 +207,7 @@ class ParallelEngineNode(CentralEngineNode):
                 "key": key,
             })
 
-    def _release_coordination(self, runtime: _Runtime, aborted: bool) -> None:
+    def _release_coordination(self, runtime: EngineRuntime, aborted: bool) -> None:
         schema_name = runtime.state.schema_name
         for spec in self.spec_index.mx_specs(schema_name):
             self._mx_release(runtime, spec)

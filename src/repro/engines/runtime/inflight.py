@@ -1,0 +1,56 @@
+"""Wait-state records for dispatched steps and load probes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.metrics import Mechanism
+
+__all__ = ["InflightStep", "LoadProbe", "ProbeWait"]
+
+
+@dataclass
+class InflightStep:
+    """A step execution dispatched to an agent, awaiting its StepResult."""
+
+    epoch: int
+    inputs: dict[str, Any]
+    attempt: int
+    mechanism: Mechanism
+    agent: str
+    span: Any = None  # open step Span (or NULL_SPAN when tracing is off)
+
+
+@dataclass
+class ProbeWait:
+    """Engine-side StateInformation fan-out pending its load replies.
+
+    The engine probes every eligible agent of a step and dispatches the
+    execution to the least loaded once all replies are in.
+    """
+
+    instance_id: str
+    step: str
+    waiting: set[str]
+    loads: dict[str, int]
+    cost: float
+    mechanism: Mechanism
+    inputs: dict[str, Any]
+    attempt: int
+
+
+@dataclass
+class LoadProbe:
+    """Agent-side successor-selection probe (distributed two-phase dispatch).
+
+    The navigating agent probes the successor step's eligible peers and
+    sends the workflow packets once all replies are in.
+    """
+
+    instance_id: str
+    successor: str
+    mechanism: Mechanism
+    eligible: tuple[str, ...]
+    waiting: set[str]
+    loads: dict[str, int]

@@ -1,0 +1,58 @@
+"""Rollback-round bookkeeping (token -> round high-water marks).
+
+Event occurrences are stamped with a monotone per-instance *invalidation
+round*; an invalidation cutoff at round R kills only occurrences from
+earlier rounds, so re-executions after the rollback outlive it.  Agents
+carry a ``token -> round`` high-water map on every packet, halt probe and
+compensation chain; these helpers keep that map and the fragment's round
+counter consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = [
+    "absorb_invalidations",
+    "merge_invalidations",
+    "open_invalidation_round",
+]
+
+
+def merge_invalidations(known: dict[str, int], updates: Mapping[str, int]) -> None:
+    """Max-merge ``token -> round`` cutoffs into the ``known`` map."""
+    for token, round in updates.items():
+        previous = known.get(token, 0)
+        known[token] = max(previous, int(round))
+
+
+def absorb_invalidations(
+    runtime, invalidations: Mapping[str, int], bump_round: bool = True
+) -> None:
+    """Fold message-carried cutoffs into an agent runtime.
+
+    Merges into the high-water map and (unless ``bump_round`` is false)
+    lifts the fragment's round counter so the agent's own re-executions
+    are stamped past the cutoffs it has heard about.
+    """
+    if not invalidations:
+        return
+    merge_invalidations(runtime.known_invalidations, invalidations)
+    if bump_round:
+        runtime.state.invalidation_round = max(
+            runtime.state.invalidation_round, *invalidations.values()
+        )
+
+
+def open_invalidation_round(runtime, tokens: Iterable[str]) -> int:
+    """Start a new local invalidation round covering ``tokens``.
+
+    Bumps the fragment's round counter, records the cutoff for every
+    token and returns the new round number.
+    """
+    runtime.state.invalidation_round += 1
+    round = runtime.state.invalidation_round
+    for token in tokens:
+        previous = runtime.known_invalidations.get(token, 0)
+        runtime.known_invalidations[token] = max(previous, round)
+    return round

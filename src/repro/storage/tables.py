@@ -100,6 +100,11 @@ class InstanceState:
     #: Durable copy of the valid event tokens (distributed agents persist
     #: it so a crashed agent can rebuild its volatile rule engine).
     events_snapshot: dict = field(default_factory=dict)
+    #: token -> invalidation-round high-water marks this node has learned.
+    #: Persisted with the fragment so a recovering agent re-applies the
+    #: cutoffs instead of transiently reviving invalidated events from a
+    #: stale packet or its own events snapshot.
+    known_invalidations: dict[str, int] = field(default_factory=dict)
     _exec_counter: int = 0
 
     def __post_init__(self) -> None:
@@ -190,6 +195,7 @@ class InstanceState:
             "recovery_epoch": self.recovery_epoch,
             "invalidation_round": self.invalidation_round,
             "events_snapshot": dict(self.events_snapshot),
+            "known_invalidations": dict(self.known_invalidations),
             "exec_counter": self._exec_counter,
             "steps": {
                 name: {
@@ -219,6 +225,10 @@ class InstanceState:
         )
         state.invalidation_round = snapshot.get("invalidation_round", 0)
         state.events_snapshot = dict(snapshot.get("events_snapshot", {}))
+        state.known_invalidations = {
+            token: int(round)
+            for token, round in snapshot.get("known_invalidations", {}).items()
+        }
         state._exec_counter = snapshot["exec_counter"]
         for name, rec in snapshot["steps"].items():
             state.steps[name] = StepRecord(

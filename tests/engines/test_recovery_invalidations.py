@@ -1,0 +1,92 @@
+"""Crash recovery must not reopen the stale-packet window.
+
+A rollback (or loop re-entry) invalidates event occurrences and records a
+``token -> round`` cutoff in the agent's ``known_invalidations`` map.  The
+map is persisted with the AGDB fragment: after a crash and recovery the
+agent still knows the cutoffs, so a stale packet carrying a
+pre-invalidation occurrence cannot transiently revive it (and spuriously
+re-fire the rules that depend on it).
+"""
+
+from repro.core.packets import WorkflowPacket
+from repro.core.programs import NoopProgram
+from repro.engines import DistributedControlSystem, SystemConfig
+from repro.engines.runtime import open_invalidation_round
+from repro.model import SchemaBuilder
+from repro.storage.tables import InstanceStatus
+
+
+def make_system():
+    system = DistributedControlSystem(
+        SystemConfig(seed=5), num_agents=4, agents_per_step=1
+    )
+    builder = SchemaBuilder("W", inputs=["x"])
+    builder.step("A", program="W.A", inputs=["WF.x"], outputs=["o"])
+    builder.step("B", program="W.B", inputs=["A.o"], outputs=["o"])
+    builder.step("C", program="W.C", inputs=["B.o"], outputs=["o"], cost=500.0)
+    builder.sequence("A", "B", "C")
+    builder.output("r", "C.o")
+    system.register_schema(builder.build())
+    for step in ("A", "B", "C"):
+        system.register_program(f"W.{step}", NoopProgram(("o",)))
+    return system
+
+
+def halted_b_agent():
+    """Run A and B, then simulate a rollback halt (origin A) at B's agent:
+    A.D/B.D invalidated under a new cutoff round, fragment persisted."""
+    system = make_system()
+    instance = system.start_workflow("W", {"x": 1})
+    system.run(until=50.0)
+    assert system.workflow_status(instance) is InstanceStatus.RUNNING
+    agent = system.agent(system.assignment.eligible("W", "B")[0])
+    runtime = agent.runtimes[instance]
+    assert "A.D" in runtime.engine.events and "B.D" in runtime.engine.events
+    round = open_invalidation_round(runtime, ["A.D", "B.D"])
+    runtime.engine.invalidate_events(["A.D", "B.D"])
+    runtime.engine.reset_rules_for_steps({"A", "B"})
+    agent._persist(runtime)
+    return system, instance, agent, round
+
+
+def test_invalidation_cutoffs_survive_crash_and_recovery():
+    system, instance, agent, round = halted_b_agent()
+    before = agent.runtimes[instance]
+
+    agent.crash()
+    agent.recover()
+
+    recovered = agent.runtimes[instance]
+    assert recovered is not before  # rebuilt from the AGDB WAL
+    assert recovered.known_invalidations.get("A.D") == round
+    assert recovered.known_invalidations.get("B.D") == round
+    # The invalidated occurrences did not come back with the snapshot.
+    assert "A.D" not in recovered.engine.events
+    assert "B.D" not in recovered.engine.events
+
+
+def test_stale_packet_cannot_revive_invalidated_event_after_recovery():
+    system, instance, agent, round = halted_b_agent()
+    agent.crash()
+    agent.recover()
+    recovered = agent.runtimes[instance]
+
+    executions_before = recovered.fragment.record("B").executions
+    # A packet sent before the rollback carries the old (round-0)
+    # occurrence of A.D and no cutoffs.  Without the persisted high-water
+    # map the merge would revalidate A.D here and re-fire B's rule.
+    stale = WorkflowPacket(
+        schema_name="W",
+        instance_id=instance,
+        action="execute",
+        target_step="B",
+        data=dict(recovered.fragment.data),
+        events={"A.D": [1.0, 0]},
+        invalidations={},
+        recovery_epoch=recovered.fragment.recovery_epoch,
+    )
+    agent._ingest_packet(stale)
+
+    assert not recovered.engine.events.is_valid("A.D")
+    assert recovered.known_invalidations.get("A.D") == round
+    assert recovered.fragment.record("B").executions == executions_before

@@ -89,10 +89,12 @@ def test_snapshot_roundtrip():
     state.bind_outputs("S1", {"o": 5})
     state.recovery_epoch = 3
     state.events_snapshot = {"S1.D": 1.5}
+    state.known_invalidations = {"S2.D": 2}
     restored = InstanceState.from_snapshot(state.snapshot())
     assert restored.schema_name == "W"
     assert restored.recovery_epoch == 3
     assert restored.events_snapshot == {"S1.D": 1.5}
+    assert restored.known_invalidations == {"S2.D": 2}
     assert restored.steps["S1"].status is StepStatus.DONE
     assert restored.steps["S1"].last_outputs == {"o": 5}
     assert restored.data["S1.o"] == 5

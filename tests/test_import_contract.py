@@ -1,0 +1,149 @@
+"""Architectural import-layering contract.
+
+The package stack is layered bottom-up: no package may import from a
+layer above it (``engines -> core -> rules/storage -> sim``, with
+``errors`` at the bottom and the CLI at the top).  The test walks every
+module's AST, so violations are caught even in rarely-executed code
+paths.  Imports guarded by ``if TYPE_CHECKING:`` are exempt — they break
+cycles for annotations only and vanish at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: package -> layer rank; a module may only import repro packages of a
+#: strictly lower rank (or its own package).
+LAYERS = {
+    "errors": 0,
+    "sim": 1,
+    "rules": 1,
+    "model": 2,
+    "obs": 2,
+    "storage": 3,
+    "core": 4,
+    "engines": 5,
+    "workloads": 6,
+    "laws": 6,
+    "analysis": 7,
+    "cli": 8,
+    "__main__": 9,
+}
+
+
+def top_package(module_path: Path) -> str:
+    """``repro/<pkg>/...`` or ``repro/<pkg>.py`` -> ``<pkg>``."""
+    relative = module_path.relative_to(SRC / "repro")
+    return relative.parts[0].removesuffix(".py")
+
+
+def runtime_imports(tree: ast.Module) -> list[tuple[int, str]]:
+    """(lineno, dotted-module) pairs for every import that exists at
+    runtime — ``if TYPE_CHECKING:`` bodies are pruned before the walk."""
+
+    def is_type_checking(test: ast.expr) -> bool:
+        return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+        )
+
+    found: list[tuple[int, str]] = []
+
+    def walk(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.If) and is_type_checking(child.test):
+                for orelse in child.orelse:
+                    walk(orelse)
+                continue
+            if isinstance(child, ast.Import):
+                for alias in child.names:
+                    found.append((child.lineno, alias.name))
+            elif isinstance(child, ast.ImportFrom):
+                if child.level == 0 and child.module:
+                    found.append((child.lineno, child.module))
+            else:
+                walk(child)
+
+    walk(tree)
+    return found
+
+
+def collect_violations() -> list[str]:
+    violations = []
+    for module_path in sorted((SRC / "repro").rglob("*.py")):
+        package = top_package(module_path)
+        if package == "__init__":  # repro/__init__.py re-exports the API
+            continue
+        rank = LAYERS[package]
+        tree = ast.parse(module_path.read_text(), filename=str(module_path))
+        for lineno, imported in runtime_imports(tree):
+            parts = imported.split(".")
+            if parts[0] != "repro" or len(parts) < 2:
+                continue
+            target = parts[1]
+            if target == package:
+                continue
+            target_rank = LAYERS.get(target)
+            if target_rank is None:
+                violations.append(
+                    f"{module_path.relative_to(SRC)}:{lineno} imports unknown "
+                    f"package repro.{target} — add it to LAYERS"
+                )
+            elif target_rank >= rank:
+                violations.append(
+                    f"{module_path.relative_to(SRC)}:{lineno} "
+                    f"({package}, layer {rank}) imports repro.{target} "
+                    f"(layer {target_rank}): upward or sideways import"
+                )
+    return violations
+
+
+def test_every_package_is_ranked():
+    packages = {
+        top_package(p)
+        for p in (SRC / "repro").rglob("*.py")
+        if top_package(p) != "__init__"
+    }
+    assert packages <= set(LAYERS), f"unranked packages: {packages - set(LAYERS)}"
+
+
+def test_no_upward_imports():
+    violations = collect_violations()
+    assert not violations, "\n".join(violations)
+
+
+def test_engines_subpackage_layering():
+    """Within repro.engines: the shared runtime layer imports no engine
+    module, and the architecture packages never import each other —
+    except parallel, which is documented to extend centralized."""
+    engines = SRC / "repro" / "engines"
+    subpkgs = ("centralized", "parallel", "distributed", "runtime")
+    allowed_peer = {("parallel", "centralized")}
+    violations = []
+    for module_path in sorted(engines.rglob("*.py")):
+        relative = module_path.relative_to(engines)
+        owner = relative.parts[0].removesuffix(".py")
+        tree = ast.parse(module_path.read_text(), filename=str(module_path))
+        for lineno, imported in runtime_imports(tree):
+            parts = imported.split(".")
+            if parts[:2] != ["repro", "engines"] or len(parts) < 3:
+                continue
+            target = parts[2]
+            if target not in subpkgs or target == owner:
+                continue
+            if owner == "runtime":
+                violations.append(
+                    f"runtime/{relative.name}:{lineno} imports "
+                    f"repro.engines.{target}: the shared layer must stay "
+                    f"architecture-free"
+                )
+            elif owner in subpkgs and (owner, target) not in allowed_peer:
+                if target == "runtime":
+                    continue  # everyone may use the shared layer
+                violations.append(
+                    f"{relative}:{lineno} ({owner}) imports "
+                    f"repro.engines.{target}: architectures must not couple"
+                )
+    assert not violations, "\n".join(violations)
