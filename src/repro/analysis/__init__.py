@@ -1,5 +1,13 @@
-"""Performance analysis: closed-form model, Table 7 ranking, evaluation runner."""
+"""Performance analysis: closed-form model, Table 7 ranking, evaluation
+runner, causal-trace reconstruction and protocol-invariant checking."""
 
+from repro.analysis.causal import (
+    Anomaly,
+    CausalTrace,
+    PhaseLatency,
+    RecordRow,
+    SpanRow,
+)
 from repro.analysis.experiment import (
     ArchitectureResult,
     EvaluationResults,
@@ -23,6 +31,11 @@ from repro.analysis.recommend import (
     rank_architectures,
     recommendation_matrix,
 )
+from repro.analysis.invariants import (
+    INVARIANTS,
+    Violation,
+    check_invariants,
+)
 from repro.analysis.report import (
     MeasuredCosts,
     format_table,
@@ -34,7 +47,15 @@ from repro.analysis.report import (
 
 __all__ = [
     "ARCHITECTURES",
+    "INVARIANTS",
+    "Anomaly",
     "ArchitectureResult",
+    "CausalTrace",
+    "PhaseLatency",
+    "RecordRow",
+    "SpanRow",
+    "Violation",
+    "check_invariants",
     "EvaluationResults",
     "full_evaluation",
     "ocr_ablation",

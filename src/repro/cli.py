@@ -21,9 +21,15 @@ Commands
     as a markdown report.
 ``trace``
     Run a scenario and export its span trace (Chrome trace-event JSON,
-    loadable in Perfetto / chrome://tracing, or JSONL).
+    loadable in Perfetto / chrome://tracing, or JSONL), with ``--node`` /
+    ``--category`` filters and a ``--follow <instance>`` causal-chain view.
 ``metrics``
     Run a scenario and export its metrics in Prometheus text format.
+``analyze``
+    Load a JSONL trace file, reconstruct per-instance causal timelines
+    (critical path, per-phase latency), flag broken-causality anomalies,
+    and optionally check the protocol-invariant catalog
+    (``--check-invariants`` exits non-zero on violation).
 """
 
 from __future__ import annotations
@@ -31,7 +37,9 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis.causal import CausalTrace
 from repro.analysis.experiment import full_evaluation, render_evaluation
+from repro.analysis.invariants import INVARIANTS, check_invariants
 from repro.analysis.model import architecture_model
 from repro.analysis.recommend import recommendation_matrix
 from repro.analysis.report import (
@@ -252,11 +260,86 @@ def cmd_scenario(args) -> int:
 def cmd_trace(args) -> int:
     system, __ = _run_scenario(args)
     system.tracer.finish(system.simulator.now)
+    nodes = set(args.node) if args.node else None
+    categories = set(args.category) if args.category else None
+    if args.follow:
+        ct = CausalTrace.from_run(system.trace, system.tracer)
+        path = ct.critical_path(args.follow)
+        if not path:
+            print(f"error: no spans for instance {args.follow!r}",
+                  file=sys.stderr)
+            return 1
+        lines = [f"causal chain for {args.follow} ({len(path)} spans):"]
+        for span in path:
+            edge = ""
+            if span.link_id is not None:
+                link = ct.by_id.get(span.link_id)
+                if link is not None:
+                    edge = f"  <-link- #{link.span_id} @{link.node}"
+            lines.append(
+                f"  [{span.start:9.3f}] #{span.span_id:<5} "
+                f"{span.node:<14} {span.category:<12} {span.name}{edge}"
+            )
+        _emit("\n".join(lines), args.out)
+        return 0
     if args.format == "chrome":
-        _emit(render_chrome_trace(system.tracer, system.trace), args.out)
+        _emit(render_chrome_trace(system.tracer, system.trace,
+                                  nodes=nodes, categories=categories),
+              args.out)
     else:
-        _emit(trace_to_jsonl(system.trace, system.tracer), args.out)
+        _emit(trace_to_jsonl(system.trace, system.tracer,
+                             nodes=nodes, categories=categories),
+              args.out)
     return 0
+
+
+def cmd_analyze(args) -> int:
+    with open(args.file, "r", encoding="utf-8") as handle:
+        ct = CausalTrace.from_jsonl(handle.read())
+    instances = ct.instances()
+    if args.instance:
+        instances = [i for i in instances if i in set(args.instance)]
+    print(f"{args.file}: {len(ct.spans)} spans, {len(ct.records)} records, "
+          f"{len(instances)} instance(s)")
+    for instance in instances:
+        timeline = ct.timeline(instance)
+        if not timeline:
+            continue
+        start = min(s.start for s in timeline)
+        end = max(s.end if s.end is not None else s.start for s in timeline)
+        path = ct.critical_path(instance)
+        print(f"\n{instance}: {len(timeline)} spans, "
+              f"makespan {end - start:.3f} "
+              f"[{start:.3f} .. {end:.3f}]")
+        for phase in ct.phase_latency(instance):
+            print(f"  phase {phase.category:<14} {phase.span_count:>4} spans  "
+                  f"{phase.total:9.3f} time units")
+        print(f"  critical path: {len(path)} spans, "
+              f"{' -> '.join(s.name for s in path[-6:])}"
+              + (" (tail)" if len(path) > 6 else ""))
+    anomalies = ct.anomalies()
+    exit_code = 0
+    if anomalies:
+        print(f"\n{len(anomalies)} anomal{'y' if len(anomalies) == 1 else 'ies'}:")
+        for anomaly in anomalies:
+            print(f"  {anomaly}")
+        if args.strict:
+            exit_code = 1
+    else:
+        print("\nno causal anomalies.")
+    if args.check_invariants:
+        violations = check_invariants(
+            ct, list(args.invariant) if args.invariant else None
+        )
+        if violations:
+            print(f"\n{len(violations)} invariant violation(s):")
+            for violation in violations:
+                print(violation.render())
+            exit_code = 1
+        else:
+            checked = args.invariant or sorted(INVARIANTS)
+            print(f"\ninvariants OK: {', '.join(checked)}")
+    return exit_code
 
 
 def cmd_metrics(args) -> int:
@@ -341,7 +424,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "jsonl = one JSON object per line")
     trace.add_argument("--out", default=None, metavar="FILE",
                        help="output file (default: stdout)")
+    trace.add_argument("--node", action="append", metavar="NODE",
+                       help="only export spans/records of this node "
+                            "(repeatable)")
+    trace.add_argument("--category", action="append", metavar="CAT",
+                       help="only export spans of this category (repeatable)")
+    trace.add_argument("--follow", default=None, metavar="INSTANCE",
+                       help="print the causal chain (critical path) of one "
+                            "instance instead of exporting")
     trace.set_defaults(fn=cmd_trace)
+
+    analyze = sub.add_parser(
+        "analyze", help="analyze an exported JSONL trace file"
+    )
+    analyze.add_argument("file", help="JSONL trace (repro trace --format jsonl)")
+    analyze.add_argument("--instance", action="append", metavar="ID",
+                         help="restrict the report to this instance "
+                              "(repeatable)")
+    analyze.add_argument("--check-invariants", action="store_true",
+                         help="run the protocol-invariant catalog; exit 1 "
+                              "on any violation")
+    analyze.add_argument("--invariant", action="append", metavar="NAME",
+                         choices=sorted(INVARIANTS),
+                         help="check only this invariant (repeatable)")
+    analyze.add_argument("--strict", action="store_true",
+                         help="also exit 1 on causal anomalies")
+    analyze.set_defaults(fn=cmd_analyze)
 
     metrics = sub.add_parser(
         "metrics", help="run a scenario and export Prometheus metrics"

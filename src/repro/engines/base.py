@@ -30,6 +30,8 @@ from repro.model.coordination_spec import (
     RollbackDependencySpec,
 )
 from repro.model.schema import StepDef, WorkflowSchema
+from repro.obs.causal import MessageTracer
+from repro.obs.flight import FlightRecorder
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import NULL_SPAN, Span, Tracer
 from repro.rules.events import step_compensated, step_done, step_fail
@@ -74,7 +76,9 @@ class SystemConfig:
     strategy (``"hash"`` — deterministic, matches the paper's message
     expression ``s·a + f`` — or ``"load"``, which adds StateInformation
     probe traffic); the failure-recovery knobs control the distributed
-    StepStatus polling/takeover machinery.
+    StepStatus polling/takeover machinery.  ``flight_capacity`` sizes the
+    per-node flight-recorder ring (independent of ``trace``; 0 disables
+    it).
     """
 
     seed: int = 0
@@ -82,6 +86,7 @@ class SystemConfig:
     trace: bool = True
     trace_capacity: int | None = 500_000
     trace_ring: bool = False
+    flight_capacity: int = 64
     work_time_scale: float = 0.1
     successor_selection: str = "hash"
     dispatch_probes: bool = True
@@ -289,6 +294,7 @@ class ControlSystem:
         self.registry = MetricsRegistry()
         if self.config.trace:
             self.network.registry = self.registry
+            self.network.causal = MessageTracer(self.tracer)
             depth_hist = self.registry.histogram(
                 "crew_event_queue_depth",
                 "Simulator event-queue depth sampled at each event.",
@@ -297,6 +303,13 @@ class ControlSystem:
             self.simulator.event_hook = (
                 lambda time, depth: depth_hist.observe(depth)
             )
+        # The flight recorder deliberately does NOT follow the trace
+        # switch — its whole point is post-mortem context when full
+        # tracing is off.  flight_capacity=0 strips it entirely.
+        if self.config.flight_capacity > 0:
+            capacity = self.config.flight_capacity
+            self.network.flight_factory = lambda name: FlightRecorder(capacity)
+            self.network.flight_sink = self._flight_sink
         self._workflow_spans: dict[str, Span] = {}
         self._recovery_spans: dict[str, Span] = {}
         self.programs = ProgramRegistry()
@@ -542,6 +555,16 @@ class ControlSystem:
             )
 
         return hook
+
+    def _flight_sink(
+        self, time: float, node: str, reason: str,
+        events: list[dict], **detail: Any,
+    ) -> None:
+        """Persist a flight-recorder snapshot (bypasses the trace switch)."""
+        self.trace.snapshot(
+            time, node, "flight.snapshot", reason=reason, events=events,
+            **detail,
+        )
 
     # -- driving the simulation -------------------------------------------------------
 

@@ -53,7 +53,7 @@ class ApplicationAgentNode(Node):
         self.executing += 1
         cost = payload["cost"]
         delay = cost * self.system.config.work_time_scale
-        self.simulator.schedule(delay, self._complete_step, message)
+        self.schedule_causal(delay, self._complete_step, message)
 
     def _complete_step(self, message: Message) -> None:
         payload = message.payload
@@ -94,7 +94,7 @@ class ApplicationAgentNode(Node):
     def _on_step_compensate(self, message: Message) -> None:
         payload = message.payload
         delay = payload["cost"] * self.system.config.work_time_scale
-        self.simulator.schedule(delay, self._complete_compensation, message)
+        self.schedule_causal(delay, self._complete_compensation, message)
 
     def _complete_compensation(self, message: Message) -> None:
         payload = message.payload

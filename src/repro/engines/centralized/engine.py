@@ -305,7 +305,8 @@ class CentralEngineNode(EngineCoordinationMixin, EngineRecoveryMixin, Node):
         )
         self._agent_load_view[agent] += 1
         self.trace.record(self.simulator.now, self.name, "step.dispatch",
-                          instance=instance_id, step=step, agent=agent)
+                          instance=instance_id, step=step, agent=agent,
+                          epoch=runtime.state.recovery_epoch)
         self.send(
             agent,
             "StepExecute",
@@ -366,6 +367,7 @@ class CentralEngineNode(EngineCoordinationMixin, EngineRecoveryMixin, Node):
             self.trace.record(self.simulator.now, self.name, "step.fail",
                               instance=instance_id, step=step,
                               error=payload.get("error") or "-")
+            self.dump_flight("step.fail", instance=instance_id, step=step)
             self.system.obs_step_finished(
                 inflight.span, self.simulator.now, status="failed",
                 error=payload.get("error") or "-",

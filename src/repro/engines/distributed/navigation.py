@@ -273,9 +273,10 @@ class AgentNavigationMixin:
             attempt=attempt, epoch=epoch, mechanism=mechanism.value,
         )
         self.trace.record(self.simulator.now, self.name, "step.execute",
-                          instance=instance_id, step=step, attempt=attempt)
+                          instance=instance_id, step=step, attempt=attempt,
+                          epoch=epoch)
         delay = cost * self.config.work_time_scale
-        self.simulator.schedule(
+        self.schedule_causal(
             delay, self._complete_program, instance_id, step, epoch, attempt,
             mechanism, inputs, cost,
         )
@@ -340,6 +341,7 @@ class AgentNavigationMixin:
             self.trace.record(self.simulator.now, self.name, "step.fail",
                               instance=instance_id, step=step,
                               error=result.error or "-")
+            self.dump_flight("step.fail", instance=instance_id, step=step)
             if exec_span is not None:
                 self.system.obs_step_finished(
                     exec_span, self.simulator.now, status="failed",

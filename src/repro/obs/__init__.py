@@ -20,12 +20,14 @@ Every control system owns one :class:`~repro.obs.spans.Tracer` and one
 ``trace`` config switch so large benchmark runs pay (almost) nothing.
 """
 
+from repro.obs.causal import MessageTracer
 from repro.obs.export import (
     chrome_trace,
     prometheus_text,
     render_chrome_trace,
     trace_to_jsonl,
 )
+from repro.obs.flight import FlightRecorder
 from repro.obs.registry import (
     CounterMetric,
     GaugeMetric,
@@ -37,8 +39,10 @@ from repro.obs.spans import NULL_SPAN, Span, SpanContext, Tracer
 __all__ = [
     "NULL_SPAN",
     "CounterMetric",
+    "FlightRecorder",
     "GaugeMetric",
     "HistogramMetric",
+    "MessageTracer",
     "MetricsRegistry",
     "Span",
     "SpanContext",

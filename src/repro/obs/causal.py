@@ -1,0 +1,96 @@
+"""Cross-node causal propagation for the span tracer.
+
+The simulation's transport (:mod:`repro.sim.network`) cannot import the
+observability layer, so causal tracing is injected duck-typed: the owning
+control system sets ``network.causal`` to a :class:`MessageTracer` before
+any node is constructed, and the network/node hot paths call ``on_send``
+/ ``on_receive`` through that attribute.
+
+Each physical message produces two instant spans in the ``message``
+category:
+
+* a **send span** on the sender, linked (via ``link_id``) to the span
+  that was active on the sender when the message left, and
+* a **recv span** on the receiver, linked to the send span (whose id
+  travelled inside the message as ``Message.send_span``).
+
+Both carry the message id and the Lamport clock observed at their end of
+the edge, so an offline analyzer can rebuild the full cross-node causal
+chain — and detect broken ones — from the exported trace alone.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.obs.spans import Span, Tracer
+from repro.sim.metrics import Mechanism
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.network import Message
+    from repro.sim.node import Node
+
+__all__ = ["MessageTracer"]
+
+
+class MessageTracer:
+    """Stamps every network message with linked send/recv spans."""
+
+    def __init__(self, tracer: Tracer):
+        self.tracer = tracer
+
+    def on_send(
+        self,
+        src_node: "Node",
+        dst: str,
+        msg_id: int,
+        interface: str,
+        mechanism: Mechanism,
+        lamport: int,
+        payload: Mapping[str, Any],
+        now: float,
+    ) -> int | None:
+        """Record the sender-side message span; returns its id (or None)."""
+        if not self.tracer.enabled:
+            return None
+        link = src_node.current_span
+        if link is not None and link.is_null:
+            link = None
+        attrs: dict[str, Any] = {
+            "msg_id": msg_id,
+            "src": src_node.name,
+            "dst": dst,
+            "mechanism": mechanism.value,
+            "lamport": lamport,
+            "direction": "send",
+        }
+        instance = payload.get("instance_id")
+        if instance is not None:
+            attrs["instance"] = instance
+        span = self.tracer.instant(
+            f"send:{interface}", "message", src_node.name, now,
+            link=link, **attrs,
+        )
+        return None if span.is_null else span.span_id
+
+    def on_receive(self, node: "Node", message: "Message") -> Span:
+        """Record the receiver-side message span, linked to the send span.
+
+        Called *after* the node merged its Lamport clock, so the recorded
+        ``lamport`` is the post-merge value (always > the send side's).
+        """
+        attrs: dict[str, Any] = {
+            "msg_id": message.msg_id,
+            "src": message.src,
+            "dst": node.name,
+            "mechanism": message.mechanism.value,
+            "lamport": node.lamport_clock,
+            "direction": "recv",
+        }
+        instance = message.payload.get("instance_id")
+        if instance is not None:
+            attrs["instance"] = instance
+        return self.tracer.instant(
+            f"recv:{message.interface}", "message", node.name,
+            node.simulator.now, link=message.send_span, **attrs,
+        )

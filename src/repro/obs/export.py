@@ -43,6 +43,10 @@ US_PER_TIME_UNIT = 1000.0
 def _json_safe(value: Any) -> Any:
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
     return str(value)
 
 
@@ -53,12 +57,24 @@ def _safe_attrs(attrs: dict[str, Any]) -> dict[str, Any]:
 # -- JSONL ----------------------------------------------------------------
 
 
-def trace_to_jsonl(trace: Trace | None, tracer: Tracer | None = None) -> str:
-    """Merge flat records and spans into time-ordered JSON lines."""
+def trace_to_jsonl(
+    trace: Trace | None,
+    tracer: Tracer | None = None,
+    nodes: set[str] | None = None,
+    categories: set[str] | None = None,
+) -> str:
+    """Merge flat records and spans into time-ordered JSON lines.
+
+    ``nodes`` restricts both record and span rows to the named nodes;
+    ``categories`` restricts span rows to the named span categories
+    (flat records have no category and are unaffected).
+    """
     rows: list[tuple[float, int, dict[str, Any]]] = []
     order = 0
     if trace is not None:
         for rec in trace:
+            if nodes is not None and rec.node not in nodes:
+                continue
             rows.append((rec.time, order, {
                 "type": "record",
                 "time": rec.time,
@@ -69,16 +85,22 @@ def trace_to_jsonl(trace: Trace | None, tracer: Tracer | None = None) -> str:
             order += 1
     if tracer is not None:
         for span in tracer:
+            if nodes is not None and span.node not in nodes:
+                continue
+            if categories is not None and span.category not in categories:
+                continue
             rows.append((span.start, order, {
                 "type": "span",
                 "span_id": span.span_id,
                 "parent_id": span.parent_id,
+                "link_id": span.link_id,
                 "name": span.name,
                 "category": span.category,
                 "node": span.node,
                 "start": span.start,
                 "end": span.end,
                 "duration": span.duration,
+                "open": span.end is None,
                 "attrs": _safe_attrs(span.attrs),
             }))
             order += 1
@@ -93,13 +115,23 @@ def chrome_trace(
     tracer: Tracer | None,
     trace: Trace | None = None,
     process_name: str = "crew-sim",
+    open_span_end: float | None = None,
+    nodes: set[str] | None = None,
+    categories: set[str] | None = None,
 ) -> dict[str, Any]:
     """Build a Chrome trace-event document (``chrome://tracing``/Perfetto).
 
     Nodes become threads of a single process; spans become complete
     events with durations, flat trace records become thread-scoped
-    instant events.  Still-open spans are skipped (callers should run
-    ``tracer.finish(now)`` first).
+    instant events.  Still-open spans are skipped by default (callers
+    should run ``tracer.finish(now)`` first); pass ``open_span_end`` to
+    render them instead as complete events ending at that time, tagged
+    ``"open": true`` in their args.
+
+    Cross-node span links become flow events (``ph: "s"``/``"f"``) so
+    message causality renders as arrows between threads.  ``nodes`` /
+    ``categories`` filter the exported spans and records (flow events are
+    only emitted when both ends survive the filter).
     """
     events: list[dict[str, Any]] = []
     tids: dict[str, int] = {}
@@ -123,26 +155,66 @@ def chrome_trace(
         "tid": 0,
         "args": {"name": process_name},
     })
+    exported: dict[int, Any] = {}
+    by_id: dict[int, Any] = {}
     if tracer is not None:
+        by_id = {s.span_id: s for s in tracer}
         for span in tracer:
-            if span.end is None:
+            if span.end is None and open_span_end is None:
                 continue
+            if nodes is not None and span.node not in nodes:
+                continue
+            if categories is not None and span.category not in categories:
+                continue
+            end = span.end if span.end is not None else open_span_end
             args = _safe_attrs(span.attrs)
             args["span_id"] = span.span_id
             if span.parent_id is not None:
                 args["parent_id"] = span.parent_id
+            if span.link_id is not None:
+                args["link_id"] = span.link_id
+            if span.end is None:
+                args["open"] = True
             events.append({
                 "name": span.name,
                 "cat": span.category,
                 "ph": "X",
                 "ts": span.start * US_PER_TIME_UNIT,
-                "dur": max(span.duration * US_PER_TIME_UNIT, 1.0),
+                "dur": max((end - span.start) * US_PER_TIME_UNIT, 1.0),
                 "pid": 1,
                 "tid": tid_of(span.node),
                 "args": args,
             })
+            exported[span.span_id] = span
+        # Flow events: an arrow from the linked (sender-side) span to the
+        # linking span.  Flow ids reuse the target span's id (unique).
+        for span in exported.values():
+            link = by_id.get(span.link_id) if span.link_id is not None else None
+            if link is None or link.span_id not in exported:
+                continue
+            events.append({
+                "name": "causal",
+                "cat": "flow",
+                "ph": "s",
+                "id": span.span_id,
+                "ts": link.start * US_PER_TIME_UNIT,
+                "pid": 1,
+                "tid": tid_of(link.node),
+            })
+            events.append({
+                "name": "causal",
+                "cat": "flow",
+                "ph": "f",
+                "bp": "e",
+                "id": span.span_id,
+                "ts": span.start * US_PER_TIME_UNIT,
+                "pid": 1,
+                "tid": tid_of(span.node),
+            })
     if trace is not None:
         for rec in trace:
+            if nodes is not None and rec.node not in nodes:
+                continue
             events.append({
                 "name": rec.kind,
                 "cat": "trace",
@@ -160,10 +232,16 @@ def render_chrome_trace(
     tracer: Tracer | None,
     trace: Trace | None = None,
     process_name: str = "crew-sim",
+    open_span_end: float | None = None,
+    nodes: set[str] | None = None,
+    categories: set[str] | None = None,
 ) -> str:
     """:func:`chrome_trace` serialized to a JSON string."""
     return json.dumps(
-        chrome_trace(tracer, trace, process_name=process_name), indent=1
+        chrome_trace(tracer, trace, process_name=process_name,
+                     open_span_end=open_span_end, nodes=nodes,
+                     categories=categories),
+        indent=1,
     )
 
 

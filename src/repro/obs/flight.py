@@ -1,0 +1,60 @@
+"""Per-node flight recorder: a bounded ring of recent transport events.
+
+Full tracing is often disabled in benchmark runs, which is exactly when a
+crash is hardest to diagnose.  The flight recorder keeps the last
+``capacity`` send/receive events per node in a fixed-size ring (O(1) per
+message, no allocation beyond the event dict) and is snapshotted into the
+trace — via :meth:`repro.sim.tracing.Trace.snapshot`, which bypasses the
+``enabled`` flag — when the node crashes or a step fails.
+
+The recorder is injected into the sim layer duck-typed (see
+:mod:`repro.obs.causal` for the pattern): the control system sets
+``network.flight_factory`` / ``network.flight_sink`` before nodes are
+constructed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Fixed-capacity ring of a node's recent transport events."""
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def note(
+        self,
+        time: float,
+        direction: str,
+        interface: str,
+        peer: str,
+        msg_id: int,
+        lamport: int,
+    ) -> None:
+        """Append one transport event (evicting the oldest when full)."""
+        self.recorded += 1
+        self._events.append({
+            "time": time,
+            "dir": direction,
+            "interface": interface,
+            "peer": peer,
+            "msg_id": msg_id,
+            "lamport": lamport,
+        })
+
+    def snapshot(self) -> list[dict]:
+        """The retained window, oldest first (copies, safe to serialize)."""
+        return [dict(event) for event in self._events]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FlightRecorder {len(self._events)}/{self.capacity} "
+                f"recorded={self.recorded}>")

@@ -22,6 +22,12 @@ auto-closes any still-open descendants at the parent's end time, so the
 span tree is always well nested and Chrome trace viewers render it
 without overlap errors.
 
+Cross-node causality uses *links*, not parentage: a span may carry a
+``link_id`` naming the span that caused it on another node (the send side
+of a network message).  Links are free of the nesting invariant — a
+receive span may outlive the long-closed send span that caused it — so
+the span *tree* stays per-node while the link mesh spans the deployment.
+
 The tracer is deliberately cheap when disabled: :meth:`Tracer.start`
 returns the shared :data:`NULL_SPAN` and every other operation is a no-op,
 so hot paths can call it unconditionally.
@@ -48,8 +54,8 @@ class SpanContext:
 class Span:
     """A named, attributed interval of simulation time."""
 
-    __slots__ = ("attrs", "category", "end", "name", "node", "span_id",
-                 "parent_id", "start")
+    __slots__ = ("attrs", "category", "end", "link_id", "name", "node",
+                 "span_id", "parent_id", "start")
 
     is_null = False
 
@@ -62,9 +68,11 @@ class Span:
         start: float,
         parent_id: int | None = None,
         attrs: dict[str, Any] | None = None,
+        link_id: int | None = None,
     ):
         self.span_id = span_id
         self.parent_id = parent_id
+        self.link_id = link_id
         self.name = name
         self.category = category
         self.node = node
@@ -138,16 +146,27 @@ class Tracer:
         node: str,
         time: float,
         parent: Span | None = None,
+        link: "Span | int | None" = None,
         **attrs: Any,
     ) -> Span:
-        """Open a new span (returns :data:`NULL_SPAN` when disabled)."""
+        """Open a new span (returns :data:`NULL_SPAN` when disabled).
+
+        ``link`` names a causal predecessor on another node (span or span
+        id); unlike ``parent`` it does not constrain nesting.
+        """
         if not self.enabled:
             return NULL_SPAN
         parent_id = None
         if parent is not None and not parent.is_null:
             parent_id = parent.span_id
+        link_id: int | None
+        if isinstance(link, Span):
+            link_id = None if link.is_null else link.span_id
+        else:
+            link_id = link
         span = Span(self._next_id, name, category, node, time,
-                    parent_id=parent_id, attrs=dict(attrs) if attrs else None)
+                    parent_id=parent_id, attrs=dict(attrs) if attrs else None,
+                    link_id=link_id)
         self._next_id += 1
         self.spans.append(span)
         if parent_id is not None:
@@ -177,10 +196,12 @@ class Tracer:
         node: str,
         time: float,
         parent: Span | None = None,
+        link: "Span | int | None" = None,
         **attrs: Any,
     ) -> Span:
         """A zero-duration span (rendered as an instant event)."""
-        span = self.start(name, category, node, time, parent=parent, **attrs)
+        span = self.start(name, category, node, time, parent=parent,
+                          link=link, **attrs)
         self.end(span, time)
         return span
 

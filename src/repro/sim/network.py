@@ -34,6 +34,11 @@ class Message:
     ``interface`` is the workflow-interface (WI) name from Table 1 of the
     paper (e.g. ``"StepExecute"``) or an internal protocol verb; ``payload``
     is an arbitrary read-only mapping.
+
+    ``lamport`` is the sender's Lamport clock after its send tick, and
+    ``send_span`` the span id of the sender-side message span (``None``
+    when causal tracing is off) — together they let the receiver stitch
+    the cross-node causal chain back together.
     """
 
     msg_id: int
@@ -43,6 +48,8 @@ class Message:
     mechanism: Mechanism
     payload: Mapping[str, Any]
     sent_at: float
+    lamport: int = 0
+    send_span: int | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -106,6 +113,18 @@ class Network:
         #: control system, before nodes are constructed) every node feeds
         #: per-node message/load/crash instruments into it.
         self.registry = None
+        #: Optional causal message tracer (duck-typed, see
+        #: :class:`repro.obs.causal.MessageTracer`).  Set by the owning
+        #: control system before nodes are constructed; ``send`` then
+        #: stamps every message with a sender-side message span.
+        self.causal = None
+        #: Optional flight-recorder hooks: ``flight_factory(name)`` builds
+        #: a per-node bounded ring of transport events and
+        #: ``flight_sink(time, node, reason, events, **detail)`` persists a
+        #: snapshot of it (into the trace) on crash or step failure.  Both
+        #: are injected by the owning control system, like ``registry``.
+        self.flight_factory = None
+        self.flight_sink = None
         self._nodes: dict[str, "Node"] = {}
         self._parked: dict[str, list[Message]] = {}
         self._msg_ids = itertools.count(1)
@@ -141,12 +160,16 @@ class Network:
         interface: str,
         payload: Mapping[str, Any],
         mechanism: Mechanism,
+        src_node: "Node | None" = None,
     ) -> Message:
         """Send one physical message; returns the in-flight message object.
 
         Local self-sends (``src == dst``) are *not* physical messages under
         the paper's accounting — use a direct call for those.  The network
         rejects them to keep the counters honest.
+
+        ``src_node`` lets :meth:`Node.send` pass itself and skip the name
+        lookup on the hot path; callers using plain names can omit it.
         """
         if src == dst:
             raise SimulationError(
@@ -155,15 +178,21 @@ class Network:
             )
         if dst not in self._nodes:
             raise SimulationError(f"send to unknown node {dst!r}")
-        message = Message(
-            msg_id=next(self._msg_ids),
-            src=src,
-            dst=dst,
-            interface=interface,
-            mechanism=mechanism,
-            payload=dict(payload),
-            sent_at=self.simulator.now,
-        )
+        if src_node is None:
+            src_node = self._nodes.get(src)
+        lamport = 0
+        if src_node is not None:
+            lamport = src_node.lamport_clock + 1
+            src_node.lamport_clock = lamport
+        msg_id = next(self._msg_ids)
+        send_span = None
+        if self.causal is not None and src_node is not None:
+            send_span = self.causal.on_send(
+                src_node, dst, msg_id, interface, mechanism, lamport,
+                payload, self.simulator.now,
+            )
+        message = Message(msg_id, src, dst, interface, mechanism,
+                          dict(payload), self.simulator.now, lamport, send_span)
         self.metrics.record_message(mechanism, interface)
         delay = self.latency.delay(src, dst)
         self.simulator.schedule(delay, self._arrive, message)

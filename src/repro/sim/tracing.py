@@ -73,6 +73,17 @@ class Trace:
             # deque(maxlen=...) evicts the oldest record on append.
         self.records.append(TraceRecord(time, node, kind, detail))
 
+    def snapshot(self, time: float, node: str, kind: str, **detail: Any) -> None:
+        """Record unconditionally, bypassing ``enabled`` and ``capacity``.
+
+        Post-mortem dumps (flight-recorder snapshots on crash or step
+        failure) must land even in benchmark runs with tracing off — a
+        flight recorder that vanishes exactly when you need it is
+        worthless.  Snapshots are rare, so the capacity policy is not
+        consulted (a ring-mode deque still evicts its oldest on append).
+        """
+        self.records.append(TraceRecord(time, node, kind, detail))
+
     # -- queries -------------------------------------------------------------
 
     def filter(

@@ -1,0 +1,166 @@
+"""Causal-trace reconstruction: timelines, critical path, anomalies.
+
+The acceptance bar: fixed-seed runs of all six architecture×failure
+configurations must produce traces in which every remote child span
+resolves to its sending parent — zero orphan cross-node links — as seen
+by the *offline* analyzer (JSONL round-trip included).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.causal import CausalTrace
+from repro.engines import SystemConfig
+from repro.errors import CrewError
+from repro.workloads import figure3_workflow
+from tests.conftest import ALL_ARCHITECTURES, make_system
+
+FAILURE_MODES = {
+    "with-failure": frozenset({1}),
+    "failure-free": frozenset(),
+}
+
+
+def run_config(architecture, fail_attempts, instances=2, seed=11):
+    system = make_system(architecture, config=SystemConfig(seed=seed))
+    figure3_workflow(fail_attempts=fail_attempts).install(system)
+    ids = [system.start_workflow("Figure3", {"load": 5}, delay=i * 0.5)
+           for i in range(instances)]
+    system.run()
+    system.tracer.finish(system.simulator.now)
+    assert all(system.outcome(i).committed for i in ids)
+    return system, ids
+
+
+@pytest.mark.parametrize("architecture", ALL_ARCHITECTURES)
+@pytest.mark.parametrize("mode", sorted(FAILURE_MODES))
+def test_all_six_configs_have_zero_orphan_links(architecture, mode):
+    system, __ = run_config(architecture, FAILURE_MODES[mode])
+    ct = CausalTrace.from_run(system.trace, system.tracer)
+    assert ct.message_spans(), "run must produce message spans"
+    orphans = [a for a in ct.anomalies()
+               if a.kind in ("orphan-link", "unlinked-recv", "orphan-parent")]
+    assert orphans == []
+
+
+@pytest.mark.parametrize("architecture", ALL_ARCHITECTURES)
+@pytest.mark.parametrize("mode", sorted(FAILURE_MODES))
+def test_all_six_configs_are_anomaly_free(architecture, mode):
+    """Stronger: no lost packets and no Lamport regressions either."""
+    system, __ = run_config(architecture, FAILURE_MODES[mode])
+    ct = CausalTrace.from_run(system.trace, system.tracer)
+    assert ct.anomalies() == []
+
+
+def test_jsonl_round_trip_preserves_counts():
+    system, __ = run_config("distributed", frozenset({1}), instances=1)
+    from repro.obs.export import trace_to_jsonl
+
+    text = trace_to_jsonl(system.trace, system.tracer)
+    ct = CausalTrace.from_jsonl(text)
+    assert len(ct.spans) == len(system.tracer.spans)
+    assert len(ct.records) == len(system.trace.records)
+
+
+def test_timeline_and_instances():
+    system, ids = run_config("distributed", frozenset({1}), instances=2)
+    ct = CausalTrace.from_run(system.trace, system.tracer)
+    assert ct.instances() == sorted(ids)
+    for instance in ids:
+        timeline = ct.timeline(instance)
+        assert timeline
+        assert all(
+            s.instance in (instance, None) for s in timeline
+        )
+        starts = [s.start for s in timeline]
+        assert starts == sorted(starts)
+
+
+def test_critical_path_crosses_nodes_and_ends_last():
+    system, ids = run_config("distributed", frozenset({1}), instances=1)
+    ct = CausalTrace.from_run(system.trace, system.tracer)
+    path = ct.critical_path(ids[0])
+    assert len(path) >= 5
+    assert len({s.node for s in path}) > 1, "path must cross nodes"
+    # Walks backward in causal order: starts never decrease along the path.
+    starts = [s.start for s in path]
+    assert starts == sorted(starts)
+
+
+def test_phase_latency_accounts_for_workflow_span():
+    system, ids = run_config("centralized", frozenset({1}), instances=1)
+    ct = CausalTrace.from_run(system.trace, system.tracer)
+    phases = ct.phase_latency(ids[0])
+    by_cat = {p.category: p for p in phases}
+    assert "workflow" in by_cat and by_cat["workflow"].span_count == 1
+    assert "step" in by_cat and by_cat["step"].total > 0
+    # Sorted largest-total first.
+    totals = [p.total for p in phases]
+    assert totals == sorted(totals, reverse=True)
+
+
+# -- seeded-anomaly detection on synthetic traces ---------------------------
+
+
+def span_line(span_id, name="s", category="message", node="a", start=0.0,
+              end=0.0, link_id=None, parent_id=None, **attrs):
+    return json.dumps({
+        "type": "span", "span_id": span_id, "parent_id": parent_id,
+        "link_id": link_id, "name": name, "category": category,
+        "node": node, "start": start, "end": end, "duration": 0.0,
+        "open": False, "attrs": attrs,
+    })
+
+
+def test_detects_orphan_link():
+    ct = CausalTrace.from_jsonl(span_line(1, link_id=99))
+    kinds = {a.kind for a in ct.anomalies()}
+    assert "orphan-link" in kinds
+
+
+def test_detects_unlinked_recv_and_lost_packet():
+    text = "\n".join([
+        span_line(1, name="send:Ping", direction="send", msg_id=7,
+                  lamport=1, src="a", dst="b"),
+        span_line(2, name="recv:Pong", node="b", direction="recv",
+                  msg_id=8, lamport=2),
+    ])
+    kinds = {a.kind for a in CausalTrace.from_jsonl(text).anomalies()}
+    assert "lost-packet" in kinds      # msg 7 sent, never received
+    assert "unlinked-recv" in kinds    # recv span without a link
+
+
+def test_detects_clock_regression_per_node():
+    text = "\n".join([
+        span_line(1, name="send:A", direction="send", msg_id=1, lamport=5),
+        span_line(2, name="send:B", direction="send", msg_id=2, lamport=3),
+    ])
+    ct = CausalTrace.from_jsonl(text)
+    regressions = [a for a in ct.anomalies() if a.kind == "clock-regression"]
+    assert regressions
+
+
+def test_detects_clock_regression_across_edge():
+    text = "\n".join([
+        span_line(1, name="send:A", direction="send", msg_id=1, lamport=9),
+        span_line(2, name="recv:A", node="b", direction="recv", msg_id=1,
+                  lamport=4, link_id=1),
+    ])
+    ct = CausalTrace.from_jsonl(text)
+    regressions = [a for a in ct.anomalies() if a.kind == "clock-regression"]
+    assert regressions
+
+
+def test_from_jsonl_rejects_garbage():
+    with pytest.raises(CrewError):
+        CausalTrace.from_jsonl("not json at all")
+    with pytest.raises(CrewError):
+        CausalTrace.from_jsonl(json.dumps({"type": "mystery"}))
+
+
+def test_empty_trace_is_clean():
+    ct = CausalTrace.from_jsonl("")
+    assert ct.instances() == []
+    assert ct.anomalies() == []
+    assert ct.critical_path("nope") == []

@@ -110,3 +110,121 @@ def test_prometheus_histogram_is_cumulative_with_inf_bucket():
 
 def test_prometheus_empty_registry_is_empty_string():
     assert prometheus_text(MetricsRegistry()) == ""
+
+
+# -- edge cases: empty traces and open spans --------------------------------
+
+
+def test_exporters_handle_completely_empty_inputs():
+    assert trace_to_jsonl(Trace()) == ""
+    assert trace_to_jsonl(None, Tracer()) == ""
+    assert trace_to_jsonl(None, None) == ""
+    doc = chrome_trace(Tracer(), Trace())
+    assert [e["ph"] for e in doc["traceEvents"]] == ["M"]  # process meta only
+    json.loads(render_chrome_trace(None, None))
+
+
+def test_jsonl_marks_open_spans():
+    tracer = Tracer()
+    tracer.start("left-open", "workflow", "engine", 1.0)
+    row = json.loads(trace_to_jsonl(None, tracer))
+    assert row["open"] is True
+    assert row["end"] is None
+    assert row["duration"] == 0.0
+
+
+def test_chrome_trace_open_span_end_renders_open_spans():
+    tracer = Tracer()
+    tracer.start("left-open", "workflow", "engine", 1.0)
+    doc = chrome_trace(tracer, open_span_end=5.0)
+    (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert event["ts"] == 1.0 * US_PER_TIME_UNIT
+    assert event["dur"] == 4.0 * US_PER_TIME_UNIT
+    assert event["args"]["open"] is True
+
+
+def test_finish_attributes_close_time_to_open_spans():
+    """``Tracer.finish`` then export: closed at finish time, flagged."""
+    tracer = Tracer()
+    tracer.start("left-open", "step", "agent-1", 1.0)
+    assert tracer.finish(7.5) == 1
+    row = json.loads(trace_to_jsonl(None, tracer))
+    assert row["end"] == 7.5
+    assert row["open"] is False
+    assert row["attrs"]["auto_closed"] is True
+
+
+def test_jsonl_keeps_nested_structures():
+    trace = Trace()
+    trace.record(1.0, "n", "flight.snapshot",
+                 events=[{"msg_id": 1, "extra": object()}], reason="crash")
+    row = json.loads(trace_to_jsonl(trace))
+    events = row["detail"]["events"]
+    assert events[0]["msg_id"] == 1
+    assert isinstance(events[0]["extra"], str)
+
+
+# -- cross-node flow events and filters -------------------------------------
+
+
+def make_linked_tracer():
+    tracer = Tracer()
+    send = tracer.instant("send:Ping", "message", "a", 1.0,
+                          direction="send", msg_id=1, lamport=1)
+    tracer.instant("recv:Ping", "message", "b", 2.0, link=send,
+                   direction="recv", msg_id=1, lamport=2)
+    return tracer
+
+
+def test_chrome_trace_emits_flow_events_for_links():
+    tracer = make_linked_tracer()
+    doc = chrome_trace(tracer)
+    events = doc["traceEvents"]
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    assert len(starts) == 1 and len(finishes) == 1
+    (start,), (finish,) = starts, finishes
+    recv = next(e for e in events
+                if e["ph"] == "X" and e["name"] == "recv:Ping")
+    send = next(e for e in events
+                if e["ph"] == "X" and e["name"] == "send:Ping")
+    assert start["id"] == finish["id"] == recv["args"]["span_id"]
+    assert start["tid"] == send["tid"] and start["ts"] == send["ts"]
+    assert finish["tid"] == recv["tid"] and finish["ts"] == recv["ts"]
+    assert finish["bp"] == "e"
+    assert recv["args"]["link_id"] == send["args"]["span_id"]
+
+
+def test_chrome_trace_drops_flow_when_one_end_filtered_out():
+    tracer = make_linked_tracer()
+    doc = chrome_trace(tracer, nodes={"b"})
+    events = doc["traceEvents"]
+    assert [e["name"] for e in events if e["ph"] == "X"] == ["recv:Ping"]
+    assert not [e for e in events if e["ph"] in ("s", "f")]
+
+
+def test_jsonl_node_and_category_filters():
+    trace = Trace()
+    trace.record(0.5, "a", "workflow.start", instance="wf-1")
+    trace.record(0.6, "b", "step.done", instance="wf-1")
+    tracer = make_linked_tracer()
+    rows = [json.loads(line) for line in
+            trace_to_jsonl(trace, tracer, nodes={"a"}).splitlines()]
+    assert {r["node"] for r in rows} == {"a"}
+    rows = [json.loads(line) for line in
+            trace_to_jsonl(trace, tracer,
+                           categories={"message"}).splitlines()]
+    spans = [r for r in rows if r["type"] == "span"]
+    assert spans and all(r["category"] == "message" for r in spans)
+    # records have no category and are unaffected by the category filter
+    assert [r for r in rows if r["type"] == "record"]
+
+
+def test_jsonl_span_rows_carry_link_id():
+    tracer = make_linked_tracer()
+    rows = [json.loads(line)
+            for line in trace_to_jsonl(None, tracer).splitlines()]
+    send = next(r for r in rows if r["name"] == "send:Ping")
+    recv = next(r for r in rows if r["name"] == "recv:Ping")
+    assert send["link_id"] is None
+    assert recv["link_id"] == send["span_id"]

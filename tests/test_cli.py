@@ -162,3 +162,101 @@ def test_run_trace_out_implies_instrumentation(tmp_path, laws_file):
                  "--trace-out", str(out)]) == 0
     events = json.loads(out.read_text())["traceEvents"]
     assert any(e.get("cat") == "workflow" for e in events)
+
+
+def test_trace_node_and_category_filters(capsys):
+    import json
+
+    assert main(["trace", "figure3", "--format", "jsonl",
+                 "--architecture", "centralized",
+                 "--node", "engine", "--category", "message"]) == 0
+    rows = [json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()]
+    assert rows
+    assert all(r["node"] == "engine" for r in rows)
+    spans = [r for r in rows if r["type"] == "span"]
+    assert spans and all(r["category"] == "message" for r in spans)
+
+
+def test_trace_chrome_has_flow_events(capsys):
+    import json
+
+    assert main(["trace", "figure3", "--architecture", "distributed"]) == 0
+    events = json.loads(capsys.readouterr().out)["traceEvents"]
+    assert [e for e in events if e["ph"] == "s" and e["cat"] == "flow"]
+    assert [e for e in events if e["ph"] == "f" and e["cat"] == "flow"]
+
+
+def test_trace_follow_prints_causal_chain(capsys):
+    assert main(["trace", "figure3", "--architecture", "distributed",
+                 "--follow", "Figure3-1"]) == 0
+    out = capsys.readouterr().out
+    assert "causal chain for Figure3-1" in out
+    assert "<-link-" in out  # at least one cross-node hop
+
+
+def test_trace_follow_unknown_instance_errors(capsys):
+    assert main(["trace", "figure3", "--follow", "Nope-1"]) == 1
+    assert "no spans" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def jsonl_trace(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    assert main(["trace", "figure3", "--architecture", "distributed",
+                 "--seed", "7", "--format", "jsonl", "--out", str(path)]) == 0
+    capsys.readouterr()
+    return str(path)
+
+
+def test_analyze_reports_timeline_and_is_clean(capsys, jsonl_trace):
+    assert main(["analyze", jsonl_trace]) == 0
+    out = capsys.readouterr().out
+    assert "Figure3-1" in out
+    assert "critical path" in out
+    assert "phase" in out
+    assert "no causal anomalies" in out
+
+
+def test_analyze_check_invariants_passes_on_canonical_trace(capsys, jsonl_trace):
+    assert main(["analyze", jsonl_trace, "--check-invariants"]) == 0
+    assert "invariants OK" in capsys.readouterr().out
+
+
+def test_analyze_check_invariants_fails_on_violating_trace(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("\n".join([
+        json.dumps({"type": "record", "time": 1.0, "node": "e",
+                    "kind": "workflow.commit",
+                    "detail": {"instance": "w-1"}}),
+        json.dumps({"type": "record", "time": 2.0, "node": "e",
+                    "kind": "workflow.commit",
+                    "detail": {"instance": "w-1"}}),
+    ]) + "\n")
+    assert main(["analyze", str(bad), "--check-invariants"]) == 1
+    out = capsys.readouterr().out
+    assert "at-most-once-commit" in out
+    assert "workflow.commit" in out  # the offending record chain is printed
+
+
+def test_analyze_strict_fails_on_anomalies(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "orphan.jsonl"
+    bad.write_text(json.dumps({
+        "type": "span", "span_id": 1, "parent_id": None, "link_id": 99,
+        "name": "recv:X", "category": "message", "node": "a",
+        "start": 0.0, "end": 0.0, "duration": 0.0, "open": False,
+        "attrs": {"direction": "recv", "msg_id": 1, "lamport": 1},
+    }) + "\n")
+    assert main(["analyze", str(bad)]) == 0  # informational by default
+    capsys.readouterr()
+    assert main(["analyze", str(bad), "--strict"]) == 1
+    assert "orphan-link" in capsys.readouterr().out
+
+
+def test_analyze_missing_file_errors(capsys):
+    assert main(["analyze", "/nonexistent.jsonl"]) == 2
+    assert "error" in capsys.readouterr().err
