@@ -13,7 +13,7 @@ from repro.analysis.recommend import SCENARIOS, recommendation_matrix
 from repro.analysis.report import render_recommendation
 from repro.sim.metrics import Mechanism
 
-from harness import run_architecture
+from harness import BENCH_PARAMS, SweepTask, run_architectures
 
 
 def measured_ranking(results, criterion, scenario):
@@ -30,16 +30,21 @@ def measured_ranking(results, criterion, scenario):
 @pytest.mark.benchmark(group="table7")
 def test_table7_recommendation(benchmark):
     def run_all():
-        return {
-            "normal": {
-                arch: run_architecture(arch, coordination=False)
-                for arch in ("centralized", "parallel", "distributed")
-            },
-            "coordinated": {
-                arch: run_architecture(arch, coordination=True)
-                for arch in ("centralized", "parallel", "distributed")
-            },
-        }
+        # All six configs through the parallel sweep runner (per-config
+        # seeds; results merge back in canonical order, so the provenance
+        # log matches a serial run exactly).
+        grid = [(mode, arch)
+                for mode in ("normal", "coordinated")
+                for arch in ("centralized", "parallel", "distributed")]
+        results = run_architectures([
+            SweepTask(arch, BENCH_PARAMS, coordination=(mode == "coordinated"),
+                      label=f"{arch}/{mode}")
+            for mode, arch in grid
+        ])
+        merged = {"normal": {}, "coordinated": {}}
+        for (mode, arch), result in zip(grid, results):
+            merged[mode][arch] = result
+        return merged
 
     runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
 

@@ -1,0 +1,51 @@
+"""CI gate: fail when rule-engine throughput regresses >10% vs baseline.
+
+Usage::
+
+    python benchmarks/bench_rule_engine.py --json BENCH_rules.json
+    python benchmarks/check_rules_baseline.py BENCH_rules.json
+
+Compares the measured indexed/naive speedup against the committed
+``rules_baseline.json``.  The speedup ratio is used rather than absolute
+events/sec because it is machine-portable: both engines run on the same
+runner, so hardware differences cancel while a real regression in the
+indexed hot path (index maintenance, ready-heap discipline, pump loop)
+shows up directly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+BASELINE = pathlib.Path(__file__).with_name("rules_baseline.json")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: check_rules_baseline.py BENCH_rules.json",
+              file=sys.stderr)
+        return 2
+    measured = json.loads(pathlib.Path(argv[0]).read_text(encoding="utf-8"))
+    baseline = json.loads(BASELINE.read_text(encoding="utf-8"))
+    if measured["schema_rules"] != baseline["schema_rules"]:
+        print(f"error: schema size changed "
+              f"({measured['schema_rules']} vs baseline "
+              f"{baseline['schema_rules']}); recommit the baseline",
+              file=sys.stderr)
+        return 2
+    floor = baseline["speedup"] * (1.0 - baseline["tolerance"])
+    print(f"rule-engine speedup: measured {measured['speedup']:.1f}x, "
+          f"baseline {baseline['speedup']:.1f}x, floor {floor:.1f}x")
+    if measured["speedup"] < floor:
+        print(f"FAIL: rule-engine throughput regressed "
+              f">{baseline['tolerance']:.0%} below the committed baseline",
+              file=sys.stderr)
+        return 1
+    print("OK: within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

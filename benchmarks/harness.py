@@ -20,9 +20,10 @@ from repro.analysis.experiment import (
     build_control_system as build_system,
     run_architecture_experiment,
 )
+from repro.analysis.sweep import SweepTask, run_sweep
 
-__all__ = ["BENCH_PARAMS", "BenchResult", "RUN_LOG", "build_system",
-           "run_architecture"]
+__all__ = ["BENCH_PARAMS", "BenchResult", "RUN_LOG", "SweepTask",
+           "build_system", "run_architecture", "run_architectures"]
 
 #: Metadata of every experiment run in this process, in call order.
 RUN_LOG: list[dict[str, Any]] = []
@@ -33,3 +34,16 @@ def run_architecture(architecture: str, **kwargs) -> BenchResult:
     result = run_architecture_experiment(architecture, **kwargs)
     RUN_LOG.append(result.run_metadata())
     return result
+
+
+def run_architectures(tasks: list[SweepTask],
+                      workers: int | None = None) -> list[BenchResult]:
+    """Fan independent measurements out over a process pool.
+
+    Results and RUN_LOG rows land in canonical (submission) order, so a
+    parallel benchmark run produces the same provenance log as a serial
+    one — only the wall time differs.
+    """
+    sweep = run_sweep(tasks, workers=workers)
+    RUN_LOG.extend(sweep.run_log)
+    return sweep.results

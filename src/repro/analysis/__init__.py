@@ -44,6 +44,13 @@ from repro.analysis.report import (
     render_comparison,
     render_recommendation,
 )
+from repro.analysis.sweep import (
+    SweepResult,
+    SweepTask,
+    default_workers,
+    run_sweep,
+    sweep_tasks,
+)
 
 __all__ = [
     "ARCHITECTURES",
@@ -77,4 +84,9 @@ __all__ = [
     "render_architecture_table",
     "render_comparison",
     "render_recommendation",
+    "SweepResult",
+    "SweepTask",
+    "default_workers",
+    "run_sweep",
+    "sweep_tasks",
 ]

@@ -190,16 +190,20 @@ class EvaluationResults:
 
 
 def full_evaluation(params: WorkloadParameters = EVAL_PARAMS,
-                    seed: int = 7) -> EvaluationResults:
-    """Run Tables 4-6 (with and without coordination) plus the OCR ablation."""
+                    seed: int = 7, workers: int = 1) -> EvaluationResults:
+    """Run Tables 4-6 (with and without coordination) plus the OCR ablation.
+
+    ``workers > 1`` fans the six architecture×coordination configs out over
+    a process pool (see :mod:`repro.analysis.sweep`); every config carries
+    its own seed, so the results are identical at any worker count.
+    """
+    from repro.analysis.sweep import run_sweep, sweep_tasks
+
     results = EvaluationResults(params=params)
-    for architecture in ("centralized", "parallel", "distributed"):
-        results.normal[architecture] = run_architecture_experiment(
-            architecture, params, coordination=False, seed=seed
-        )
-        results.coordinated[architecture] = run_architecture_experiment(
-            architecture, params, coordination=True, seed=seed
-        )
+    sweep = run_sweep(sweep_tasks(params=params, seed=seed), workers=workers)
+    for task, result in zip(sweep.tasks, sweep.results):
+        bucket = results.coordinated if task.coordination else results.normal
+        bucket[task.architecture] = result
     results.ocr = ocr_ablation(seed=seed + 4)
     return results
 

@@ -1,0 +1,141 @@
+"""Parallel experiment sweep runner.
+
+The full evaluation (Tables 4–7) is a bag of independent simulation
+configs: each ``(architecture, parameter point, coordination flag, seed)``
+task builds its own control system, drives its own workload and reports
+its own :class:`~repro.analysis.experiment.ArchitectureResult`.  Nothing
+couples two tasks at runtime — determinism is *per task* because every
+task carries its own seed — so the sweep fans out over a
+``concurrent.futures.ProcessPoolExecutor`` and merges results back in
+**canonical order** (the order the tasks were submitted), which keeps the
+merged result list, the run-metadata log and any report rendered from
+them byte-identical whether the sweep ran on 1 worker or 40.
+
+``workers <= 1`` (or a single task) short-circuits to a plain in-process
+loop: no executor, no pickling, bit-for-bit the behaviour of calling
+:func:`run_architecture_experiment` yourself — which is also the fallback
+when the platform cannot spawn processes (restricted sandboxes).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.experiment import ArchitectureResult, run_architecture_experiment
+from repro.workloads.params import WorkloadParameters
+
+__all__ = ["SweepResult", "SweepTask", "default_workers", "run_sweep", "sweep_tasks"]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent experiment config in a sweep.
+
+    ``label`` is free-form provenance (e.g. ``"centralized/coordinated"``)
+    carried through to the merged run log; it does not affect execution.
+    """
+
+    architecture: str
+    params: WorkloadParameters
+    coordination: bool = False
+    instances_per_schema: int | None = None
+    seed: int = 7
+    label: str = ""
+
+    def run(self) -> ArchitectureResult:
+        return run_architecture_experiment(
+            self.architecture,
+            self.params,
+            coordination=self.coordination,
+            instances_per_schema=self.instances_per_schema,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class SweepResult:
+    """Results and provenance of one sweep, in canonical task order."""
+
+    tasks: list[SweepTask] = field(default_factory=list)
+    results: list[ArchitectureResult] = field(default_factory=list)
+    workers: int = 1
+
+    @property
+    def run_log(self) -> list[dict[str, Any]]:
+        """Per-task run metadata (the benchmark harness's ``RUN_LOG`` rows),
+        stamped with each task's label, in canonical order."""
+        rows = []
+        for task, result in zip(self.tasks, self.results):
+            row = result.run_metadata()
+            if task.label:
+                row["label"] = task.label
+            rows.append(row)
+        return rows
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not choose: one per core."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _run_task(task: SweepTask) -> ArchitectureResult:
+    """Module-level worker entry point (must be picklable)."""
+    return task.run()
+
+
+def run_sweep(
+    tasks: Iterable[SweepTask], workers: int | None = None
+) -> SweepResult:
+    """Run every task and return results in canonical (submission) order.
+
+    ``workers`` defaults to :func:`default_workers`; ``workers <= 1`` runs
+    serially in-process.  Each task is deterministic given its own seed,
+    so worker count and scheduling order never change any result — only
+    the wall time.
+    """
+    task_list = list(tasks)
+    count = default_workers() if workers is None else max(1, int(workers))
+    count = min(count, len(task_list)) or 1
+    if count <= 1 or len(task_list) <= 1:
+        results = [task.run() for task in task_list]
+        return SweepResult(tasks=task_list, results=results, workers=1)
+    try:
+        with ProcessPoolExecutor(max_workers=count) as pool:
+            # Executor.map preserves submission order, so the merge is the
+            # identity: results land in canonical config order regardless
+            # of which worker finished first.
+            results = list(pool.map(_run_task, task_list))
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed hosts
+        results = [task.run() for task in task_list]
+        return SweepResult(tasks=task_list, results=results, workers=1)
+    return SweepResult(tasks=task_list, results=results, workers=count)
+
+
+def sweep_tasks(
+    architectures: Sequence[str] = ("centralized", "parallel", "distributed"),
+    params: WorkloadParameters | None = None,
+    coordination_modes: Sequence[bool] = (False, True),
+    seed: int = 7,
+    instances_per_schema: int | None = None,
+) -> list[SweepTask]:
+    """The canonical Table 4–6 task grid: architecture-major, then
+    normal-before-coordinated — the exact order ``full_evaluation`` has
+    always used, so merged reports stay byte-identical to serial runs."""
+    from repro.analysis.experiment import EVAL_PARAMS
+
+    point = params if params is not None else EVAL_PARAMS
+    return [
+        SweepTask(
+            architecture=architecture,
+            params=point,
+            coordination=coordination,
+            instances_per_schema=instances_per_schema,
+            seed=seed,
+            label=f"{architecture}/{'coordinated' if coordination else 'normal'}",
+        )
+        for architecture in architectures
+        for coordination in coordination_modes
+    ]

@@ -19,6 +19,10 @@ Commands
 ``evaluate``
     Regenerate the paper's full evaluation (Tables 4-7 + the OCR ablation)
     as a markdown report.
+``sweep``
+    The same evaluation fanned out over a process pool
+    (``--workers N``; per-config seeds keep every result identical to the
+    serial run), printing per-config wall times and the merged report.
 ``trace``
     Run a scenario and export its span trace (Chrome trace-event JSON,
     loadable in Perfetto / chrome://tracing, or JSONL), with ``--node`` /
@@ -38,7 +42,13 @@ import argparse
 import sys
 
 from repro.analysis.causal import CausalTrace
-from repro.analysis.experiment import full_evaluation, render_evaluation
+from repro.analysis.experiment import (
+    EvaluationResults,
+    full_evaluation,
+    ocr_ablation,
+    render_evaluation,
+)
+from repro.analysis.sweep import default_workers, run_sweep, sweep_tasks
 from repro.analysis.invariants import INVARIANTS, check_invariants
 from repro.analysis.model import architecture_model
 from repro.analysis.recommend import recommendation_matrix
@@ -235,7 +245,7 @@ def cmd_run(args) -> int:
 
 
 def cmd_evaluate(args) -> int:
-    results = full_evaluation(seed=args.seed)
+    results = full_evaluation(seed=args.seed, workers=args.workers)
     report = render_evaluation(results)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -243,6 +253,41 @@ def cmd_evaluate(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(report)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    import time as _time
+
+    tasks = sweep_tasks(seed=args.seed)
+    workers = args.workers if args.workers is not None else default_workers()
+    started = _time.perf_counter()
+    sweep = run_sweep(tasks, workers=workers)
+    wall = _time.perf_counter() - started
+    print(f"# sweep: {len(tasks)} configs on {sweep.workers} worker(s), "
+          f"{wall:.2f}s wall")
+    print()
+    print(format_table(
+        ["config", "committed", "aborted", "messages", "task wall s"],
+        [[row.get("label", "-"), row["committed"], row["aborted"],
+          row["messages"], f"{row['wall_time_s']:.3f}"]
+         for row in sweep.run_log],
+    ))
+    if args.report:
+        results = EvaluationResults(params=tasks[0].params)
+        for task, result in zip(sweep.tasks, sweep.results):
+            bucket = (results.coordinated if task.coordination
+                      else results.normal)
+            bucket[task.architecture] = result
+        results.ocr = ocr_ablation(seed=args.seed + 4)
+        report = render_evaluation(results)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+            print(f"\nwrote {args.output}")
+        else:
+            print()
+            print(report)
     return 0
 
 
@@ -396,9 +441,25 @@ def build_parser() -> argparse.ArgumentParser:
         "evaluate", help="regenerate the full evaluation as a markdown report"
     )
     evaluate.add_argument("--seed", type=int, default=7)
+    evaluate.add_argument("--workers", type=int, default=1,
+                          help="process-pool size for the Table 4-6 configs "
+                               "(default: serial)")
     evaluate.add_argument("--output", default=None,
                           help="write the report to this file")
     evaluate.set_defaults(fn=cmd_evaluate)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="fan the evaluation configs out over a process pool",
+    )
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (default: one per core)")
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument("--report", action="store_true",
+                       help="also render the merged Tables 4-7 report")
+    sweep.add_argument("--output", default=None,
+                       help="write the report to this file (with --report)")
+    sweep.set_defaults(fn=cmd_sweep)
 
     def scenario_args(p, trace_outs: bool = True) -> None:
         p.add_argument("name", choices=tuple(SCENARIOS))

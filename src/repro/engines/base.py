@@ -547,7 +547,7 @@ class ControlSystem:
 
         def hook(rule: Any, engine: Any) -> None:
             fired.inc()
-            depth.observe(len(engine.pending_rules()))
+            depth.observe(engine.pending_count())
             self.tracer.instant(
                 f"rule:{rule.rule_id}", "rule", node, self.simulator.now,
                 parent=self.workflow_span(instance_id),

@@ -21,10 +21,21 @@ discarded to ensure that incorrect rules will not be fired".
 The engine is deliberately architecture-neutral: a central engine keeps
 one per instance; a distributed agent keeps one per instance *fragment* it
 participates in, fed by workflow packets.
+
+Firing is **incremental** (a discrimination-network approach): a reverse
+index ``event token → rule ids`` is built at construction, each rule
+caches an *unmet-event counter*, and validity transitions in the event
+table (delivered through :meth:`EventTable.subscribe`) decrement/increment
+those counters.  A rule whose counter reaches zero enters a rule-id-keyed
+ready-heap; :meth:`_pump` pops only those candidates instead of rescanning
+the whole rule table.  The firing order is bit-identical to the original
+scan-based loop (kept as :class:`repro.rules.reference.NaiveRuleEngine`):
+see ``_pump`` for the pass/cursor discipline that preserves it.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
@@ -45,6 +56,11 @@ class RuleInstance:
     ``kind`` is ``"execute"``, ``"loop"`` or any engine-defined action verb
     for dynamically added rules (e.g. ``"notify"`` used by coordinated
     execution).  ``payload`` carries action-specific data for dynamic rules.
+
+    ``required`` and ``fired`` must only be mutated through the owning
+    :class:`RuleEngine` (``add_precondition``, invalidation/reset paths) —
+    the engine keeps an unmet-event counter per rule that would go stale
+    otherwise.
     """
 
     rule_id: str
@@ -107,6 +123,15 @@ class RuleEngine:
         self._rules: dict[str, RuleInstance] = {}
         self._pumping = False
         self._dirty = False
+        # Reverse index and incremental firing state.
+        self._index: dict[str, set[str]] = {}
+        self._unmet: dict[str, int] = {}
+        self._ready: list[str] = []       # heap of candidate rule ids
+        self._queued: set[str] = set()    # ids currently in heap/deferred
+        self._pending_ids: set[str] = set()
+        self._added_mid_pass: list[str] = []
+        self._new_this_pass: set[str] = set()
+        self.events.subscribe(self._on_event_transition)
         hosted = set(steps) if steps is not None else None
         for template in compiled.rule_templates:
             if hosted is not None and template.step not in hosted:
@@ -115,6 +140,79 @@ class RuleEngine:
                 template, compiled.condition_for(template.rule_id)
             )
             self._rules[instance.rule_id] = instance
+            self._index_rule(instance)
+
+    # -- index maintenance -----------------------------------------------------
+
+    def _index_rule(self, rule: RuleInstance) -> None:
+        """Index a newly installed rule and seed its unmet counter."""
+        rule_id = rule.rule_id
+        for token in rule.required:
+            self._index.setdefault(token, set()).add(rule_id)
+        self._unmet[rule_id] = sum(
+            1 for token in rule.required if token not in self.events
+        )
+        if self._pumping:
+            # Mirrors the scan engine's per-pass snapshot: a rule added from
+            # inside a rule action only becomes fireable on the *next* pass,
+            # even if its events complete later in the current one.
+            self._new_this_pass.add(rule_id)
+        self._refresh_pending(rule)
+        if self._unmet[rule_id] == 0 and not rule.fired:
+            self._enqueue(rule_id)
+
+    def _unindex_rule(self, rule: RuleInstance) -> None:
+        rule_id = rule.rule_id
+        for token in rule.required:
+            ids = self._index.get(token)
+            if ids is not None:
+                ids.discard(rule_id)
+                if not ids:
+                    del self._index[token]
+        self._unmet.pop(rule_id, None)
+        self._pending_ids.discard(rule_id)
+        # A stale heap entry (if any) is discarded lazily on pop.
+
+    def _enqueue(self, rule_id: str) -> None:
+        if rule_id in self._queued:
+            return
+        self._queued.add(rule_id)
+        if self._pumping and rule_id in self._new_this_pass:
+            self._added_mid_pass.append(rule_id)
+        else:
+            heapq.heappush(self._ready, rule_id)
+
+    def _refresh_pending(self, rule: RuleInstance) -> None:
+        """The paper's pending-rule table: unfired, ≥1 required event valid."""
+        if (
+            not rule.fired
+            and rule.required
+            and self._unmet[rule.rule_id] < len(rule.required)
+        ):
+            self._pending_ids.add(rule.rule_id)
+        else:
+            self._pending_ids.discard(rule.rule_id)
+
+    def _on_event_transition(self, token: str, valid: bool) -> None:
+        """EventTable delta: adjust unmet counters of rules needing ``token``."""
+        ids = self._index.get(token)
+        if not ids:
+            return
+        delta = -1 if valid else 1
+        for rule_id in ids:
+            unmet = self._unmet[rule_id] + delta
+            self._unmet[rule_id] = unmet
+            rule = self._rules[rule_id]
+            self._refresh_pending(rule)
+            if unmet == 0 and not rule.fired:
+                self._enqueue(rule_id)
+
+    def _rearm(self, rule: RuleInstance) -> None:
+        """Reset a rule's fired flag and requeue it if already satisfied."""
+        rule.fired = False
+        self._refresh_pending(rule)
+        if self._unmet[rule.rule_id] == 0:
+            self._enqueue(rule.rule_id)
 
     # -- introspection ---------------------------------------------------------
 
@@ -134,12 +232,14 @@ class RuleEngine:
 
     def pending_rules(self) -> tuple[RuleInstance, ...]:
         """Unfired rules with at least one required event already valid —
-        the paper's pending-rule table."""
+        the paper's pending-rule table.  O(pending), not O(rules)."""
         return tuple(
-            r
-            for r in self._rules.values()
-            if not r.fired and any(token in self.events for token in r.required)
+            self._rules[rule_id] for rule_id in sorted(self._pending_ids)
         )
+
+    def pending_count(self) -> int:
+        """Depth of the pending-rule table, O(1) (observability sampling)."""
+        return len(self._pending_ids)
 
     # -- the three implementation-level primitives --------------------------------
 
@@ -148,6 +248,7 @@ class RuleEngine:
         if rule.rule_id in self._rules:
             raise RuleError(f"duplicate rule id {rule.rule_id!r}")
         self._rules[rule.rule_id] = rule
+        self._index_rule(rule)
         self._pump()
 
     def add_event(self, token: str, time: float) -> None:
@@ -166,7 +267,17 @@ class RuleEngine:
             raise RuleError(
                 f"cannot add precondition {token!r} to already-fired rule {rule_id!r}"
             )
+        self._add_precondition(rule, token)
+
+    def _add_precondition(self, rule: RuleInstance, token: str) -> None:
+        if token in rule.required:
+            return
         rule.required = rule.required | {token}
+        self._index.setdefault(token, set()).add(rule.rule_id)
+        if token not in self.events:
+            self._unmet[rule.rule_id] += 1
+        self._refresh_pending(rule)
+        # A now-unsatisfied heap entry is discarded lazily on pop.
 
     def add_step_precondition(self, step: str, token: str) -> int:
         """Add a precondition to every unfired execute-rule of ``step``.
@@ -177,7 +288,7 @@ class RuleEngine:
         affected = 0
         for rule in self.rules_for_step(step):
             if not rule.fired:
-                rule.required = rule.required | {token}
+                self._add_precondition(rule, token)
                 affected += 1
         return affected
 
@@ -220,7 +331,7 @@ class RuleEngine:
         }
         for rule in self._rules.values():
             if rule.fired and (rule.required & hit_set or rule.step in reset_steps):
-                rule.fired = False
+                self._rearm(rule)
 
     def apply_invalidations(self, invalidations: Mapping[str, int]) -> list[str]:
         """Apply message-carried invalidations (token -> invalidation round).
@@ -242,10 +353,12 @@ class RuleEngine:
         step_set = set(steps)
         for rule in self._rules.values():
             if rule.step in step_set:
-                rule.fired = False
+                self._rearm(rule)
 
     def remove_rule(self, rule_id: str) -> None:
-        self._rules.pop(rule_id, None)
+        rule = self._rules.pop(rule_id, None)
+        if rule is not None:
+            self._unindex_rule(rule)
 
     def reevaluate(self) -> None:
         """Re-run the firing loop (after invalidation/reset operations)."""
@@ -254,37 +367,76 @@ class RuleEngine:
     # -- firing ------------------------------------------------------------------------
 
     def _pump(self) -> None:
-        """Fire rules to fix-point.  Re-entrant calls just mark dirtiness."""
+        """Fire ready rules to fix-point.  Re-entrant calls mark dirtiness.
+
+        Pops candidates off the rule-id-keyed ready-heap instead of
+        rescanning the rule table, while reproducing the scan engine's
+        observable order exactly:
+
+        * within a pass, rules fire in ascending rule-id order (``cursor``
+          tracks the last-fired id; a candidate at or behind it — e.g. one
+          re-armed by an invalidation inside an action — waits for the
+          next pass, just as the sorted scan would only revisit it on its
+          next sweep);
+        * a candidate whose condition is false is deferred to the next
+          pass and re-checked for as long as passes continue (the scan
+          re-evaluated it every sweep);
+        * a new pass starts whenever this one fired anything or a
+          re-entrant entry-point call flagged ``_dirty``.
+        """
         if self._pumping:
             self._dirty = True
             return
         self._pumping = True
-        iterations = 0
+        passes = 0
         try:
-            progress = True
-            while progress:
-                iterations += 1
-                if iterations > 10_000:
+            while True:
+                passes += 1
+                if passes > 10_000:
                     raise RuleError(
                         "rule engine failed to reach a fix-point after 10000 "
                         "iterations — a rule action is re-arming its own rule"
                     )
                 self._dirty = False
-                progress = False
-                for rule in sorted(self._rules.values(), key=lambda r: r.rule_id):
-                    if rule.fired or not rule.ready(self.events):
+                fired_any = False
+                cursor: str | None = None
+                deferred: list[str] = []
+                while self._ready:
+                    rule_id = heapq.heappop(self._ready)
+                    rule = self._rules.get(rule_id)
+                    if (
+                        rule is None
+                        or rule.fired
+                        or self._unmet.get(rule_id, 1) > 0
+                    ):
+                        self._queued.discard(rule_id)  # stale entry
+                        continue
+                    if cursor is not None and rule_id <= cursor:
+                        deferred.append(rule_id)
                         continue
                     if not self._condition_holds(rule):
+                        deferred.append(rule_id)
                         continue
+                    self._queued.discard(rule_id)
                     rule.fired = True
+                    self._pending_ids.discard(rule_id)
+                    cursor = rule_id
+                    fired_any = True
                     if self._fire_hook is not None:
                         self._fire_hook(rule, self)
                     self._action(rule)
-                    progress = True
                     if rule.one_shot:
-                        self._rules.pop(rule.rule_id, None)
-                if self._dirty:
-                    progress = True
+                        self._rules.pop(rule_id, None)
+                        self._unindex_rule(rule)
+                for rule_id in deferred:
+                    heapq.heappush(self._ready, rule_id)
+                if self._added_mid_pass:
+                    for rule_id in self._added_mid_pass:
+                        heapq.heappush(self._ready, rule_id)
+                    self._added_mid_pass.clear()
+                self._new_this_pass.clear()
+                if not (fired_any or self._dirty):
+                    break
         finally:
             self._pumping = False
 

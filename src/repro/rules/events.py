@@ -109,16 +109,35 @@ class EventTable:
     def __init__(self) -> None:
         self._events: dict[str, EventOccurrence] = {}
         self._seq = 0
+        self._listeners: list = []
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener(token, valid)`` for validity transitions.
+
+        The listener fires exactly when a token flips between valid and
+        invalid (never on a re-post of an already-valid token), so
+        subscribers can maintain incremental state — the rule engine's
+        token→rule index counts on the transitions strictly alternating.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, token: str, valid: bool) -> None:
+        for listener in self._listeners:
+            listener(token, valid)
 
     def post(self, token: str, time: float, round: int = 0) -> EventOccurrence:
         """Record (or re-record, revalidating) an event occurrence."""
         if "." not in token:
             raise RuleError(f"malformed event token {token!r}")
         self._seq += 1
+        existing = self._events.get(token)
+        newly_valid = existing is None or not existing.valid
         occurrence = EventOccurrence(
             token=token, time=time, seq=self._seq, valid=True, round=round
         )
         self._events[token] = occurrence
+        if newly_valid and self._listeners:
+            self._notify(token, True)
         return occurrence
 
     def invalidate(self, tokens: Iterable[str]) -> list[str]:
@@ -129,6 +148,8 @@ class EventTable:
             if occurrence is not None and occurrence.valid:
                 occurrence.valid = False
                 hit.append(token)
+                if self._listeners:
+                    self._notify(token, False)
         return hit
 
     def invalidate_before_round(self, token: str, round: int) -> bool:
@@ -138,6 +159,8 @@ class EventTable:
         occurrence = self._events.get(token)
         if occurrence is not None and occurrence.valid and occurrence.round < round:
             occurrence.valid = False
+            if self._listeners:
+                self._notify(token, False)
             return True
         return False
 
@@ -186,6 +209,8 @@ class EventTable:
                 )
                 if newly_valid:
                     added.append(token)
+                    if self._listeners:
+                        self._notify(token, True)
         return added
 
     def export(self) -> dict[str, float]:

@@ -1,0 +1,214 @@
+"""Naive reference rule engine — the pre-index firing loop, retained.
+
+:class:`NaiveRuleEngine` is the original scan-based implementation of the
+per-instance ECA engine: every ``_pump`` pass re-sorts the whole rule
+table and re-checks ``all(token in events ...)`` for every rule.  It is
+O(R log R) per posted event and O(R²) per instance, which is why
+:class:`repro.rules.engine.RuleEngine` replaced it with a token→rule
+index and a ready-queue.
+
+It is kept (not deleted) for two jobs:
+
+* the **equivalence oracle** — property tests drive random schemas and
+  random event/invalidation orders through both engines and assert the
+  fired-rule sequences are identical (``tests/rules/test_engine_equivalence``);
+* the **benchmark baseline** — ``benchmarks/bench_rule_engine.py``
+  measures the indexed engine's event-posting throughput against this
+  one on the same schema.
+
+The public surface mirrors :class:`~repro.rules.engine.RuleEngine`
+exactly (the three primitives, invalidation, ``pending_rules`` …), so
+either class satisfies the same call sites.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
+
+from repro.errors import ConditionError, RuleError
+from repro.rules.engine import RuleInstance
+from repro.rules.events import EventTable
+
+if TYPE_CHECKING:  # pragma: no cover - break model<->rules import cycle
+    from repro.model.compiler import CompiledSchema
+
+__all__ = ["NaiveRuleEngine"]
+
+
+class NaiveRuleEngine:
+    """Scan-based ECA engine: correct, simple, and quadratic."""
+
+    def __init__(
+        self,
+        compiled: "CompiledSchema",
+        action: Callable[[RuleInstance], None],
+        env_provider: Callable[[], Mapping[str, Any]],
+        steps: Iterable[str] | None = None,
+        fire_hook: Callable[[RuleInstance, Any], None] | None = None,
+    ):
+        self.compiled = compiled
+        self.events = EventTable()
+        self._action = action
+        self._env_provider = env_provider
+        self._fire_hook = fire_hook
+        self._rules: dict[str, RuleInstance] = {}
+        self._pumping = False
+        self._dirty = False
+        hosted = set(steps) if steps is not None else None
+        for template in compiled.rule_templates:
+            if hosted is not None and template.step not in hosted:
+                continue
+            instance = RuleInstance.from_template(
+                template, compiled.condition_for(template.rule_id)
+            )
+            self._rules[instance.rule_id] = instance
+
+    # -- introspection ---------------------------------------------------------
+
+    def rule(self, rule_id: str) -> RuleInstance:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise RuleError(f"unknown rule {rule_id!r}") from None
+
+    def rules_for_step(self, step: str) -> tuple[RuleInstance, ...]:
+        return tuple(
+            r for r in self._rules.values() if r.step == step and r.kind == "execute"
+        )
+
+    def all_rules(self) -> tuple[RuleInstance, ...]:
+        return tuple(self._rules.values())
+
+    def pending_rules(self) -> tuple[RuleInstance, ...]:
+        return tuple(
+            r
+            for r in self._rules.values()
+            if not r.fired and any(token in self.events for token in r.required)
+        )
+
+    def pending_count(self) -> int:
+        return len(self.pending_rules())
+
+    # -- the three implementation-level primitives --------------------------------
+
+    def add_rule(self, rule: RuleInstance) -> None:
+        if rule.rule_id in self._rules:
+            raise RuleError(f"duplicate rule id {rule.rule_id!r}")
+        self._rules[rule.rule_id] = rule
+        self._pump()
+
+    def add_event(self, token: str, time: float) -> None:
+        self.events.post(token, time)
+        self._pump()
+
+    def add_precondition(self, rule_id: str, token: str) -> None:
+        rule = self.rule(rule_id)
+        if rule.fired:
+            raise RuleError(
+                f"cannot add precondition {token!r} to already-fired rule {rule_id!r}"
+            )
+        rule.required = rule.required | {token}
+
+    def add_step_precondition(self, step: str, token: str) -> int:
+        affected = 0
+        for rule in self.rules_for_step(step):
+            if not rule.fired:
+                rule.required = rule.required | {token}
+                affected += 1
+        return affected
+
+    # -- event intake ---------------------------------------------------------------
+
+    def post_event(self, token: str, time: float, round: int = 0) -> None:
+        self.events.post(token, time, round)
+        self._pump()
+
+    def merge_events(self, tokens: Mapping[str, object], time: float) -> list[str]:
+        added = self.events.merge(tokens, time)
+        if added:
+            self._pump()
+        return added
+
+    def invalidate_events(self, tokens: Iterable[str]) -> list[str]:
+        hit = self.events.invalidate(tokens)
+        self._reset_after_invalidation(hit)
+        return hit
+
+    def _reset_after_invalidation(self, hit: list[str]) -> None:
+        if not hit:
+            return
+        hit_set = set(hit)
+        reset_steps = {
+            token[:-2]
+            for token in hit_set
+            if token.endswith((".D", ".F")) and not token.startswith("EXT.")
+        }
+        for rule in self._rules.values():
+            if rule.fired and (rule.required & hit_set or rule.step in reset_steps):
+                rule.fired = False
+
+    def apply_invalidations(self, invalidations: Mapping[str, int]) -> list[str]:
+        hit = []
+        for token, round in invalidations.items():
+            if self.events.invalidate_before_round(token, int(round)):
+                hit.append(token)
+        self._reset_after_invalidation(hit)
+        return hit
+
+    def reset_rules_for_steps(self, steps: Iterable[str]) -> None:
+        step_set = set(steps)
+        for rule in self._rules.values():
+            if rule.step in step_set:
+                rule.fired = False
+
+    def remove_rule(self, rule_id: str) -> None:
+        self._rules.pop(rule_id, None)
+
+    def reevaluate(self) -> None:
+        self._pump()
+
+    # -- firing ------------------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Fire rules to fix-point by rescanning the sorted rule table."""
+        if self._pumping:
+            self._dirty = True
+            return
+        self._pumping = True
+        iterations = 0
+        try:
+            progress = True
+            while progress:
+                iterations += 1
+                if iterations > 10_000:
+                    raise RuleError(
+                        "rule engine failed to reach a fix-point after 10000 "
+                        "iterations — a rule action is re-arming its own rule"
+                    )
+                self._dirty = False
+                progress = False
+                for rule in sorted(self._rules.values(), key=lambda r: r.rule_id):
+                    if rule.fired or not rule.ready(self.events):
+                        continue
+                    if not self._condition_holds(rule):
+                        continue
+                    rule.fired = True
+                    if self._fire_hook is not None:
+                        self._fire_hook(rule, self)
+                    self._action(rule)
+                    progress = True
+                    if rule.one_shot:
+                        self._rules.pop(rule.rule_id, None)
+                if self._dirty:
+                    progress = True
+        finally:
+            self._pumping = False
+
+    def _condition_holds(self, rule: RuleInstance) -> bool:
+        if rule.condition is None:
+            return True
+        env = self._env_provider()
+        try:
+            return rule.condition.evaluate(env)
+        except ConditionError:
+            return False

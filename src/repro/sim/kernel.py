@@ -36,17 +36,27 @@ class _QueueEntry:
 class EventHandle:
     """A cancellable reference to a scheduled simulation event."""
 
-    __slots__ = ("action", "args", "cancelled", "time")
+    __slots__ = ("_sim", "action", "args", "cancelled", "time")
 
-    def __init__(self, time: float, action: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, action: Callable[..., Any], args: tuple,
+                 sim: "Simulator | None" = None):
         self.time = time
         self.action = action
         self.args = args
         self.cancelled = False
+        # Back-reference used for O(1) live-event accounting; detached when
+        # the entry leaves the queue so late cancels stay pure no-ops.
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._on_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -71,11 +81,18 @@ class Simulator:
         assert fired == ["b", "a"]
     """
 
+    #: Compaction policy: rebuild the heap once more than half of at least
+    #: this many queued entries are cancelled garbage.  Long OCR-heavy runs
+    #: cancel watchdogs and timeouts by the thousand; without compaction
+    #: every subsequent pop wades through them.
+    COMPACT_MIN = 64
+
     def __init__(self) -> None:
         self._queue: list[_QueueEntry] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
+        self._cancelled = 0  # cancelled entries still sitting in the queue
         self.events_processed = 0
         #: Optional observability hook called as ``hook(time, queue_len)``
         #: before each event fires.  Left ``None`` in benchmark runs so
@@ -99,9 +116,33 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        handle = EventHandle(time, action, args)
+        handle = EventHandle(time, action, args, self)
         heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), handle))
         return handle
+
+    # -- heap hygiene ------------------------------------------------------
+
+    def _on_cancel(self) -> None:
+        """Account one newly cancelled queued entry; compact when garbage
+        dominates the heap."""
+        self._cancelled += 1
+        if (self._cancelled >= self.COMPACT_MIN
+                and self._cancelled * 2 > len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and rebuild the heap in O(live)."""
+        self._queue = [e for e in self._queue if not e.handle.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+
+    def _prune_cancelled_head(self) -> None:
+        """The single lazy-deletion point: discard cancelled entries at the
+        head of the queue (with accounting) so ``self._queue[0]``, if any,
+        is live."""
+        while self._queue and self._queue[0].handle.cancelled:
+            heapq.heappop(self._queue)
+            self._cancelled -= 1
 
     def step(self) -> bool:
         """Fire the single next pending event.
@@ -109,18 +150,18 @@ class Simulator:
         Returns ``True`` if an event fired, ``False`` if the queue is empty.
         Cancelled events are skipped silently.
         """
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            handle = entry.handle
-            if handle.cancelled:
-                continue
-            self._now = entry.time
-            self.events_processed += 1
-            if self.event_hook is not None:
-                self.event_hook(entry.time, len(self._queue))
-            handle.action(*handle.args)
-            return True
-        return False
+        self._prune_cancelled_head()
+        if not self._queue:
+            return False
+        entry = heapq.heappop(self._queue)
+        handle = entry.handle
+        handle._sim = None  # detached: a late cancel no longer counts
+        self._now = entry.time
+        self.events_processed += 1
+        if self.event_hook is not None:
+            self.event_hook(entry.time, len(self._queue))
+        handle.action(*handle.args)
+        return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
@@ -148,16 +189,15 @@ class Simulator:
 
     def _peek_time(self) -> float:
         """Time of the next non-cancelled event (infinity if none)."""
-        while self._queue and self._queue[0].handle.cancelled:
-            heapq.heappop(self._queue)
+        self._prune_cancelled_head()
         if not self._queue:
             return float("inf")
         return self._queue[0].time
 
     @property
     def pending(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.handle.cancelled)
+        """Number of non-cancelled events still queued.  O(1)."""
+        return len(self._queue) - self._cancelled
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator now={self._now:.3f} pending={self.pending}>"

@@ -1,0 +1,97 @@
+"""Parallel sweep runner: canonical-order merge and worker-count determinism.
+
+The acceptance bar for the sweep runner: fixed-seed per-category message
+counts for all six architecture×failure configs are **byte-identical**
+whether the sweep runs serially (``workers=1``) or fanned out over a
+process pool (``workers=4``) — determinism is per task because every task
+carries its own seed, so scheduling order must never leak into results.
+"""
+
+import json
+
+from repro.analysis.experiment import run_architecture_experiment
+from repro.analysis.sweep import SweepTask, run_sweep, sweep_tasks
+from repro.workloads.params import PAPER_DEFAULTS
+
+ARCHITECTURES = ("centralized", "parallel", "distributed")
+
+# Small-but-real parameter points: with and without forced step failures.
+FAILURE_POINTS = {
+    "with-failure": PAPER_DEFAULTS.evolve(c=2, i=4, pf=0.2),
+    "failure-free": PAPER_DEFAULTS.evolve(c=2, i=4, pf=0.0),
+}
+
+
+def six_config_tasks(seed=11):
+    """The six arch×failure configs as sweep tasks, canonical order."""
+    return [
+        SweepTask(architecture, params, seed=seed,
+                  label=f"{architecture}/{mode}")
+        for architecture in ARCHITECTURES
+        for mode, params in sorted(FAILURE_POINTS.items())
+    ]
+
+
+def category_counts(result):
+    """Per-category (mechanism) message counts, JSON-canonicalized."""
+    return json.dumps(
+        {str(mechanism): count
+         for mechanism, count in sorted(result.measured.messages.items(),
+                                        key=lambda kv: str(kv[0]))},
+        sort_keys=True,
+    ).encode()
+
+
+def test_workers_1_and_4_byte_identical_message_counts():
+    tasks = six_config_tasks()
+    serial = run_sweep(tasks, workers=1)
+    pooled = run_sweep(tasks, workers=4)
+    assert [t.label for t in serial.tasks] == [t.label for t in pooled.tasks]
+    for task, a, b in zip(tasks, serial.results, pooled.results):
+        assert category_counts(a) == category_counts(b), task.label
+        assert a.committed == b.committed and a.aborted == b.aborted
+        assert a.messages == b.messages
+
+
+def test_sweep_matches_direct_serial_calls():
+    tasks = six_config_tasks()
+    sweep = run_sweep(tasks, workers=4)
+    for task, pooled in zip(tasks, sweep.results):
+        direct = run_architecture_experiment(
+            task.architecture, task.params, coordination=task.coordination,
+            seed=task.seed,
+        )
+        assert category_counts(direct) == category_counts(pooled), task.label
+
+
+def test_results_merge_in_canonical_order():
+    tasks = six_config_tasks()
+    sweep = run_sweep(tasks, workers=2)
+    assert [r.architecture for r in sweep.results] == [
+        t.architecture for t in tasks
+    ]
+    labels = [row["label"] for row in sweep.run_log]
+    assert labels == [t.label for t in tasks]
+    for row, task in zip(sweep.run_log, tasks):
+        assert row["seed"] == task.seed
+        assert row["params"]["pf"] == task.params.pf
+
+
+def test_run_log_rows_are_json_safe():
+    sweep = run_sweep(six_config_tasks()[:1], workers=1)
+    json.dumps(sweep.run_log)  # must not raise
+
+
+def test_sweep_tasks_grid_is_architecture_major():
+    tasks = sweep_tasks(seed=3)
+    assert [(t.architecture, t.coordination) for t in tasks] == [
+        ("centralized", False), ("centralized", True),
+        ("parallel", False), ("parallel", True),
+        ("distributed", False), ("distributed", True),
+    ]
+    assert all(t.seed == 3 for t in tasks)
+
+
+def test_empty_task_list():
+    sweep = run_sweep([], workers=4)
+    assert sweep.results == [] and sweep.run_log == []

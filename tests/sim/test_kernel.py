@@ -137,6 +137,82 @@ def test_events_processed_counter():
     assert sim.events_processed == 3
 
 
+def test_run_until_between_cancelled_events():
+    """``until`` landing in a gap of cancelled entries must stop the clock
+    at ``until`` without firing anything later — the lazy-deletion path
+    (shared by ``step`` and ``_peek_time``) keeps the queue accounting
+    consistent while ``run`` is iterating."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(3.0, fired.append, "cancelled-1").cancel()
+    sim.schedule(4.0, fired.append, "cancelled-2").cancel()
+    sim.schedule(10.0, fired.append, "b")
+    sim.run(until=5.0)
+    assert fired == ["a"]
+    assert sim.now == 5.0
+    assert sim.pending == 1
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_until_with_only_cancelled_events_left():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "x").cancel()
+    sim.schedule(3.0, fired.append, "y").cancel()
+    assert sim.run(until=5.0) == 0
+    assert fired == []
+    assert sim.now == 5.0
+    assert sim.pending == 0
+
+
+def test_pending_is_consistent_after_compaction():
+    sim = Simulator()
+    live = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    garbage = [sim.schedule(float(i + 1) + 0.5, lambda: None)
+               for i in range(3 * Simulator.COMPACT_MIN)]
+    for handle in garbage:
+        handle.cancel()  # crosses the compaction threshold
+    assert sim.pending == len(live)
+    # The heap actually shed the garbage: whatever cancelled entries remain
+    # are below the compaction threshold, not the 192 we scheduled.
+    assert len(sim._queue) - len(live) < 2 * Simulator.COMPACT_MIN
+    assert sim.run() == len(live)
+
+
+def test_compaction_preserves_fifo_order():
+    sim = Simulator()
+    fired = []
+    for i in range(Simulator.COMPACT_MIN):
+        sim.schedule(1.0, fired.append, i)
+    doomed = [sim.schedule(0.5, fired.append, "dead")
+              for __ in range(3 * Simulator.COMPACT_MIN)]
+    for handle in doomed:
+        handle.cancel()
+    sim.run()
+    assert fired == list(range(Simulator.COMPACT_MIN))
+
+
+def test_cancel_after_firing_does_not_corrupt_pending():
+    sim = Simulator()
+    handles = []
+    handles.append(sim.schedule(1.0, lambda: None))
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    handles[0].cancel()  # late cancel of an already-fired event: no-op
+    assert sim.pending == 0
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.pending == 1
+
+
 def test_zero_delay_event_fires_at_current_time():
     sim = Simulator()
     times = []
