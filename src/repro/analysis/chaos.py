@@ -1,0 +1,396 @@
+"""Chaos-exploration harness: random fault schedules vs the CREW protocols.
+
+Each :class:`ChaosTask` is one fully deterministic experiment: a
+``(config, seed, fault plan)`` triple that builds a control system, arms a
+:class:`~repro.sim.faults.FaultInjector`, drives the Table-3 workload and
+then interrogates the finished run with the PR-3 protocol invariants plus
+chaos-specific *liveness* and *durability* checks:
+
+``liveness``
+    Every started instance reaches a terminal outcome (committed or
+    aborted) and the simulator drains — a run truncated by ``max_events``
+    or an instance wedged forever is a finding, not a timeout.
+
+``orphaned-inflight``
+    Once an instance is terminal, no engine still holds an in-flight
+    dispatch record for it and no coordination agent still tracks it as
+    unfinished.
+
+``wal-convergence``
+    Every WAL passes its checksum audit, and replaying each distributed
+    agent's log into a fresh AGDB reproduces the durable state (replay is
+    deterministic; recovered summaries match the live summary table).
+
+A violating run is *minimized* — fault-plan dimensions are greedily
+removed while the violation persists — and reported as a one-line repro
+(``repro chaos --config <label> --seed <s> --plan <spec>``) alongside the
+run's causal-trace JSONL, so any CI failure is replayable bit-for-bit on a
+developer laptop.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.causal import CausalTrace
+from repro.analysis.invariants import Violation, check_invariants
+from repro.errors import CrewError
+from repro.sim.faults import FaultPlan, random_plan
+from repro.workloads.params import WorkloadParameters
+
+__all__ = [
+    "CHAOS_CONFIGS",
+    "ChaosOutcome",
+    "ChaosTask",
+    "chaos_tasks",
+    "config_nodes",
+    "run_chaos",
+]
+
+#: The six architecture × coordination configs the harness explores.
+CHAOS_CONFIGS: tuple[str, ...] = tuple(
+    f"{architecture}/{mode}"
+    for architecture in ("centralized", "parallel", "distributed")
+    for mode in ("normal", "coordinated")
+)
+
+#: Chaos-scale workload default: small enough that one schedule runs in
+#: ~a second, large enough that instances overlap in time.
+CHAOS_INSTANCES_PER_SCHEMA = 2
+
+
+def _chaos_params() -> WorkloadParameters:
+    from repro.analysis.experiment import EVAL_PARAMS
+
+    return EVAL_PARAMS.evolve(c=2, i=CHAOS_INSTANCES_PER_SCHEMA)
+
+
+def config_nodes(architecture: str, params: WorkloadParameters) -> list[str]:
+    """Node names of a built config, mirroring ``build_control_system``."""
+    agents = max(4, params.a * 2)
+    if architecture == "centralized":
+        return ["engine"] + [f"agent-{i:03d}" for i in range(agents)]
+    if architecture == "parallel":
+        return [f"engine-{i:02d}" for i in range(params.e)] + [
+            f"agent-{i:03d}" for i in range(agents)
+        ]
+    if architecture == "distributed":
+        return [f"agent-{i:03d}" for i in range(params.z)]
+    raise CrewError(f"unknown architecture {architecture!r}")
+
+
+def split_config(label: str) -> tuple[str, bool]:
+    """``"parallel/coordinated"`` -> ``("parallel", True)``."""
+    try:
+        architecture, mode = label.split("/")
+        if mode not in ("normal", "coordinated"):
+            raise ValueError(mode)
+    except ValueError:
+        raise CrewError(
+            f"bad chaos config {label!r}; expected one of {list(CHAOS_CONFIGS)}"
+        ) from None
+    return architecture, mode == "coordinated"
+
+
+@dataclass(frozen=True)
+class ChaosTask:
+    """One deterministic chaos experiment: config × seed × fault plan.
+
+    ``plan_spec`` is the plan's wire form (``FaultPlan.to_spec``); when
+    empty the plan is derived from the seed via :func:`random_plan`, so a
+    task is fully described — and replayable — by ``(config, seed)``.
+    """
+
+    config: str
+    seed: int
+    plan_spec: str = ""
+    params: WorkloadParameters | None = None
+    instances_per_schema: int = CHAOS_INSTANCES_PER_SCHEMA
+    strict: bool = False
+
+    def resolved_params(self) -> WorkloadParameters:
+        return self.params if self.params is not None else _chaos_params()
+
+    def plan(self) -> FaultPlan:
+        if self.plan_spec:
+            return FaultPlan.parse(self.plan_spec)
+        architecture, __ = split_config(self.config)
+        nodes = config_nodes(architecture, self.resolved_params())
+        return random_plan(self.seed, crash_nodes=nodes, stall_nodes=nodes)
+
+    def run(self) -> "ChaosOutcome":
+        return _execute(self, self.plan())
+
+
+@dataclass
+class ChaosOutcome:
+    """Verdict of one chaos experiment (picklable, JSON-safe)."""
+
+    config: str
+    seed: int
+    plan_spec: str
+    started: int = 0
+    committed: int = 0
+    aborted: int = 0
+    messages: int = 0
+    lost_messages: int = 0
+    sim_time: float = 0.0
+    fault_stats: dict[str, int] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+    minimized_spec: str | None = None
+    trace_jsonl: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def repro_line(self) -> str:
+        spec = self.minimized_spec or self.plan_spec
+        return (f"repro chaos --config {self.config} --seed {self.seed} "
+                f"--plan '{spec}'")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "config": self.config,
+            "seed": self.seed,
+            "plan": self.plan_spec,
+            "started": self.started,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "messages": self.messages,
+            "lost_messages": self.lost_messages,
+            "sim_time": self.sim_time,
+            "fault_stats": dict(self.fault_stats),
+            "violations": list(self.violations),
+            "minimized_plan": self.minimized_spec,
+            "repro": None if self.ok else self.repro_line,
+        }
+
+
+# ------------------------------------------------------------------ checks
+
+
+def _check_liveness(system, started: list[str]) -> list[Violation]:
+    out: list[Violation] = []
+    if system.simulator.pending:
+        out.append(Violation(
+            "liveness", "-",
+            f"run truncated with {system.simulator.pending} events still "
+            f"pending (max_events reached) at t={system.simulator.now:.1f}",
+        ))
+    for instance_id in started:
+        if instance_id not in system.outcomes:
+            out.append(Violation(
+                "liveness", instance_id,
+                "instance never reached a terminal outcome "
+                "(not committed, aborted or compensated)",
+            ))
+    return out
+
+
+def _check_orphaned_inflight(system) -> list[Violation]:
+    out: list[Violation] = []
+    architecture = system.architecture
+    engines = []
+    if architecture == "centralized":
+        engines = [system.engine]
+    elif architecture == "parallel":
+        engines = list(system.engines)
+    for engine in engines:
+        for (instance_id, step) in sorted(engine._inflight):
+            if instance_id in system.outcomes:
+                out.append(Violation(
+                    "orphaned-inflight", instance_id,
+                    f"engine {engine.name} still holds an in-flight record "
+                    f"for step {step!r} after the instance finished",
+                ))
+    if architecture == "distributed":
+        for agent in system.agents:
+            for instance_id, tracker in sorted(agent.trackers.items()):
+                if not tracker.finished and instance_id in system.outcomes:
+                    out.append(Violation(
+                        "orphaned-inflight", instance_id,
+                        f"agent {agent.name} still tracks the instance as "
+                        f"unfinished after a terminal outcome was recorded",
+                    ))
+    return out
+
+
+def _check_wal_convergence(system) -> list[Violation]:
+    out: list[Violation] = []
+    architecture = system.architecture
+
+    def audit(name: str, wal) -> None:
+        try:
+            wal.verify()
+        except CrewError as exc:
+            out.append(Violation("wal-convergence", "-", f"{name}: {exc}"))
+
+    if architecture == "centralized":
+        audit(system.engine.name, system.engine.wfdb.wal)
+    elif architecture == "parallel":
+        for engine in system.engines:
+            audit(engine.name, engine.wfdb.wal)
+    else:
+        for agent in system.agents:
+            audit(agent.name, agent.agdb.wal)
+            try:
+                first = agent.agdb.replay_clone()
+                second = agent.agdb.replay_clone()
+            except CrewError as exc:
+                out.append(Violation(
+                    "wal-convergence", "-",
+                    f"{agent.name}: WAL replay failed: {exc}",
+                ))
+                continue
+            one = {s.instance_id: s.snapshot() for s in first.fragments()}
+            two = {s.instance_id: s.snapshot() for s in second.fragments()}
+            if one != two:
+                out.append(Violation(
+                    "wal-convergence", "-",
+                    f"{agent.name}: two WAL replays diverged "
+                    f"({sorted(set(one) ^ set(two)) or 'same ids, different state'})",
+                ))
+            if first._summary != agent.agdb._summary:
+                diff = sorted(
+                    set(first._summary.items()) ^ set(agent.agdb._summary.items())
+                )
+                out.append(Violation(
+                    "wal-convergence", "-",
+                    f"{agent.name}: replayed summary table diverges from the "
+                    f"live one: {diff}",
+                ))
+    return out
+
+
+# ------------------------------------------------------------------ execution
+
+
+def _execute(task: ChaosTask, plan: FaultPlan,
+             collect_trace: bool = True) -> ChaosOutcome:
+    from repro.analysis.experiment import build_control_system
+    from repro.obs.export import trace_to_jsonl
+    from repro.workloads.generator import WorkloadGenerator
+
+    architecture, coordination = split_config(task.config)
+    params = task.resolved_params()
+    generator = WorkloadGenerator(params, seed=task.seed, key_pool=2,
+                                  coordination=coordination)
+    workload = generator.build()
+    system = build_control_system(architecture, params, seed=task.seed,
+                                  trace=True)
+    generator.install(system, workload)
+    injector = system.inject_faults(plan)
+    run = generator.drive(system, workload,
+                          instances_per_schema=task.instances_per_schema)
+    system.run()
+
+    violations: list[Violation] = []
+    violations.extend(check_invariants(CausalTrace.from_run(system.trace,
+                                                            system.tracer)))
+    violations.extend(_check_liveness(system, run.instances))
+    violations.extend(_check_orphaned_inflight(system))
+    violations.extend(_check_wal_convergence(system))
+    if task.strict and injector.lost:
+        violations.append(Violation(
+            "message-loss", "-",
+            f"{len(injector.lost)} message(s) permanently lost after "
+            f"exhausting their retry budget",
+        ))
+
+    outcome = ChaosOutcome(
+        config=task.config,
+        seed=task.seed,
+        plan_spec=plan.to_spec(),
+        started=len(run.instances),
+        committed=system.metrics.instances_committed,
+        aborted=system.metrics.instances_aborted,
+        messages=system.metrics.total_messages(),
+        lost_messages=len(injector.lost),
+        sim_time=system.simulator.now,
+        fault_stats=injector.stats.as_dict(),
+        violations=[v.render() for v in violations],
+    )
+    if violations and collect_trace:
+        outcome.trace_jsonl = trace_to_jsonl(system.trace, system.tracer)
+        outcome.minimized_spec = _minimize(task, plan).to_spec()
+    return outcome
+
+
+def _violates(task: ChaosTask, plan: FaultPlan) -> bool:
+    return bool(_execute(task, plan, collect_trace=False).violations)
+
+
+def _minimize(task: ChaosTask, plan: FaultPlan) -> FaultPlan:
+    """Greedily drop fault-plan dimensions while the violation persists.
+
+    One pass over the (few) dimensions, restarting after each successful
+    removal; every probe is a full deterministic re-run, so the result is
+    a genuinely replayable smaller plan, not a guess.
+    """
+    current = plan
+    shrunk = True
+    while shrunk:
+        shrunk = False
+        for dimension in current.dimensions():
+            candidate = current.without(dimension)
+            if candidate.to_spec() == current.to_spec():
+                continue
+            if _violates(task, candidate):
+                current = candidate
+                shrunk = True
+                break
+    return current
+
+
+# ------------------------------------------------------------------ the sweep
+
+
+def chaos_tasks(
+    seeds: Iterable[int],
+    configs: Sequence[str] = CHAOS_CONFIGS,
+    params: WorkloadParameters | None = None,
+    instances_per_schema: int = CHAOS_INSTANCES_PER_SCHEMA,
+    plan_spec: str = "",
+    strict: bool = False,
+) -> list[ChaosTask]:
+    """The chaos grid, config-major then seed order (canonical)."""
+    for label in configs:
+        split_config(label)  # validate eagerly
+    return [
+        ChaosTask(config=label, seed=seed, plan_spec=plan_spec, params=params,
+                  instances_per_schema=instances_per_schema, strict=strict)
+        for label in configs
+        for seed in seeds
+    ]
+
+
+def _run_chaos_task(task: ChaosTask) -> ChaosOutcome:
+    """Module-level worker entry point (must be picklable)."""
+    return task.run()
+
+
+def run_chaos(
+    tasks: Iterable[ChaosTask], workers: int | None = None
+) -> list[ChaosOutcome]:
+    """Run every chaos task; outcomes come back in canonical task order.
+
+    Mirrors :func:`repro.analysis.sweep.run_sweep`: each task is
+    deterministic given its ``(config, seed, plan)``, so worker count and
+    scheduling never change a verdict — only the wall time.
+    """
+    from repro.analysis.sweep import default_workers
+
+    task_list = list(tasks)
+    count = default_workers() if workers is None else max(1, int(workers))
+    count = min(count, len(task_list)) or 1
+    if count <= 1 or len(task_list) <= 1:
+        return [task.run() for task in task_list]
+    try:
+        with ProcessPoolExecutor(max_workers=count) as pool:
+            return list(pool.map(_run_chaos_task, task_list))
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed hosts
+        return [task.run() for task in task_list]

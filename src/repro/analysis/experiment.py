@@ -52,10 +52,11 @@ EVAL_PARAMS = PAPER_DEFAULTS.evolve(c=4, i=25)
 
 
 def build_control_system(
-    architecture: str, params: WorkloadParameters, seed: int = 7
+    architecture: str, params: WorkloadParameters, seed: int = 7,
+    trace: bool = False,
 ) -> ControlSystem:
     """A control system sized for the given parameter point."""
-    config = SystemConfig(seed=seed, trace=False)
+    config = SystemConfig(seed=seed, trace=trace)
     if architecture == "centralized":
         return CentralizedControlSystem(
             config, num_agents=max(4, params.a * 2), agents_per_step=params.a

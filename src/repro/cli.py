@@ -34,6 +34,13 @@ Commands
     (critical path, per-phase latency), flag broken-causality anomalies,
     and optionally check the protocol-invariant catalog
     (``--check-invariants`` exits non-zero on violation).
+``chaos``
+    Fan deterministic random fault schedules (message drop/dup/delay/
+    reorder, link outages, node crash+restart, stalls) across the six
+    architecture×coordination configs and check every run against the
+    protocol invariants plus liveness/durability checks.  A violating
+    run is minimized and reported as a one-line replayable repro;
+    ``--seed S --plan SPEC`` replays one schedule bit-for-bit.
 """
 
 from __future__ import annotations
@@ -394,6 +401,62 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    import json
+    import os
+
+    from repro.analysis.chaos import CHAOS_CONFIGS, chaos_tasks, run_chaos
+
+    configs = tuple(args.config) if args.config else CHAOS_CONFIGS
+    seeds = [args.seed] if args.seed is not None else list(
+        range(args.seed_base, args.seed_base + args.seeds)
+    )
+    tasks = chaos_tasks(seeds, configs=configs, plan_spec=args.plan or "",
+                        strict=args.strict)
+    workers = args.workers if args.workers is not None else default_workers()
+    outcomes = run_chaos(tasks, workers=workers)
+
+    rows = []
+    for outcome in outcomes:
+        rows.append([
+            outcome.config, outcome.seed,
+            f"{outcome.committed}/{outcome.started}", outcome.aborted,
+            outcome.messages, outcome.lost_messages,
+            len(outcome.violations) or "-",
+        ])
+    print(format_table(
+        ["config", "seed", "committed", "aborted", "messages", "lost",
+         "violations"],
+        rows,
+    ))
+    bad = [o for o in outcomes if not o.ok]
+    print(f"\n{len(outcomes)} run(s), {len(bad)} with violations.")
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        summary = [o.as_dict() for o in outcomes]
+        path = os.path.join(args.out, "chaos-summary.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=1)
+        print(f"wrote {path}")
+    for outcome in bad:
+        print(f"\n=== {outcome.config} seed {outcome.seed} "
+              f"(plan {outcome.plan_spec})")
+        for violation in outcome.violations:
+            print(violation)
+        print(f"repro: {outcome.repro_line}")
+        if args.out and outcome.trace_jsonl is not None:
+            name = (f"chaos-{outcome.config.replace('/', '-')}"
+                    f"-seed{outcome.seed}")
+            trace_path = os.path.join(args.out, f"{name}.trace.jsonl")
+            with open(trace_path, "w", encoding="utf-8") as handle:
+                handle.write(outcome.trace_jsonl)
+            repro_path = os.path.join(args.out, f"{name}.repro.txt")
+            with open(repro_path, "w", encoding="utf-8") as handle:
+                handle.write(outcome.repro_line + "\n")
+            print(f"artifacts: {trace_path}, {repro_path}")
+    return 1 if bad else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -519,6 +582,34 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--out", default=None, metavar="FILE",
                          help="output file (default: stdout)")
     metrics.set_defaults(fn=cmd_metrics)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="explore random fault schedules against the protocol invariants",
+    )
+    chaos.add_argument("--seeds", type=int, default=25,
+                       help="number of schedules per config (default: 25)")
+    chaos.add_argument("--seed-base", type=int, default=1,
+                       help="first seed of the range (default: 1)")
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="run exactly this one seed (replay mode)")
+    chaos.add_argument("--plan", default=None, metavar="SPEC",
+                       help="explicit fault plan, e.g. "
+                            "'drop=0.05,crash=agent-003@40+25' "
+                            "(default: derived from each seed)")
+    chaos.add_argument("--config", action="append", metavar="ARCH/MODE",
+                       help="restrict to one config, e.g. "
+                            "distributed/coordinated (repeatable; "
+                            "default: all six)")
+    chaos.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (default: one per core)")
+    chaos.add_argument("--strict", action="store_true",
+                       help="also fail on permanently lost messages "
+                            "(exhausted retry budgets)")
+    chaos.add_argument("--out", default=None, metavar="DIR",
+                       help="write summary JSON + per-violation trace/repro "
+                            "artifacts into this directory")
+    chaos.set_defaults(fn=cmd_chaos)
     return parser
 
 

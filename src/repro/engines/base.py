@@ -310,6 +310,9 @@ class ControlSystem:
             capacity = self.config.flight_capacity
             self.network.flight_factory = lambda name: FlightRecorder(capacity)
             self.network.flight_sink = self._flight_sink
+        #: Fault injector installed by :meth:`inject_faults` (None = the
+        #: transport keeps its reliable persistent-queue semantics).
+        self.faults = None
         self._workflow_spans: dict[str, Span] = {}
         self._recovery_spans: dict[str, Span] = {}
         self.programs = ProgramRegistry()
@@ -362,6 +365,27 @@ class ControlSystem:
         """Hook for subclasses (authority placement)."""
 
     # -- public workflow API (front-end database operations) -----------------------
+
+    #: How long the front-end database waits before re-issuing a WI whose
+    #: target node was down (simulated seconds).
+    FRONTEND_RETRY_INTERVAL = 1.0
+
+    def schedule_frontend(self, delay: float, node: Any, fn, *args: Any) -> None:
+        """Schedule a front-end WI against ``node``, deferring while it is down.
+
+        The front-end database sits outside the fault domain: a WI issued
+        against a crashed engine/agent must be retried until the node is
+        back up, never executed on a down node — that would create
+        volatile state the node's recovery replay cannot see.
+        """
+
+        def attempt() -> None:
+            if not node.is_up:
+                self.simulator.schedule(self.FRONTEND_RETRY_INTERVAL, attempt)
+                return
+            fn(*args)
+
+        self.simulator.schedule(delay, attempt)
 
     def start_workflow(
         self, schema_name: str, inputs: Mapping[str, Any], delay: float = 0.0
@@ -565,6 +589,39 @@ class ControlSystem:
             time, node, "flight.snapshot", reason=reason, events=events,
             **detail,
         )
+
+    # -- fault injection ---------------------------------------------------------------
+
+    def inject_faults(self, plan, retry=None):
+        """Install a deterministic fault injector over this system's transport.
+
+        ``plan`` is a :class:`repro.sim.faults.FaultPlan`; ``retry`` an
+        optional :class:`repro.engines.runtime.RetryPolicy` (defaulted)
+        driving transport retransmissions and the engines' step-retry
+        watchdogs.  The injector draws from a child seed space of the
+        system's master seed (``rng.spawn("faults")``), so installing it
+        never perturbs the workload's own random streams, and the whole
+        run replays bit-for-bit from ``(seed, plan)``.  Call before
+        :meth:`run`; returns the installed injector.
+        """
+        from repro.engines.runtime.retry import RetryPolicy
+        from repro.sim.faults import FaultInjector
+
+        if self.faults is not None:
+            raise WorkloadError("fault injector already installed")
+        injector = FaultInjector(
+            plan, self.rng.spawn("faults"),
+            retry=retry if retry is not None else RetryPolicy(),
+        )
+        injector.install(self.network)
+        injector.arm(self.simulator)
+        injector.on_fault = self._on_fault
+        self.faults = injector
+        return injector
+
+    def _on_fault(self, time: float, kind: str, **detail: Any) -> None:
+        """Record one injected fault decision into the trace."""
+        self.trace.record(time, "faults", f"fault.{kind}", **detail)
 
     # -- driving the simulation -------------------------------------------------------
 

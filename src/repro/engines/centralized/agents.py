@@ -34,6 +34,12 @@ class ApplicationAgentNode(Node):
         self.system = system
         self.executing = 0
 
+    def on_crash(self) -> None:
+        # In-progress executions die with the node; their completion
+        # continuations are crash-epoch-gated in schedule_causal, so the
+        # load counter must restart from zero too.
+        self.executing = 0
+
     def handle_message(self, message: Message) -> None:
         handler = {
             "StepExecute": self._on_step_execute,

@@ -13,12 +13,34 @@ from repro.engines.coord import SpecIndex
 from repro.engines.runtime import EngineRuntime
 from repro.model.coordination_spec import CoordinationSpec
 from repro.sim.metrics import Mechanism
+from repro.storage.tables import StepStatus
 
 __all__ = ["EngineCoordinationMixin"]
 
 
 class EngineCoordinationMixin:
     """Coordination behavior of :class:`CentralEngineNode`."""
+
+    def _coord_on_recover(self, runtime: EngineRuntime) -> None:
+        """Re-acquire clearances whose token events died with the crash.
+
+        MX grants live in the volatile event table, while the authority
+        still considers them granted — so a recovered instance must ask
+        again for every region its replayed rules will re-enter: regions
+        opening at the start step (acquired by ``workflow_start``, which
+        recovery does not re-run) and regions whose first step already
+        completed (the token gates that step's re-fire).  Re-acquisition
+        is idempotent at the authority.  RO clearances re-request
+        themselves when the pair-0 step re-fires through the REUSE path.
+        """
+        schema_name = runtime.state.schema_name
+        for spec in self.spec_index.mx_specs(schema_name):
+            first, __ = spec.region_of(schema_name)
+            record = runtime.state.steps.get(first)
+            if first == runtime.compiled.start_step or (
+                record is not None and record.status is StepStatus.DONE
+            ):
+                self._mx_acquire(runtime, spec)
 
     def _deliver_grant(self, instance_id: str, token: str) -> None:
         runtime = self.runtimes.get(instance_id)

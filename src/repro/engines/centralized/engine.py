@@ -286,6 +286,7 @@ class CentralEngineNode(EngineCoordinationMixin, EngineRecoveryMixin, Node):
         mechanism: Mechanism,
         inputs: dict[str, Any],
         attempt: int,
+        retry: int = 1,
     ) -> None:
         runtime = self.runtimes.get(instance_id)
         if runtime is None or runtime.state.status is not InstanceStatus.RUNNING:
@@ -302,6 +303,7 @@ class CentralEngineNode(EngineCoordinationMixin, EngineRecoveryMixin, Node):
                 instance_id, step, self.name, self.simulator.now,
                 agent=agent, attempt=attempt, mechanism=mechanism.value,
             ),
+            cost=cost,
         )
         self._agent_load_view[agent] += 1
         self.trace.record(self.simulator.now, self.name, "step.dispatch",
@@ -321,6 +323,76 @@ class CentralEngineNode(EngineCoordinationMixin, EngineRecoveryMixin, Node):
                 "mechanism": mechanism.value,
             },
             mechanism,
+        )
+        if self.system.faults is not None:
+            self._arm_step_watchdog(
+                instance_id, step, runtime.state.recovery_epoch, retry
+            )
+
+    # ------------------------------------------------------------ step-retry watchdog
+
+    #: Watchdog re-arms before giving up on a step whose executors never
+    #: answer; bounded so a hostile fault plan cannot keep the simulation
+    #: alive forever (the wedged instance then surfaces as a liveness
+    #: violation instead).
+    MAX_STEP_RETRIES = 25
+
+    def _arm_step_watchdog(
+        self, instance_id: str, step: str, epoch: int, retry: int
+    ) -> None:
+        """Under fault injection, dispatched steps get a timeout: in-flight
+        work on a crashed application agent is volatile and would otherwise
+        wedge the instance (the reliable-transport assumption only covers
+        messages, not the agent's work)."""
+        self.simulator.schedule(
+            self.config.step_status_timeout, self._step_watchdog,
+            instance_id, step, epoch, retry,
+        )
+
+    def _step_watchdog(
+        self, instance_id: str, step: str, epoch: int, retry: int
+    ) -> None:
+        if not self.is_up:
+            return  # a recovered engine re-dispatches via rule re-firing
+        inflight = self._inflight.get((instance_id, step))
+        runtime = self.runtimes.get(instance_id)
+        if (
+            inflight is None
+            or inflight.epoch != epoch
+            or runtime is None
+            or runtime.state.status is not InstanceStatus.RUNNING
+            or runtime.state.recovery_epoch != epoch
+        ):
+            return  # completed, rolled back, or finished in the meantime
+        if retry > self.MAX_STEP_RETRIES:
+            self.trace.record(self.simulator.now, self.name,
+                              "step.retry_exhausted",
+                              instance=instance_id, step=step)
+            return
+        eligible = self.system.assignment.eligible(runtime.state.schema_name, step)
+        agent = next((a for a in eligible if self.network.is_up(a)), None)
+        if agent is None:
+            # Every eligible agent is down: wait for a recovery.
+            self.simulator.schedule(
+                self.config.step_status_poll_interval, self._step_watchdog,
+                instance_id, step, epoch, retry + 1,
+            )
+            return
+        self.trace.record(self.simulator.now, self.name, "step.redispatch",
+                          instance=instance_id, step=step, agent=agent,
+                          was=inflight.agent, retry=retry)
+        self.system.obs_step_finished(
+            inflight.span, self.simulator.now, status="timeout"
+        )
+        self._agent_load_view[inflight.agent] -= 1
+        del self._inflight[(instance_id, step)]
+        # Re-dispatch (a late duplicate result is discarded by the
+        # stale-result guard once the retried execution's result lands
+        # first — the inflight record is popped, keeping commits
+        # at-most-once).
+        self._send_execute(
+            instance_id, step, agent, inflight.cost, inflight.mechanism,
+            inflight.inputs, inflight.attempt, retry=retry + 1,
         )
 
     def _on_step_result(self, message: Message) -> None:
@@ -516,6 +588,7 @@ class CentralEngineNode(EngineCoordinationMixin, EngineRecoveryMixin, Node):
             for record in state.steps.values():
                 if record.status is StepStatus.RUNNING:
                     record.status = StepStatus.NOT_STARTED
+            self._coord_on_recover(runtime)
             engine.post_event(WF_START, self.simulator.now)
         self.trace.record(self.simulator.now, self.name, "engine.recovered",
                           instances=restored)

@@ -54,19 +54,23 @@ class CentralizedControlSystem(ControlSystem):
     ) -> str:
         self.compiled(schema_name)  # validate registration eagerly
         instance_id = self.new_instance_id(schema_name)
-        self.simulator.schedule(
-            delay, self.engine.workflow_start, schema_name, instance_id, dict(inputs)
+        self.schedule_frontend(
+            delay, self.engine, self.engine.workflow_start,
+            schema_name, instance_id, dict(inputs),
         )
         return instance_id
 
     def abort_workflow(self, instance_id: str, delay: float = 0.0) -> None:
-        self.simulator.schedule(delay, self.engine.workflow_abort, instance_id)
+        self.schedule_frontend(
+            delay, self.engine, self.engine.workflow_abort, instance_id
+        )
 
     def change_inputs(
         self, instance_id: str, changes: Mapping[str, Any], delay: float = 0.0
     ) -> None:
-        self.simulator.schedule(
-            delay, self.engine.workflow_change_inputs, instance_id, dict(changes)
+        self.schedule_frontend(
+            delay, self.engine, self.engine.workflow_change_inputs,
+            instance_id, dict(changes),
         )
 
     def workflow_status(self, instance_id: str) -> InstanceStatus:

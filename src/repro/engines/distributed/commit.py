@@ -39,6 +39,40 @@ class CommitTracker:
     parent_link: tuple[str, str] | None = None
     finished: bool = False
 
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-plain snapshot for AGDB persistence.
+
+        Terminal reports are consumed on receipt and never re-sent, so a
+        coordination agent that crashes must recover them from its WAL or
+        the instance can never commit.
+        """
+        return {
+            "reported": dict(self.reported),
+            "epoch": self.epoch,
+            "last_origin": self.last_origin,
+            "executors": dict(self.executors),
+            "done_times": dict(self.done_times),
+            "data": dict(self.data),
+            "origin_history": {str(e): o for e, o in self.origin_history.items()},
+            "parent_link": list(self.parent_link) if self.parent_link else None,
+            "finished": self.finished,
+        }
+
+    @classmethod
+    def from_snapshot(cls, payload: Mapping[str, Any]) -> "CommitTracker":
+        parent_link = payload.get("parent_link")
+        return cls(
+            reported=dict(payload["reported"]),
+            epoch=payload["epoch"],
+            last_origin=payload.get("last_origin"),
+            executors=dict(payload["executors"]),
+            done_times=dict(payload["done_times"]),
+            data=dict(payload["data"]),
+            origin_history={int(e): o for e, o in payload["origin_history"].items()},
+            parent_link=(parent_link[0], parent_link[1]) if parent_link else None,
+            finished=payload["finished"],
+        )
+
 
 class AgentCommitMixin:
     """Commit-protocol behavior of :class:`~repro.engines.distributed.WorkflowAgentNode`."""
@@ -111,11 +145,14 @@ class AgentCommitMixin:
                           instance=instance_id, terminal=terminal, epoch=epoch)
         if compiled.commit_ready(set(tracker.reported)):
             self._commit(instance_id, compiled, tracker)
+        else:
+            self.agdb.set_tracker(instance_id, tracker.snapshot())
 
     def _commit(
         self, instance_id: str, compiled: CompiledSchema, tracker: CommitTracker
     ) -> None:
         tracker.finished = True
+        self.agdb.set_tracker(instance_id, tracker.snapshot())
         self.agdb.set_summary(instance_id, InstanceStatus.COMMITTED)
         runtime = self.runtimes.get(instance_id)
         if runtime is not None:

@@ -300,6 +300,20 @@ class AgentNavigationMixin:
             # reset the step record and a newer execution may be in flight.
             self.trace.record(self.simulator.now, self.name, "step.stale_result",
                               instance=instance_id, step=step)
+            if runtime.running_exec.get(step) == epoch:
+                # This *was* the step's latest local launch — it raced an
+                # epoch bump (a delayed pre-rollback packet started it just
+                # before the invalidation arrived).  The current epoch's
+                # navigation skipped the step as "already executing", so
+                # nobody else will ever complete it: release the record and
+                # re-drive the step under the current epoch.
+                runtime.running_exec.pop(step, None)
+                record = fragment.steps.get(step)
+                if record is not None and record.status is StepStatus.RUNNING:
+                    record.status = StepStatus.NOT_STARTED
+                    self._persist(runtime)
+                    if any(r.fired for r in runtime.engine.rules_for_step(step)):
+                        self._execute_step(instance_id, step)
             return
         runtime.running_exec.pop(step, None)
         compiled = runtime.compiled

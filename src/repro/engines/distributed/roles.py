@@ -170,7 +170,9 @@ class WorkflowAgentNode(
                 f"{self.name} is not the coordination agent for {schema_name!r}"
             )
         self.agdb.set_summary(instance_id, InstanceStatus.RUNNING)
-        self.trackers[instance_id] = CommitTracker(parent_link=parent_link)
+        tracker = CommitTracker(parent_link=parent_link)
+        self.trackers[instance_id] = tracker
+        self.agdb.set_tracker(instance_id, tracker.snapshot())
         runtime = self._runtime(schema_name, instance_id, inputs, parent_link)
         self.system.obs_instance_started(
             instance_id, schema_name, self.name, self.simulator.now,
@@ -236,6 +238,7 @@ class WorkflowAgentNode(
         self._halt_from(runtime, instance_id, compiled.start_step, epoch,
                         Mechanism.ABORT, include_origin_agent=True)
         tracker.finished = True
+        self.agdb.set_tracker(instance_id, tracker.snapshot())
         self.agdb.set_summary(instance_id, InstanceStatus.ABORTED)
         runtime.fragment.status = InstanceStatus.ABORTED
         self._persist(runtime)
@@ -379,9 +382,16 @@ class WorkflowAgentNode(
                     runtime.executors[record.step] = record.agent
             self.runtimes[instance_id] = runtime
             self._install_preconditions(runtime, instance_id)
-            # Re-coordinating instances: restore the tracker skeleton.
+            # Re-coordinating instances: restore the tracker from its last
+            # persisted snapshot — terminal reports consumed before the
+            # crash are never re-sent, so a bare skeleton would wedge the
+            # commit protocol forever.
             if self.agdb.has_summary(instance_id):
-                self.trackers.setdefault(instance_id, CommitTracker())
+                snapshot = self.agdb.recovered_tracker(instance_id)
+                if snapshot is not None:
+                    self.trackers[instance_id] = CommitTracker.from_snapshot(snapshot)
+                else:
+                    self.trackers.setdefault(instance_id, CommitTracker())
             engine.merge_events(fragment.events_snapshot, self.simulator.now)
             # The fragment's invalidation cutoffs survived the crash; re-apply
             # them so a stale packet arriving now cannot revive an event that

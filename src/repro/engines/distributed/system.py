@@ -96,9 +96,9 @@ class DistributedControlSystem(ControlSystem):
         instance_id = self.new_instance_id(schema_name)
         coordination_agent = self.coordination_agent_for(schema_name)
         self._note_owner(instance_id, coordination_agent.name)
-        self.simulator.schedule(
-            delay, coordination_agent.workflow_start, schema_name, instance_id,
-            dict(inputs),
+        self.schedule_frontend(
+            delay, coordination_agent, coordination_agent.workflow_start,
+            schema_name, instance_id, dict(inputs),
         )
         return instance_id
 
@@ -110,14 +110,14 @@ class DistributedControlSystem(ControlSystem):
 
     def abort_workflow(self, instance_id: str, delay: float = 0.0) -> None:
         agent = self._coordination_agent_of_instance(instance_id)
-        self.simulator.schedule(delay, agent.workflow_abort, instance_id)
+        self.schedule_frontend(delay, agent, agent.workflow_abort, instance_id)
 
     def change_inputs(
         self, instance_id: str, changes: Mapping[str, Any], delay: float = 0.0
     ) -> None:
         agent = self._coordination_agent_of_instance(instance_id)
-        self.simulator.schedule(
-            delay, agent.workflow_change_inputs, instance_id, dict(changes)
+        self.schedule_frontend(
+            delay, agent, agent.workflow_change_inputs, instance_id, dict(changes)
         )
 
     def workflow_status(self, instance_id: str) -> InstanceStatus:
@@ -128,7 +128,9 @@ class DistributedControlSystem(ControlSystem):
     def probe_workflow(self, instance_id: str, delay: float = 0.0) -> None:
         """Launch the probe chain locating the instance's current steps."""
         agent = self._coordination_agent_of_instance(instance_id)
-        self.simulator.schedule(delay, agent.workflow_status_probe, instance_id)
+        self.schedule_frontend(
+            delay, agent, agent.workflow_status_probe, instance_id
+        )
 
     def probe_reports(self, instance_id: str) -> list[dict]:
         """Probe reports gathered at the instance's coordination agent."""

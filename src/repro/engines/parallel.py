@@ -167,6 +167,14 @@ class ParallelEngineNode(CentralEngineNode):
                 "key": key,
             })
 
+    def _coord_on_recover(self, runtime: EngineRuntime) -> None:
+        # Tokens recorded as delivered died with the volatile event table;
+        # forget them so the holder check re-delivers after re-acquisition.
+        instance_id = runtime.state.instance_id
+        for spec in self.spec_index.mx_specs(runtime.state.schema_name):
+            self._mx_granted.discard((spec.name, instance_id))
+        super()._coord_on_recover(runtime)
+
     def _mx_acquire(self, runtime: EngineRuntime, spec: CoordinationSpec) -> None:
         current = runtime.mx_state.get(spec.name, "none")
         if current in ("requested", "held"):
@@ -294,7 +302,7 @@ class ParallelEngineNode(CentralEngineNode):
         # latencies so an earlier-stamped registration broadcast still in
         # flight settles leadership first.
         if payload["pair_index"] == 0 and self._owns(instance):
-            self.simulator.schedule(
+            self.schedule_causal(
                 2 * self.config.latency + 0.001,
                 self._ro_request_clearances,
                 payload["spec"], payload["schema"], instance, payload["key"],
@@ -315,7 +323,10 @@ class ParallelEngineNode(CentralEngineNode):
     def _schedule_mx_check(self, spec_name: str, key: Hashable | None) -> None:
         # Two latencies: any earlier-stamped request is in flight for at
         # most one broadcast latency; the second covers scheduling skew.
-        self.simulator.schedule(
+        # Causal scheduling: a check pending across a crash must die with
+        # the node, or it releases locks of instances recovery is about to
+        # rebuild.
+        self.schedule_causal(
             2 * self.config.latency + 0.001, self._mx_check, spec_name, key
         )
 
@@ -406,21 +417,23 @@ class ParallelControlSystem(ControlSystem):
         engine = self.engines[self._next_engine % len(self.engines)]
         self._next_engine += 1
         self._note_owner(instance_id, engine.name)
-        self.simulator.schedule(
-            delay, engine.workflow_start, schema_name, instance_id, dict(inputs)
+        self.schedule_frontend(
+            delay, engine, engine.workflow_start,
+            schema_name, instance_id, dict(inputs),
         )
         return instance_id
 
     def abort_workflow(self, instance_id: str, delay: float = 0.0) -> None:
         engine = self._owner_engine(instance_id)
-        self.simulator.schedule(delay, engine.workflow_abort, instance_id)
+        self.schedule_frontend(delay, engine, engine.workflow_abort, instance_id)
 
     def change_inputs(
         self, instance_id: str, changes: Mapping[str, Any], delay: float = 0.0
     ) -> None:
         engine = self._owner_engine(instance_id)
-        self.simulator.schedule(
-            delay, engine.workflow_change_inputs, instance_id, dict(changes)
+        self.schedule_frontend(
+            delay, engine, engine.workflow_change_inputs,
+            instance_id, dict(changes),
         )
 
     def workflow_status(self, instance_id: str) -> InstanceStatus:

@@ -34,6 +34,7 @@ from repro.engines.runtime.invalidation import (
     merge_invalidations,
     open_invalidation_round,
 )
+from repro.engines.runtime.retry import RetryPolicy
 
 __all__ = [
     "AgentRuntime",
@@ -43,6 +44,7 @@ __all__ = [
     "InstanceRuntime",
     "LoadProbe",
     "ProbeWait",
+    "RetryPolicy",
     "absorb_invalidations",
     "compensate_set_chain",
     "member_done_times",

@@ -125,6 +125,13 @@ class Network:
         #: are injected by the owning control system, like ``registry``.
         self.flight_factory = None
         self.flight_sink = None
+        #: Optional fault injector (see :mod:`repro.sim.faults`), installed
+        #: by ``FaultInjector.install``.  When set, every send routes
+        #: through its fault pipeline and every delivery through its
+        #: duplicate-suppression guard; when ``None`` (the default) the
+        #: transport keeps its reliable persistent-queue semantics with a
+        #: single ``is None`` branch on the hot path.
+        self.faults = None
         self._nodes: dict[str, "Node"] = {}
         self._parked: dict[str, list[Message]] = {}
         self._msg_ids = itertools.count(1)
@@ -195,7 +202,10 @@ class Network:
                           dict(payload), self.simulator.now, lamport, send_span)
         self.metrics.record_message(mechanism, interface)
         delay = self.latency.delay(src, dst)
-        self.simulator.schedule(delay, self._arrive, message)
+        if self.faults is None:
+            self.simulator.schedule(delay, self._arrive, message)
+        else:
+            self.faults.dispatch(message, delay)
         return message
 
     def _arrive(self, message: Message) -> None:
@@ -204,20 +214,32 @@ class Network:
             # Durable queue semantics: park until the node recovers.
             self._parked[message.dst].append(message)
             return
+        if self.faults is not None and self.faults.suppress(message):
+            return
         self.delivered += 1
         node.receive(message)
 
     def flush_parked(self, name: str) -> int:
-        """Deliver messages parked while ``name`` was down.  Returns count."""
+        """Deliver messages parked while ``name`` was down; returns the
+        number actually delivered (injected duplicates are suppressed)."""
         node = self._nodes[name]
         if not node.is_up:
             raise SimulationError(f"cannot flush parked messages to down node {name!r}")
         parked = self._parked[name]
         self._parked[name] = []
+        # Redeliver in original *send* order: arrival order diverges from
+        # send order as soon as per-message latency varies (fault-injected
+        # delays, retransmissions, uniform latency), and msg_id is the
+        # global send sequence.
+        parked.sort(key=lambda message: message.msg_id)
+        delivered = 0
         for message in parked:
+            if self.faults is not None and self.faults.suppress(message):
+                continue
             self.delivered += 1
             node.receive(message)
-        return len(parked)
+            delivered += 1
+        return delivered
 
     def parked_count(self, name: str) -> int:
         return len(self._parked.get(name, []))

@@ -142,13 +142,24 @@ class Node:
         it; this captures ``current_span`` and restores it around the
         callback so sends from inside ``fn`` link correctly.  Degenerates
         to a plain ``schedule`` when no span is active.
+
+        With a fault injector installed, the callback is additionally
+        guarded by this node's crash epoch: deferred work is volatile
+        state, so a crash between scheduling and firing discards it (the
+        node's recovery path re-derives it from durable stores) instead of
+        letting a "down" node send messages.
         """
         span = self.current_span
-        if span is None:
+        faults = self.network.faults
+        if span is None and faults is None:
             self.simulator.schedule(delay, fn, *args)
             return
+        epoch = self.crash_count
 
         def run(*inner: Any) -> None:
+            if faults is not None and (self.crash_count != epoch or not self.is_up):
+                faults.on_dead_continuation(self.name)
+                return
             previous = self.current_span
             self.current_span = span
             try:

@@ -43,6 +43,7 @@ class AgentDatabase:
         self._directory: dict[tuple[str, str], tuple[str, ...]] = {}
         self._summary: dict[str, InstanceStatus] = {}
         self._purged: set[str] = set()
+        self._trackers: dict[str, Mapping[str, Any]] = {}
 
     # -- instance fragments ------------------------------------------------------
 
@@ -79,11 +80,16 @@ class AgentDatabase:
     def purge_instances(self, instance_ids: Iterable[str]) -> int:
         """Drop fragments of committed instances (purge broadcast handler)."""
         purged = 0
+        dropped = False
         for instance_id in instance_ids:
             if self._fragments.pop(instance_id, None) is not None:
                 purged += 1
             self._purged.add(instance_id)
-        if purged:
+            if self._trackers.pop(instance_id, None) is not None:
+                dropped = True
+        if purged or dropped:
+            # The purge must be durable whenever it dropped *any* state —
+            # fragments or tracker snapshots — or recovery resurrects it.
             self.wal.append("purge", {"instance_ids": sorted(self._purged)})
         return purged
 
@@ -135,16 +141,36 @@ class AgentDatabase:
     def coordinated_instances(self) -> tuple[str, ...]:
         return tuple(sorted(self._summary))
 
+    # -- commit trackers ------------------------------------------------------------------
+
+    def set_tracker(self, instance_id: str, snapshot: Mapping[str, Any]) -> None:
+        """Persist a coordination-agent commit-tracker snapshot.
+
+        Terminal reports consumed before a coordination-agent crash would
+        otherwise be unrecoverable — the reporting agents never re-send —
+        so the tracker is part of the "relevant persistent information"
+        the AGDB stores.
+        """
+        self._trackers[instance_id] = snapshot
+        self.wal.append("tracker", {"instance_id": instance_id, "tracker": snapshot})
+
+    def recovered_tracker(self, instance_id: str) -> Mapping[str, Any] | None:
+        """Latest persisted tracker snapshot (None when never persisted)."""
+        return self._trackers.get(instance_id)
+
     # -- crash recovery ---------------------------------------------------------------------
 
     def recover(self) -> int:
-        """Rebuild fragments and summaries from the WAL; keeps the directory
-        (static routing data installed at deployment time)."""
+        """Rebuild fragments, summaries and trackers from the WAL; keeps the
+        directory (static routing data installed at deployment time).
+        Record checksums are verified — a corrupt log fails loudly."""
         self._fragments.clear()
         self._summary.clear()
         self._purged.clear()
+        self._trackers.clear()
         latest: dict[str, Mapping[str, Any]] = {}
         summaries: dict[str, InstanceStatus] = {}
+        trackers: dict[str, Mapping[str, Any]] = {}
         purged: set[str] = set()
 
         def on_fragment(payload: Mapping[str, Any]) -> None:
@@ -153,15 +179,37 @@ class AgentDatabase:
         def on_summary(payload: Mapping[str, Any]) -> None:
             summaries[payload["instance_id"]] = InstanceStatus(payload["status"])
 
+        def on_tracker(payload: Mapping[str, Any]) -> None:
+            trackers[payload["instance_id"]] = payload["tracker"]
+
         def on_purge(payload: Mapping[str, Any]) -> None:
             purged.update(payload["instance_ids"])
 
         self.wal.replay(
-            {"fragment_snapshot": on_fragment, "summary": on_summary, "purge": on_purge}
+            {"fragment_snapshot": on_fragment, "summary": on_summary,
+             "tracker": on_tracker, "purge": on_purge},
+            verify=True,
         )
         for instance_id, payload in latest.items():
             if instance_id not in purged:
                 self._fragments[instance_id] = InstanceState.from_snapshot(payload)
         self._summary.update(summaries)
+        self._trackers = {
+            iid: snap for iid, snap in trackers.items() if iid not in purged
+        }
         self._purged = purged
         return len(self._fragments)
+
+    def replay_clone(self) -> "AgentDatabase":
+        """A fresh AGDB rebuilt purely from this database's WAL.
+
+        Used by the chaos harness's WAL-convergence check: replaying the
+        log into a clean database must reproduce the durable state.  The
+        directory is copied (deployment-time static data, never logged).
+        """
+        clone = AgentDatabase(self.agent_name)
+        clone._directory = dict(self._directory)
+        clone.wal._records = list(self.wal._records)
+        clone.wal._next_lsn = self.wal._next_lsn
+        clone.recover()
+        return clone

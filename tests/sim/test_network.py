@@ -141,3 +141,44 @@ def test_message_ids_are_unique_and_increasing():
 def test_negative_latency_rejected():
     with pytest.raises(SimulationError):
         FixedLatency(-1.0)
+
+
+class ScriptedLatency:
+    """Per-send latencies popped from a script; exposes out-of-order arrival."""
+
+    def __init__(self, delays):
+        self.delays = list(delays)
+
+    def delay(self, src, dst):
+        return self.delays.pop(0)
+
+
+def test_flush_parked_restores_send_order_despite_arrival_order():
+    """Park -> restart -> flush, interleaved with an in-flight delivery.
+
+    Varying latency makes parked messages *arrive* out of send order; the
+    flush must still hand them to the node in msg_id (send) order, and a
+    message still in flight at recovery time is delivered on its own
+    schedule afterwards.
+    """
+    sim = Simulator()
+    net = Network(sim, MetricsCollector(), ScriptedLatency([5.0, 1.0, 10.0]))
+    a = Recorder("a", sim, net)
+    b = Recorder("b", sim, net)
+    b.crash()
+    a.send("b", "Ping", {"n": 1}, Mechanism.NORMAL)  # arrives (parks) at 5
+    a.send("b", "Ping", {"n": 2}, Mechanism.NORMAL)  # arrives (parks) at 1
+    a.send("b", "Ping", {"n": 3}, Mechanism.NORMAL)  # in flight until 10
+    sim.schedule_at(6.0, b.recover)
+    sim.run()
+    # Parked order was [2, 1] by arrival; flush re-sorts to send order,
+    # then the in-flight message lands after recovery untouched.
+    assert [m.payload["n"] for m in b.received] == [1, 2, 3]
+
+
+def test_flush_parked_rejects_down_node():
+    sim, __, net = make_net()
+    b = Recorder("b", sim, net)
+    b.is_up = False
+    with pytest.raises(SimulationError):
+        net.flush_parked("b")

@@ -93,3 +93,48 @@ def test_recover_uses_latest_fragment_snapshot():
     db.persist_fragment(fragment)
     db.recover()
     assert db.fragment("i1").data["S1.out"] == 42
+
+
+def test_tracker_snapshot_survives_recovery():
+    db = make_db()
+    db.set_summary("i1", InstanceStatus.RUNNING)
+    db.set_tracker("i1", {"reported": {"S1": 1}, "finished": False})
+    db.set_tracker("i1", {"reported": {"S1": 1, "S2": 1}, "finished": True})
+    db.recover()
+    # The latest snapshot wins; nothing for unknown instances.
+    assert db.recovered_tracker("i1") == {"reported": {"S1": 1, "S2": 1},
+                                          "finished": True}
+    assert db.recovered_tracker("ghost") is None
+
+
+def test_purge_drops_tracker_snapshots():
+    db = make_db()
+    db.set_tracker("i1", {"finished": True})
+    db.purge_instances(["i1"])
+    db.recover()
+    assert db.recovered_tracker("i1") is None
+
+
+def test_replay_clone_is_equal_and_independent():
+    db = make_db()
+    fragment = db.ensure_fragment("W", "i1", {"x": 1})
+    fragment.record("S1").status = StepStatus.DONE
+    db.persist_fragment(fragment)
+    db.set_summary("i1", InstanceStatus.COMMITTED)
+    db.set_tracker("i1", {"finished": True})
+    clone = db.replay_clone()
+    assert clone.fragment("i1").steps["S1"].status is StepStatus.DONE
+    assert clone.summary("i1") is InstanceStatus.COMMITTED
+    assert clone.recovered_tracker("i1") == {"finished": True}
+    # Mutating the clone must not leak back into the original.
+    clone.set_summary("i1", InstanceStatus.ABORTED)
+    assert db.summary("i1") is InstanceStatus.COMMITTED
+
+
+def test_recover_detects_wal_corruption():
+    db = make_db()
+    db.set_summary("i1", InstanceStatus.RUNNING)
+    record = db.wal._records[-1]
+    object.__setattr__(record, "payload", {"tampered": True})
+    with pytest.raises(StorageError, match="checksum mismatch"):
+        db.recover()
