@@ -1,0 +1,150 @@
+"""End-to-end sweep benchmark: the six-config evaluation, wall-clocked.
+
+The microbenchmarks (``bench_rule_engine.py``, ``bench_obs_overhead.py``)
+guard individual hot paths; this one guards the product the user actually
+runs: ``repro sweep`` — all six architecture × coordination configs of
+the Table 4-6 evaluation at the fixed seed, serially, so per-config wall
+times are comparable run to run.
+
+Two things are measured and committed as ``e2e_baseline.json``:
+
+* **Determinism counters** — committed/aborted/message counts per config.
+  These must match the baseline *exactly* (the whole simulation is a
+  deterministic function of the seed); any drift means behaviour changed
+  and the baseline must be consciously recommitted.
+* **Calibrated wall ratio** — total best-of-N sweep wall time divided by
+  the wall time of a fixed pure-Python calibration loop measured in the
+  same process.  Machine speed cancels out of the ratio, so a committed
+  ceiling catches real slowdowns (a hot path de-optimised, accidental
+  tracing in the benchmark path) without CI-runner jitter tripping it.
+
+Run it two ways::
+
+    pytest benchmarks/bench_e2e_sweep.py            # counters-only check
+    python benchmarks/bench_e2e_sweep.py --json BENCH_e2e.json
+    python benchmarks/check_e2e_baseline.py BENCH_e2e.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.analysis.sweep import run_sweep, sweep_tasks
+
+from harness import environment_metadata
+
+SEED = 7                 # the canonical evaluation seed
+REPEATS = 2              # sweep passes; per-config wall is best-of-N
+CALIBRATION_ROUNDS = 5   # min-of-N for the calibration loop
+
+BASELINE = pathlib.Path(__file__).with_name("e2e_baseline.json")
+
+
+def calibrate(rounds: int = CALIBRATION_ROUNDS) -> float:
+    """Best-of-N wall time of a fixed pure-Python workload.
+
+    Dict churn + integer arithmetic, the same mix the simulator spends
+    its time in, so interpreter/CPU speed scales both measurements
+    roughly equally and their ratio is machine-portable.
+    """
+
+    def work() -> int:
+        acc = 0
+        table: dict[int, int] = {}
+        for i in range(400_000):
+            table[i & 1023] = i
+            acc += table.get((i + 7) & 1023, i)
+        return acc
+
+    times = []
+    for __ in range(rounds):
+        start = time.perf_counter()
+        work()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def measure(repeats: int = REPEATS) -> dict:
+    """Run the sweep ``repeats`` times; best-of-N wall per config."""
+    tasks = sweep_tasks(seed=SEED)
+    counters = None
+    walls: list[float] = []
+    events: list[int] = []
+    for __ in range(repeats):
+        sweep = run_sweep(tasks, workers=1)
+        rows = sweep.run_log
+        seen = [(row["label"], row["committed"], row["aborted"],
+                 row["messages"]) for row in rows]
+        if counters is None:
+            counters = seen
+            walls = [row["wall_time_s"] for row in rows]
+            events = [row.get("events", 0) for row in rows]
+        else:
+            assert seen == counters, (
+                "sweep counters differ between repeats at the same seed — "
+                "the simulation is no longer deterministic"
+            )
+            walls = [min(wall, row["wall_time_s"])
+                     for wall, row in zip(walls, rows)]
+    total = sum(walls)
+    calibration = calibrate()
+    return {
+        "seed": SEED,
+        "repeats": repeats,
+        "configs": [
+            {"label": label, "committed": committed, "aborted": aborted,
+             "messages": messages, "best_wall_s": round(wall, 4),
+             "events": count}
+            for (label, committed, aborted, messages), wall, count
+            in zip(counters, walls, events)
+        ],
+        "total_best_wall_s": round(total, 4),
+        "calibration_s": round(calibration, 6),
+        "wall_ratio": round(total / calibration, 2),
+        "environment": environment_metadata(),
+    }
+
+
+def test_e2e_sweep_counters_match_committed_baseline():
+    """Determinism gate: one sweep pass must reproduce the baseline."""
+    numbers = measure(repeats=1)
+    baseline = json.loads(BASELINE.read_text(encoding="utf-8"))
+    measured = {c["label"]: (c["committed"], c["aborted"], c["messages"])
+                for c in numbers["configs"]}
+    expected = {c["label"]: (c["committed"], c["aborted"], c["messages"])
+                for c in baseline["configs"]}
+    assert numbers["seed"] == baseline["seed"]
+    assert measured == expected, (
+        "sweep counters drifted from the committed e2e baseline — if the "
+        "change is intentional, regenerate benchmarks/e2e_baseline.json"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write the measured numbers to FILE")
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    args = parser.parse_args()
+    numbers = measure(repeats=args.repeats)
+    print(f"e2e sweep (seed {SEED}, best of {args.repeats}): "
+          f"{numbers['total_best_wall_s']:.2f}s total wall, "
+          f"calibration {numbers['calibration_s'] * 1e3:.1f}ms, "
+          f"wall ratio {numbers['wall_ratio']:.1f}")
+    for config in numbers["configs"]:
+        print(f"  {config['label']:<26} {config['best_wall_s']:7.3f}s  "
+              f"committed {config['committed']} aborted {config['aborted']} "
+              f"messages {config['messages']}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(numbers, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -121,6 +121,9 @@ def main() -> int:
     args = parser.parse_args()
     numbers = test_indexed_engine_at_least_3x_event_throughput()
     if args.json:
+        import harness
+
+        numbers["environment"] = harness.environment_metadata()
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(numbers, handle, indent=2, sort_keys=True)
             handle.write("\n")

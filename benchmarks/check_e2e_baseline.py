@@ -1,0 +1,73 @@
+"""CI gate: fail when the end-to-end sweep drifts or slows vs baseline.
+
+Usage::
+
+    python benchmarks/bench_e2e_sweep.py --json BENCH_e2e.json
+    python benchmarks/check_e2e_baseline.py BENCH_e2e.json
+
+Two checks against the committed ``e2e_baseline.json``:
+
+* **Determinism (exit 2)** — per-config committed/aborted/message counts
+  must match the baseline exactly.  The sweep is a deterministic function
+  of its seed; any drift is a behaviour change that must be recommitted
+  consciously, never absorbed silently.
+* **Wall ratio (exit 1)** — the calibrated wall ratio (sweep wall /
+  calibration-loop wall, machine-portable) must stay under the committed
+  ratio times ``1 + tolerance``.  The tolerance is generous (default
+  0.5) because CI runners are noisy; the gate exists to catch step-change
+  slowdowns, not single-digit-percent regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+BASELINE = pathlib.Path(__file__).with_name("e2e_baseline.json")
+
+
+def _counters(numbers: dict) -> dict[str, tuple[int, int, int]]:
+    return {c["label"]: (c["committed"], c["aborted"], c["messages"])
+            for c in numbers["configs"]}
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: check_e2e_baseline.py BENCH_e2e.json", file=sys.stderr)
+        return 2
+    measured = json.loads(pathlib.Path(argv[0]).read_text(encoding="utf-8"))
+    baseline = json.loads(BASELINE.read_text(encoding="utf-8"))
+
+    if measured["seed"] != baseline["seed"]:
+        print(f"error: seed changed ({measured['seed']} vs baseline "
+              f"{baseline['seed']}); recommit the baseline", file=sys.stderr)
+        return 2
+    mine, theirs = _counters(measured), _counters(baseline)
+    if mine != theirs:
+        print("FAIL: sweep counters drifted from the committed baseline "
+              "(determinism gate):", file=sys.stderr)
+        for label in sorted(set(mine) | set(theirs)):
+            if mine.get(label) != theirs.get(label):
+                print(f"  {label}: measured {mine.get(label)} "
+                      f"vs baseline {theirs.get(label)}", file=sys.stderr)
+        print("if the behaviour change is intentional, regenerate "
+              "benchmarks/e2e_baseline.json", file=sys.stderr)
+        return 2
+
+    tolerance = baseline.get("tolerance", 0.5)
+    ceiling = baseline["wall_ratio"] * (1.0 + tolerance)
+    speedup = baseline["wall_ratio"] / measured["wall_ratio"]
+    print(f"e2e sweep wall ratio: measured {measured['wall_ratio']:.1f}, "
+          f"baseline {baseline['wall_ratio']:.1f}, ceiling {ceiling:.1f} "
+          f"({speedup:.2f}x vs baseline)")
+    if measured["wall_ratio"] > ceiling:
+        print(f"FAIL: end-to-end sweep slowed >{tolerance:.0%} beyond the "
+              f"committed baseline ratio", file=sys.stderr)
+        return 1
+    print("OK: counters identical, wall ratio within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -9,9 +9,6 @@ the ``crew_runs`` key.
 
 from __future__ import annotations
 
-import platform
-import sys
-
 import pytest
 
 import harness
@@ -33,7 +30,4 @@ def _stamp_run_metadata(request):
 def pytest_benchmark_update_json(config, benchmarks, output_json):
     """Make ``--benchmark-json`` files self-describing."""
     output_json["crew_runs"] = list(harness.RUN_LOG)
-    output_json["crew_environment"] = {
-        "python": sys.version.split()[0],
-        "platform": platform.platform(),
-    }
+    output_json["crew_environment"] = harness.environment_metadata()

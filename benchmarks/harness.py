@@ -12,6 +12,9 @@ output, so result files are self-describing.
 
 from __future__ import annotations
 
+import os
+import platform
+import sys
 from typing import Any
 
 from repro.analysis.experiment import (
@@ -23,10 +26,27 @@ from repro.analysis.experiment import (
 from repro.analysis.sweep import SweepTask, run_sweep
 
 __all__ = ["BENCH_PARAMS", "BenchResult", "RUN_LOG", "SweepTask",
-           "build_system", "run_architecture", "run_architectures"]
+           "build_system", "environment_metadata", "run_architecture",
+           "run_architectures"]
 
 #: Metadata of every experiment run in this process, in call order.
 RUN_LOG: list[dict[str, Any]] = []
+
+
+def environment_metadata() -> dict[str, Any]:
+    """Provenance stamp for benchmark result files.
+
+    Wall-clock numbers are meaningless without knowing what produced
+    them; every benchmark JSON carries this block so a result file can
+    be judged (and a baseline recommitted) without asking where it ran.
+    """
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def run_architecture(architecture: str, **kwargs) -> BenchResult:

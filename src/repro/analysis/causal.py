@@ -148,6 +148,10 @@ class CausalTrace:
                     kind=row.get("kind", ""),
                     detail=dict(row.get("detail") or {}),
                 ))
+            elif kind == "meta":
+                # Trailing provenance line (dropped-record accounting);
+                # carries no events, so the analyzer skips it.
+                continue
             else:
                 raise CrewError(
                     f"trace line {lineno} has unknown type {kind!r}"

@@ -30,13 +30,15 @@ developer laptop.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.analysis.causal import CausalTrace
 from repro.analysis.invariants import Violation, check_invariants
 from repro.errors import CrewError
+from repro.obs.profile import peak_rss_kb
 from repro.sim.faults import FaultPlan, random_plan
 from repro.workloads.params import WorkloadParameters
 
@@ -141,10 +143,18 @@ class ChaosOutcome:
     violations: list[str] = field(default_factory=list)
     minimized_spec: str | None = None
     trace_jsonl: str | None = None
+    wall_time_s: float = 0.0
+    events: int = 0
+    peak_rss_kb: int | None = None
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def events_per_sec(self) -> float:
+        """Kernel events processed per wall-clock second."""
+        return self.events / self.wall_time_s if self.wall_time_s > 0 else 0.0
 
     @property
     def repro_line(self) -> str:
@@ -163,6 +173,10 @@ class ChaosOutcome:
             "messages": self.messages,
             "lost_messages": self.lost_messages,
             "sim_time": self.sim_time,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "events": self.events,
+            "events_per_sec": round(self.events_per_sec, 1),
+            "peak_rss_kb": self.peak_rss_kb,
             "fault_stats": dict(self.fault_stats),
             "violations": list(self.violations),
             "minimized_plan": self.minimized_spec,
@@ -275,6 +289,7 @@ def _execute(task: ChaosTask, plan: FaultPlan,
     from repro.obs.export import trace_to_jsonl
     from repro.workloads.generator import WorkloadGenerator
 
+    started_wall = time.perf_counter()
     architecture, coordination = split_config(task.config)
     params = task.resolved_params()
     generator = WorkloadGenerator(params, seed=task.seed, key_pool=2,
@@ -313,6 +328,9 @@ def _execute(task: ChaosTask, plan: FaultPlan,
         sim_time=system.simulator.now,
         fault_stats=injector.stats.as_dict(),
         violations=[v.render() for v in violations],
+        wall_time_s=time.perf_counter() - started_wall,
+        events=system.simulator.events_processed,
+        peak_rss_kb=peak_rss_kb(),
     )
     if violations and collect_trace:
         outcome.trace_jsonl = trace_to_jsonl(system.trace, system.tracer)
@@ -373,14 +391,34 @@ def _run_chaos_task(task: ChaosTask) -> ChaosOutcome:
     return task.run()
 
 
+#: Progress callback signature: ``progress(done, total, task, outcome)``,
+#: invoked once per *completed* task, in completion (not canonical) order.
+ChaosProgressFn = Callable[[int, int, ChaosTask, ChaosOutcome], None]
+
+
+def _run_chaos_serial(task_list: list[ChaosTask],
+                      progress: ChaosProgressFn | None) -> list[ChaosOutcome]:
+    outcomes = []
+    for index, task in enumerate(task_list):
+        outcome = task.run()
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(index + 1, len(task_list), task, outcome)
+    return outcomes
+
+
 def run_chaos(
-    tasks: Iterable[ChaosTask], workers: int | None = None
+    tasks: Iterable[ChaosTask],
+    workers: int | None = None,
+    progress: ChaosProgressFn | None = None,
 ) -> list[ChaosOutcome]:
     """Run every chaos task; outcomes come back in canonical task order.
 
     Mirrors :func:`repro.analysis.sweep.run_sweep`: each task is
     deterministic given its ``(config, seed, plan)``, so worker count and
-    scheduling never change a verdict — only the wall time.
+    scheduling never change a verdict — only the wall time.  ``progress``
+    is called after each task completes (in completion order — outcomes
+    still merge in canonical order).
     """
     from repro.analysis.sweep import default_workers
 
@@ -388,9 +426,20 @@ def run_chaos(
     count = default_workers() if workers is None else max(1, int(workers))
     count = min(count, len(task_list)) or 1
     if count <= 1 or len(task_list) <= 1:
-        return [task.run() for task in task_list]
+        return _run_chaos_serial(task_list, progress)
     try:
         with ProcessPoolExecutor(max_workers=count) as pool:
-            return list(pool.map(_run_chaos_task, task_list))
+            if progress is None:
+                return list(pool.map(_run_chaos_task, task_list))
+            futures = {pool.submit(_run_chaos_task, task): index
+                       for index, task in enumerate(task_list)}
+            slots: list[ChaosOutcome | None] = [None] * len(task_list)
+            done = 0
+            for future in as_completed(futures):
+                index = futures[future]
+                slots[index] = future.result()
+                done += 1
+                progress(done, len(task_list), task_list[index], slots[index])
+            return slots  # type: ignore[return-value]
     except (OSError, PermissionError):  # pragma: no cover - sandboxed hosts
-        return [task.run() for task in task_list]
+        return _run_chaos_serial(task_list, progress)

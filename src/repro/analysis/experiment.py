@@ -33,6 +33,7 @@ from repro.engines import (
     SystemConfig,
 )
 from repro.model.policies import AlwaysReexecute
+from repro.obs.profile import peak_rss_kb
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.params import PAPER_DEFAULTS, WorkloadParameters
 
@@ -87,11 +88,18 @@ class ArchitectureResult:
     messages: int = 0
     spans: int = 0
     trace_records: int = 0
+    events: int = 0
+    peak_rss_kb: int | None = None
 
     def report(self) -> str:
         return render_comparison(
             architecture_model(self.architecture, self.params), self.measured
         )
+
+    @property
+    def events_per_sec(self) -> float:
+        """Kernel events processed per wall-clock second."""
+        return self.events / self.wall_time_s if self.wall_time_s > 0 else 0.0
 
     def run_metadata(self) -> dict[str, Any]:
         """JSON-safe provenance record for benchmark result files."""
@@ -103,6 +111,9 @@ class ArchitectureResult:
             "committed": self.committed,
             "aborted": self.aborted,
             "messages": self.messages,
+            "events": self.events,
+            "events_per_sec": round(self.events_per_sec, 1),
+            "peak_rss_kb": self.peak_rss_kb,
             "trace": {"spans": self.spans, "records": self.trace_records},
         }
 
@@ -137,6 +148,8 @@ def run_architecture_experiment(
         messages=system.metrics.total_messages(),
         spans=len(system.tracer.spans),
         trace_records=len(system.trace),
+        events=system.simulator.events_processed,
+        peak_rss_kb=peak_rss_kb(),
     )
 
 

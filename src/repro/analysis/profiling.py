@@ -1,0 +1,181 @@
+"""Profiled experiment runs: any config or a full sweep under the profiler.
+
+Glue between the evaluation harness and :class:`repro.obs.profile.
+Profiler`: build a control system for an ``<architecture>-<mode>``
+config, install the profiler across its duck-typed hook points, drive
+the Table-3 workload, and hand back both the per-run counters and the
+accumulated profile.  Modes extend the sweep grid with ``failure`` —
+every schema's designated failure step fails on its first attempt (the
+:func:`~repro.analysis.experiment.ocr_ablation` pattern), so the OCR
+recovery and rollback frames actually appear in the profile.
+
+One :class:`~repro.obs.profile.Profiler` may be threaded through several
+runs (``repro profile --sweep``); runs execute sequentially in-process —
+frame attribution cannot cross a process pool.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.analysis.experiment import EVAL_PARAMS, build_control_system
+from repro.core.programs import ConstantProgram, FailEveryNth
+from repro.errors import CrewError
+from repro.obs.profile import Profiler, peak_rss_kb
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.params import WorkloadParameters
+
+__all__ = [
+    "PROFILE_ARCHITECTURES",
+    "PROFILE_MODES",
+    "ProfileRun",
+    "profile_configs",
+    "run_profiled",
+    "run_profiled_sweep",
+    "split_profile_config",
+]
+
+PROFILE_ARCHITECTURES = ("centralized", "parallel", "distributed")
+PROFILE_MODES = ("normal", "coordinated", "failure")
+
+
+def profile_configs(modes: tuple[str, ...] = ("normal", "coordinated")) -> list[str]:
+    """The profileable config grid (sweep order: architecture-major)."""
+    return [f"{architecture}-{mode}"
+            for architecture in PROFILE_ARCHITECTURES for mode in modes]
+
+
+def split_profile_config(label: str) -> tuple[str, str]:
+    """``"distributed-failure"`` -> ``("distributed", "failure")``.
+
+    Accepts both the profile CLI's ``-`` separator and the sweep/chaos
+    ``/`` separator, so sweep labels paste straight into ``repro
+    profile --config``.
+    """
+    for sep in ("/", "-"):
+        architecture, found, mode = label.partition(sep)
+        if found:
+            break
+    if (architecture not in PROFILE_ARCHITECTURES
+            or mode not in PROFILE_MODES):
+        expected = [f"{a}-{m}" for a in PROFILE_ARCHITECTURES
+                    for m in PROFILE_MODES]
+        raise CrewError(
+            f"bad profile config {label!r}; expected one of {expected}"
+        )
+    return architecture, mode
+
+
+@dataclass
+class ProfileRun:
+    """Counters of one profiled run (the profiler itself accumulates)."""
+
+    config: str
+    seed: int
+    committed: int
+    aborted: int
+    messages: int
+    events: int
+    sim_time: float
+    wall_time_s: float
+    peak_rss_kb: int | None
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "config": self.config,
+            "seed": self.seed,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "messages": self.messages,
+            "events": self.events,
+            "sim_time": round(self.sim_time, 3),
+            "wall_time_s": round(self.wall_time_s, 6),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "peak_rss_kb": self.peak_rss_kb,
+        }
+
+
+def run_profiled(
+    config: str,
+    seed: int = 7,
+    params: WorkloadParameters | None = None,
+    instances_per_schema: int | None = None,
+    profiler: Profiler | None = None,
+    sample_interval: int = 256,
+) -> tuple[ProfileRun, Profiler]:
+    """Run one config under the profiler; returns ``(run, profiler)``.
+
+    Pass an existing ``profiler`` to accumulate several runs into one
+    profile (the ``--sweep`` path); otherwise a fresh one is created.
+    The run itself is the deterministic Table-3 workload of
+    :func:`~repro.analysis.experiment.run_architecture_experiment` —
+    profiling never changes counters, only observes them.
+    """
+    architecture, mode = split_profile_config(config)
+    point = params if params is not None else EVAL_PARAMS
+    generator = WorkloadGenerator(point, seed=seed, key_pool=2,
+                                  coordination=(mode == "coordinated"))
+    workload = generator.build()
+    system = build_control_system(architecture, point, seed=seed)
+    generator.install(system, workload)
+    if mode == "failure":
+        # Every schema's designated failure step fails its first attempt,
+        # exercising the OCR recovery path (the ocr_ablation pattern).
+        for schema in workload.schemas:
+            failing = workload.failure_steps[schema.name]
+            outputs = {out: f"{schema.name}.{failing}.{out}"
+                       for out in schema.steps[failing].outputs}
+            system.register_program(
+                schema.steps[failing].program,
+                FailEveryNth(ConstantProgram(outputs), {1}),
+            )
+    prof = profiler if profiler is not None else Profiler(sample_interval)
+    prof.install(system)
+    started = time.perf_counter()
+    generator.drive(system, workload,
+                    instances_per_schema=instances_per_schema)
+    system.run()
+    wall = time.perf_counter() - started
+    prof.publish(system.registry)
+    run = ProfileRun(
+        config=config,
+        seed=seed,
+        committed=system.metrics.instances_committed,
+        aborted=system.metrics.instances_aborted,
+        messages=system.metrics.total_messages(),
+        events=system.simulator.events_processed,
+        sim_time=system.simulator.now,
+        wall_time_s=wall,
+        peak_rss_kb=peak_rss_kb(),
+    )
+    return run, prof
+
+
+def run_profiled_sweep(
+    configs: list[str] | None = None,
+    seed: int = 7,
+    params: WorkloadParameters | None = None,
+    instances_per_schema: int | None = None,
+    sample_interval: int = 256,
+) -> tuple[list[ProfileRun], Profiler]:
+    """Run several configs sequentially under one shared profiler.
+
+    Defaults to the canonical six-config sweep grid; frames, counters
+    and collapsed stacks accumulate across the runs.
+    """
+    chosen = configs if configs is not None else profile_configs()
+    profiler = Profiler(sample_interval)
+    runs = []
+    for label in chosen:
+        run, __ = run_profiled(
+            label, seed=seed, params=params,
+            instances_per_schema=instances_per_schema, profiler=profiler,
+        )
+        runs.append(run)
+    return runs, profiler

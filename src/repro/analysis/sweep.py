@@ -20,9 +20,9 @@ when the platform cannot spawn processes (restricted sandboxes).
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.analysis.experiment import ArchitectureResult, run_architecture_experiment
 from repro.workloads.params import WorkloadParameters
@@ -86,31 +86,65 @@ def _run_task(task: SweepTask) -> ArchitectureResult:
     return task.run()
 
 
+#: Progress callback signature: ``progress(done, total, task, result)``,
+#: invoked once per *completed* task, in completion (not canonical) order.
+ProgressFn = Callable[[int, int, SweepTask, ArchitectureResult], None]
+
+
+def _run_serial(task_list: list[SweepTask],
+                progress: ProgressFn | None) -> list[ArchitectureResult]:
+    results = []
+    for index, task in enumerate(task_list):
+        result = task.run()
+        results.append(result)
+        if progress is not None:
+            progress(index + 1, len(task_list), task, result)
+    return results
+
+
 def run_sweep(
-    tasks: Iterable[SweepTask], workers: int | None = None
+    tasks: Iterable[SweepTask],
+    workers: int | None = None,
+    progress: ProgressFn | None = None,
 ) -> SweepResult:
     """Run every task and return results in canonical (submission) order.
 
     ``workers`` defaults to :func:`default_workers`; ``workers <= 1`` runs
     serially in-process.  Each task is deterministic given its own seed,
     so worker count and scheduling order never change any result — only
-    the wall time.
+    the wall time.  ``progress`` is called after each task completes (in
+    completion order — results still merge in canonical order).
     """
     task_list = list(tasks)
     count = default_workers() if workers is None else max(1, int(workers))
     count = min(count, len(task_list)) or 1
     if count <= 1 or len(task_list) <= 1:
-        results = [task.run() for task in task_list]
-        return SweepResult(tasks=task_list, results=results, workers=1)
+        return SweepResult(tasks=task_list,
+                           results=_run_serial(task_list, progress), workers=1)
     try:
         with ProcessPoolExecutor(max_workers=count) as pool:
-            # Executor.map preserves submission order, so the merge is the
-            # identity: results land in canonical config order regardless
-            # of which worker finished first.
-            results = list(pool.map(_run_task, task_list))
+            if progress is None:
+                # Executor.map preserves submission order, so the merge is
+                # the identity: results land in canonical config order
+                # regardless of which worker finished first.
+                results = list(pool.map(_run_task, task_list))
+            else:
+                # submit + as_completed so progress fires as tasks finish;
+                # slots keyed by submission index keep canonical order.
+                futures = {pool.submit(_run_task, task): index
+                           for index, task in enumerate(task_list)}
+                slots: list[ArchitectureResult | None] = [None] * len(task_list)
+                done = 0
+                for future in as_completed(futures):
+                    index = futures[future]
+                    slots[index] = future.result()
+                    done += 1
+                    progress(done, len(task_list), task_list[index],
+                             slots[index])
+                results = slots  # type: ignore[assignment]
     except (OSError, PermissionError):  # pragma: no cover - sandboxed hosts
-        results = [task.run() for task in task_list]
-        return SweepResult(tasks=task_list, results=results, workers=1)
+        return SweepResult(tasks=task_list,
+                           results=_run_serial(task_list, progress), workers=1)
     return SweepResult(tasks=task_list, results=results, workers=count)
 
 

@@ -41,6 +41,13 @@ Commands
     protocol invariants plus liveness/durability checks.  A violating
     run is minimized and reported as a one-line replayable repro;
     ``--seed S --plan SPEC`` replays one schedule bit-for-bit.
+``profile``
+    Run one config (``--config distributed-failure``) or the full sweep
+    grid (``--sweep``) under the in-engine instrumentation profiler and
+    print the ranked top-frames table; ``--collapsed`` writes
+    flamegraph-ready collapsed stacks, ``--chrome`` a Chrome trace with
+    counter tracks, ``--metrics-out`` the profile counters as Prometheus
+    text.
 """
 
 from __future__ import annotations
@@ -55,6 +62,7 @@ from repro.analysis.experiment import (
     ocr_ablation,
     render_evaluation,
 )
+from repro.analysis.profiling import profile_configs, run_profiled_sweep
 from repro.analysis.sweep import default_workers, run_sweep, sweep_tasks
 from repro.analysis.invariants import INVARIANTS, check_invariants
 from repro.analysis.model import architecture_model
@@ -75,7 +83,12 @@ from repro.engines import (
 from repro.errors import CrewError
 from repro.laws import load_laws
 from repro.model import compile_schema
-from repro.obs import prometheus_text, render_chrome_trace, trace_to_jsonl
+from repro.obs import (
+    MetricsRegistry,
+    prometheus_text,
+    render_chrome_trace,
+    trace_to_jsonl,
+)
 from repro.workloads import (
     WorkloadGenerator,
     WorkloadParameters,
@@ -263,21 +276,32 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
+def _sweep_progress(done: int, total: int, task, result) -> None:
+    """Per-task status line on stderr (``--progress``)."""
+    print(f"  [{done}/{total}] {task.label or task.architecture}: "
+          f"{result.wall_time_s:.2f}s wall, "
+          f"{result.events_per_sec:,.0f} events/s",
+          file=sys.stderr, flush=True)
+
+
 def cmd_sweep(args) -> int:
     import time as _time
 
     tasks = sweep_tasks(seed=args.seed)
     workers = args.workers if args.workers is not None else default_workers()
     started = _time.perf_counter()
-    sweep = run_sweep(tasks, workers=workers)
+    sweep = run_sweep(tasks, workers=workers,
+                      progress=_sweep_progress if args.progress else None)
     wall = _time.perf_counter() - started
     print(f"# sweep: {len(tasks)} configs on {sweep.workers} worker(s), "
           f"{wall:.2f}s wall")
     print()
     print(format_table(
-        ["config", "committed", "aborted", "messages", "task wall s"],
+        ["config", "committed", "aborted", "messages", "task wall s",
+         "events/s"],
         [[row.get("label", "-"), row["committed"], row["aborted"],
-          row["messages"], f"{row['wall_time_s']:.3f}"]
+          row["messages"], f"{row['wall_time_s']:.3f}",
+          f"{row.get('events_per_sec', 0):,.0f}"]
          for row in sweep.run_log],
     ))
     if args.report:
@@ -312,6 +336,11 @@ def cmd_scenario(args) -> int:
 def cmd_trace(args) -> int:
     system, __ = _run_scenario(args)
     system.tracer.finish(system.simulator.now)
+    if system.trace is not None and system.trace.dropped:
+        policy = "oldest" if system.trace.ring else "newest"
+        print(f"warning: trace ring buffer dropped "
+              f"{system.trace.dropped} record(s) ({policy} first; "
+              f"capacity {system.trace.capacity})", file=sys.stderr)
     nodes = set(args.node) if args.node else None
     categories = set(args.category) if args.category else None
     if args.follow:
@@ -414,7 +443,16 @@ def cmd_chaos(args) -> int:
     tasks = chaos_tasks(seeds, configs=configs, plan_spec=args.plan or "",
                         strict=args.strict)
     workers = args.workers if args.workers is not None else default_workers()
-    outcomes = run_chaos(tasks, workers=workers)
+
+    def chaos_progress(done, total, task, outcome):
+        status = "ok" if outcome.ok else "VIOLATION"
+        print(f"  [{done}/{total}] {task.config} seed {task.seed}: "
+              f"{outcome.wall_time_s:.2f}s wall, "
+              f"{outcome.events_per_sec:,.0f} events/s, {status}",
+              file=sys.stderr, flush=True)
+
+    outcomes = run_chaos(tasks, workers=workers,
+                         progress=chaos_progress if args.progress else None)
 
     rows = []
     for outcome in outcomes:
@@ -455,6 +493,54 @@ def cmd_chaos(args) -> int:
                 handle.write(outcome.repro_line + "\n")
             print(f"artifacts: {trace_path}, {repro_path}")
     return 1 if bad else 0
+
+
+def cmd_profile(args) -> int:
+    import json
+
+    if args.sweep or not args.config:
+        configs = profile_configs()
+        if args.config:
+            configs += [c for c in args.config if c not in configs]
+    else:
+        configs = list(args.config)
+    runs, prof = run_profiled_sweep(
+        configs, seed=args.seed, sample_interval=args.sample_interval,
+    )
+    print(f"# profile: {len(runs)} config(s), seed {args.seed}, "
+          f"{sum(r.wall_time_s for r in runs):.2f}s profiled wall")
+    print()
+    print(format_table(
+        ["config", "committed", "aborted", "messages", "events",
+         "sim time", "wall s", "events/s", "peak RSS KB"],
+        [[run.config, run.committed, run.aborted, run.messages, run.events,
+          f"{run.sim_time:.1f}", f"{run.wall_time_s:.3f}",
+          f"{run.events_per_sec:,.0f}",
+          run.peak_rss_kb if run.peak_rss_kb is not None else "-"]
+         for run in runs],
+    ))
+    print()
+    print(prof.render_top(limit=args.top))
+    if args.collapsed:
+        _emit(prof.collapsed(), args.collapsed)
+    else:
+        print()
+        print("# collapsed stacks (flamegraph input: frame;frame;... self_us)")
+        print(prof.collapsed())
+    if args.chrome:
+        _emit(json.dumps(prof.chrome_counter_trace(), indent=1), args.chrome)
+    if args.metrics_out:
+        registry = MetricsRegistry()
+        prof.publish(registry)
+        _emit(prometheus_text(registry), args.metrics_out)
+    if args.json:
+        _emit(json.dumps({
+            "seed": args.seed,
+            "runs": [run.as_dict() for run in runs],
+            "profile": prof.summary(),
+            "top_frames": [stat.as_dict() for stat in prof.top_frames()],
+        }, indent=1), args.json)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -522,6 +608,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also render the merged Tables 4-7 report")
     sweep.add_argument("--output", default=None,
                        help="write the report to this file (with --report)")
+    sweep.add_argument("--progress", action="store_true",
+                       help="print a per-task status line (config, wall "
+                            "time, events/s) on stderr as tasks finish")
     sweep.set_defaults(fn=cmd_sweep)
 
     def scenario_args(p, trace_outs: bool = True) -> None:
@@ -609,7 +698,39 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--out", default=None, metavar="DIR",
                        help="write summary JSON + per-violation trace/repro "
                             "artifacts into this directory")
+    chaos.add_argument("--progress", action="store_true",
+                       help="print a per-run status line (config, seed, "
+                            "wall time, events/s) on stderr as runs finish")
     chaos.set_defaults(fn=cmd_chaos)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run configs under the in-engine instrumentation profiler",
+    )
+    profile.add_argument("--config", action="append", metavar="ARCH-MODE",
+                         help="profile one config, e.g. distributed-failure "
+                              "(repeatable; modes: normal, coordinated, "
+                              "failure; default: the six-config sweep grid)")
+    profile.add_argument("--sweep", action="store_true",
+                         help="profile the full six-config sweep grid "
+                              "(the default when no --config is given); "
+                              "with --config, runs the grid plus the extras")
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument("--top", type=int, default=15,
+                         help="rows in the ranked top-frames table")
+    profile.add_argument("--sample-interval", type=int, default=256,
+                         help="events between counter-track samples")
+    profile.add_argument("--collapsed", default=None, metavar="FILE",
+                         help="write collapsed stacks (flamegraph input) to "
+                              "FILE instead of stdout")
+    profile.add_argument("--chrome", default=None, metavar="FILE",
+                         help="write a Chrome trace-event JSON of the "
+                              "profiler's counter tracks")
+    profile.add_argument("--metrics-out", default=None, metavar="FILE",
+                         help="write the profile counters as Prometheus text")
+    profile.add_argument("--json", default=None, metavar="FILE",
+                         help="write per-run counters + frame stats as JSON")
+    profile.set_defaults(fn=cmd_profile)
     return parser
 
 

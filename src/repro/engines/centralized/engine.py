@@ -25,6 +25,7 @@ from repro.engines.centralized.recovery import EngineRecoveryMixin
 from repro.engines.coord import AuthorityBundle, SpecIndex
 from repro.engines.runtime import EngineRuntime, InflightStep, ProbeWait
 from repro.errors import FrontEndError, SchemaError, SimulationError
+from repro.obs.profile import profiled
 from repro.rules.engine import RuleEngine, RuleInstance
 from repro.rules.events import WF_START, step_done
 from repro.sim.metrics import Mechanism
@@ -85,6 +86,7 @@ class CentralEngineNode(EngineCoordinationMixin, EngineRecoveryMixin, Node):
             action=lambda rule, iid=instance_id: self._on_rule(iid, rule),
             env_provider=state.env,
             fire_hook=self.system.rule_fire_hook(self.name, instance_id),
+            profile=self.network.profile,
         )
         runtime = EngineRuntime(
             state=state,
@@ -123,6 +125,7 @@ class CentralEngineNode(EngineCoordinationMixin, EngineRecoveryMixin, Node):
         else:  # pragma: no cover - defensive
             raise SimulationError(f"engine cannot run rule kind {rule.kind!r}")
 
+    @profiled("dispatch.step")
     def _begin_step(
         self, instance_id: str, step: str, rule: RuleInstance | None = None
     ) -> None:
@@ -277,6 +280,7 @@ class CentralEngineNode(EngineCoordinationMixin, EngineRecoveryMixin, Node):
             wait.inputs, wait.attempt,
         )
 
+    @profiled("dispatch.wi")
     def _send_execute(
         self,
         instance_id: str,
@@ -553,6 +557,7 @@ class CentralEngineNode(EngineCoordinationMixin, EngineRecoveryMixin, Node):
         self._probes.clear()
         self._chains.clear()
 
+    @profiled("recovery.replay")
     def on_recover(self) -> None:
         """Forward recovery: rebuild instance tables from the WAL.
 
@@ -570,6 +575,7 @@ class CentralEngineNode(EngineCoordinationMixin, EngineRecoveryMixin, Node):
                 action=lambda rule, iid=state.instance_id: self._on_rule(iid, rule),
                 env_provider=state.env,
                 fire_hook=self.system.rule_fire_hook(self.name, state.instance_id),
+                profile=self.network.profile,
             )
             runtime = EngineRuntime(
                 state=state,

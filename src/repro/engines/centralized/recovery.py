@@ -14,6 +14,7 @@ from repro.core.recovery import RecoveryTokens
 from repro.engines.base import record_compensation
 from repro.engines.runtime import CompensationChain, EngineRuntime
 from repro.errors import SimulationError
+from repro.obs.profile import profiled
 from repro.rules.engine import RuleInstance
 from repro.sim.metrics import Mechanism
 from repro.sim.network import Message
@@ -122,6 +123,7 @@ class EngineRecoveryMixin:
 
     # ------------------------------------------------------------ failure handling
 
+    @profiled("recovery.ocr")
     def _handle_failure(self, instance_id: str, failed_step: str) -> None:
         runtime = self.runtimes.get(instance_id)
         if runtime is None:
@@ -149,6 +151,7 @@ class EngineRecoveryMixin:
             return
         self._rollback(instance_id, origin, Mechanism.FAILURE)
 
+    @profiled("recovery.rollback")
     def _rollback(
         self,
         instance_id: str,

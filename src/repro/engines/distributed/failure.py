@@ -16,6 +16,7 @@ from repro.core.interfaces import WI
 from repro.engines.distributed.navigation import elect_executor
 from repro.engines.runtime import member_done_times
 from repro.model.schema import StepType
+from repro.obs.profile import profiled
 from repro.rules.events import step_done
 from repro.sim.metrics import Mechanism
 from repro.sim.network import Message
@@ -42,6 +43,7 @@ class AgentFailureMixin:
 
     # ------------------------------------------------------------------ step failure
 
+    @profiled("recovery.ocr")
     def _handle_failure(self, instance_id: str, failed_step: str) -> None:
         runtime = self.runtimes.get(instance_id)
         if runtime is None:

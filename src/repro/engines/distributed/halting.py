@@ -25,6 +25,7 @@ from repro.engines.runtime import (
     open_invalidation_round,
 )
 from repro.model.policies import DEFAULT_POLICY
+from repro.obs.profile import profiled
 from repro.rules.events import step_done
 from repro.sim.metrics import Mechanism
 from repro.sim.network import Message
@@ -41,6 +42,7 @@ class AgentHaltingMixin:
     def _on_workflow_rollback(self, message: Message) -> None:
         self._apply_workflow_rollback(message.payload)
 
+    @profiled("recovery.rollback")
     def _apply_workflow_rollback(self, payload: Mapping[str, Any]) -> None:
         instance_id = payload["instance_id"]
         runtime = self.runtimes.get(instance_id)

@@ -33,6 +33,7 @@ from repro.engines.runtime import (
 )
 from repro.errors import SchemaError, SimulationError
 from repro.model.policies import DEFAULT_POLICY
+from repro.obs.profile import profiled
 from repro.rules.engine import RuleInstance
 from repro.rules.events import step_done
 from repro.sim.metrics import Mechanism
@@ -157,6 +158,7 @@ class AgentNavigationMixin:
             entered_via_split = True
         self._execute_step(instance_id, step, entered_via_split=entered_via_split)
 
+    @profiled("dispatch.step")
     def _execute_step(
         self, instance_id: str, step: str, entered_via_split: bool = False
     ) -> None:
@@ -407,6 +409,7 @@ class AgentNavigationMixin:
             self._send_step_packets(runtime, instance_id, successor, mechanism,
                                     eligible, assigned, only_to)
 
+    @profiled("dispatch.packet")
     def _send_step_packets(
         self,
         runtime: AgentRuntime,

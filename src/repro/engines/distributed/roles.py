@@ -36,6 +36,7 @@ from repro.engines.distributed.navigation import (
 from repro.engines.runtime import AgentRuntime
 from repro.errors import FrontEndError, SimulationError
 from repro.model.compiler import CompiledSchema
+from repro.obs.profile import profiled
 from repro.rules.engine import RuleEngine
 from repro.rules.events import WF_START
 from repro.sim.metrics import Mechanism
@@ -121,6 +122,7 @@ class WorkflowAgentNode(
             env_provider=fragment.env,
             steps=hosted,
             fire_hook=self.system.rule_fire_hook(self.name, instance_id),
+            profile=self.network.profile,
         )
         runtime = AgentRuntime(
             state=fragment,
@@ -345,6 +347,7 @@ class WorkflowAgentNode(
         # Commit trackers are volatile too; they rebuild from re-reports.
         # (Summaries are durable in the AGDB.)
 
+    @profiled("recovery.replay")
     def on_recover(self) -> None:
         """Rebuild fragments from the AGDB WAL and resume.
 
@@ -365,6 +368,7 @@ class WorkflowAgentNode(
                 env_provider=fragment.env,
                 steps=hosted,
                 fire_hook=self.system.rule_fire_hook(self.name, instance_id),
+                profile=self.network.profile,
             )
             runtime = AgentRuntime(
                 state=fragment,

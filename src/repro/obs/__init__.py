@@ -13,7 +13,11 @@ shows:
   makespan, recovery duration, pending-rule-table depth);
 * :mod:`repro.obs.export` — JSONL trace dumps, Chrome trace-event JSON
   (loadable in ``chrome://tracing`` / Perfetto) and Prometheus text-format
-  metric snapshots.
+  metric snapshots;
+* :mod:`repro.obs.profile` — an in-engine instrumentation profiler
+  attributing wall-clock and simulated time to named subsystem frames
+  (kernel, transport, rules, WAL, dispatch, recovery), with ranked
+  tables, collapsed-stack output and Chrome counter tracks.
 
 Every control system owns one :class:`~repro.obs.spans.Tracer` and one
 :class:`~repro.obs.registry.MetricsRegistry`; both follow the system's
@@ -28,6 +32,7 @@ from repro.obs.export import (
     trace_to_jsonl,
 )
 from repro.obs.flight import FlightRecorder
+from repro.obs.profile import FrameStat, Profiler, peak_rss_kb, profiled
 from repro.obs.registry import (
     CounterMetric,
     GaugeMetric,
@@ -40,14 +45,18 @@ __all__ = [
     "NULL_SPAN",
     "CounterMetric",
     "FlightRecorder",
+    "FrameStat",
     "GaugeMetric",
     "HistogramMetric",
     "MessageTracer",
     "MetricsRegistry",
+    "Profiler",
     "Span",
     "SpanContext",
     "Tracer",
     "chrome_trace",
+    "peak_rss_kb",
+    "profiled",
     "prometheus_text",
     "render_chrome_trace",
     "trace_to_jsonl",

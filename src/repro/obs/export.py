@@ -105,7 +105,17 @@ def trace_to_jsonl(
             }))
             order += 1
     rows.sort(key=lambda r: (r[0], r[1]))
-    return "\n".join(json.dumps(row, sort_keys=True) for __, ___, row in rows)
+    lines = [json.dumps(row, sort_keys=True) for __, ___, row in rows]
+    if trace is not None and trace.dropped:
+        # A truncated trace must say so in-band: one trailing meta line
+        # so downstream consumers can detect the loss.
+        lines.append(json.dumps({
+            "type": "meta",
+            "dropped_records": trace.dropped,
+            "drop_policy": "oldest" if trace.ring else "newest",
+            "capacity": trace.capacity,
+        }, sort_keys=True))
+    return "\n".join(lines)
 
 
 # -- Chrome trace-event format --------------------------------------------
@@ -225,7 +235,14 @@ def chrome_trace(
                 "tid": tid_of(rec.node),
                 "args": _safe_attrs(dict(rec.detail)),
             })
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    document: dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if trace is not None and trace.dropped:
+        document["metadata"] = {
+            "dropped_records": trace.dropped,
+            "drop_policy": "oldest" if trace.ring else "newest",
+            "capacity": trace.capacity,
+        }
+    return document
 
 
 def render_chrome_trace(
@@ -258,8 +275,20 @@ def _fmt_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format:
+    backslash, double-quote and newline must be backslash-escaped."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """HELP text allows everything except raw backslash/newline."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _fmt_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels]
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -272,7 +301,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         kind = registry.kind_of(name)
         help_text = registry.help_of(name)
         if help_text:
-            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
         lines.append(f"# TYPE {name} {kind}")
         for child in children:
             if isinstance(child, HistogramMetric):

@@ -98,6 +98,12 @@ class Simulator:
         #: before each event fires.  Left ``None`` in benchmark runs so
         #: the hot loop pays only one attribute check per event.
         self.event_hook: Callable[[float, int], None] | None = None
+        #: Optional duck-typed profiler (see :class:`repro.obs.profile.
+        #: Profiler`), installed by ``Profiler.install``.  When set, every
+        #: event runs inside a named profiler frame credited with the
+        #: simulation-clock advance it caused; when ``None`` (the default)
+        #: the hot loop pays one ``is None`` branch.
+        self.profile = None
 
     @property
     def now(self) -> float:
@@ -132,9 +138,16 @@ class Simulator:
 
     def _compact(self) -> None:
         """Drop cancelled entries and rebuild the heap in O(live)."""
-        self._queue = [e for e in self._queue if not e.handle.cancelled]
-        heapq.heapify(self._queue)
-        self._cancelled = 0
+        profile = self.profile
+        if profile is not None:
+            profile.push("kernel.heap_compact")
+        try:
+            self._queue = [e for e in self._queue if not e.handle.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
+        finally:
+            if profile is not None:
+                profile.pop()
 
     def _prune_cancelled_head(self) -> None:
         """The single lazy-deletion point: discard cancelled entries at the
@@ -156,11 +169,21 @@ class Simulator:
         entry = heapq.heappop(self._queue)
         handle = entry.handle
         handle._sim = None  # detached: a late cancel no longer counts
+        profile = self.profile
+        if profile is not None:
+            profile.begin_event(handle.action, entry.time,
+                                entry.time - self._now, len(self._queue))
         self._now = entry.time
         self.events_processed += 1
         if self.event_hook is not None:
             self.event_hook(entry.time, len(self._queue))
-        handle.action(*handle.args)
+        if profile is None:
+            handle.action(*handle.args)
+            return True
+        try:
+            handle.action(*handle.args)
+        finally:
+            profile.end_event()
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:

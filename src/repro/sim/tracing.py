@@ -80,8 +80,13 @@ class Trace:
         failure) must land even in benchmark runs with tracing off — a
         flight recorder that vanishes exactly when you need it is
         worthless.  Snapshots are rare, so the capacity policy is not
-        consulted (a ring-mode deque still evicts its oldest on append).
+        consulted — but a ring-mode deque at capacity still evicts its
+        oldest record on append, and that loss must be *counted*: a
+        truncated trace that looks complete is worse than a short one.
         """
+        if (self.ring and self.capacity is not None
+                and len(self.records) >= self.capacity):
+            self.dropped += 1
         self.records.append(TraceRecord(time, node, kind, detail))
 
     # -- queries -------------------------------------------------------------

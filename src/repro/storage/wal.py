@@ -49,21 +49,35 @@ class WalRecord:
 class WriteAheadLog:
     """A durable, append-only sequence of records with checkpoint truncation."""
 
+    #: Optional duck-typed profiler (see :class:`repro.obs.profile.
+    #: Profiler`), set per-instance by ``Profiler.install``.  A class
+    #: attribute so unprofiled logs pay one ``is None`` check per append.
+    profile = None
+
     def __init__(self) -> None:
         self._records: list[WalRecord] = []
         self._next_lsn = 1
         self.appends = 0
 
     def append(self, kind: str, payload: Mapping[str, Any]) -> WalRecord:
-        if not isinstance(payload, dict):
-            raise StorageError(f"WAL payload must be a dict, got {type(payload).__name__}")
-        lsn = self._next_lsn
-        record = WalRecord(lsn=lsn, kind=kind, payload=payload,
-                           checksum=record_checksum(lsn, kind, payload))
-        self._next_lsn += 1
-        self._records.append(record)
-        self.appends += 1
-        return record
+        profile = self.profile
+        if profile is not None:
+            profile.push("wal.append")
+        try:
+            if not isinstance(payload, dict):
+                raise StorageError(
+                    f"WAL payload must be a dict, got {type(payload).__name__}"
+                )
+            lsn = self._next_lsn
+            record = WalRecord(lsn=lsn, kind=kind, payload=payload,
+                               checksum=record_checksum(lsn, kind, payload))
+            self._next_lsn += 1
+            self._records.append(record)
+            self.appends += 1
+            return record
+        finally:
+            if profile is not None:
+                profile.pop()
 
     def verify(self) -> int:
         """Check every record's checksum; returns the count verified.
@@ -93,21 +107,30 @@ class WriteAheadLog:
         vector), otherwise they are ignored.  ``verify=True`` additionally
         checks each record's checksum before handing it to its handler.
         """
-        replayed = 0
-        for record in self._records:
-            if verify and not record.verify():
-                raise StorageError(
-                    f"WAL corruption detected at lsn {record.lsn} "
-                    f"(kind {record.kind!r}): checksum mismatch"
-                )
-            handler = handlers.get(record.kind)
-            if handler is None:
-                if strict:
-                    raise StorageError(f"no WAL replay handler for kind {record.kind!r}")
-                continue
-            handler(record.payload)
-            replayed += 1
-        return replayed
+        profile = self.profile
+        if profile is not None:
+            profile.push("wal.replay")
+        try:
+            replayed = 0
+            for record in self._records:
+                if verify and not record.verify():
+                    raise StorageError(
+                        f"WAL corruption detected at lsn {record.lsn} "
+                        f"(kind {record.kind!r}): checksum mismatch"
+                    )
+                handler = handlers.get(record.kind)
+                if handler is None:
+                    if strict:
+                        raise StorageError(
+                            f"no WAL replay handler for kind {record.kind!r}"
+                        )
+                    continue
+                handler(record.payload)
+                replayed += 1
+            return replayed
+        finally:
+            if profile is not None:
+                profile.pop()
 
     def checkpoint(self, keep_from_lsn: int) -> int:
         """Drop records with ``lsn < keep_from_lsn``; returns dropped count."""

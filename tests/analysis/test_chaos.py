@@ -53,6 +53,11 @@ def test_chaos_run_is_bit_reproducible():
     task = ChaosTask("distributed/normal", seed=3)
     first = task.run().as_dict()
     second = task.run().as_dict()
+    # Resource accounting (wall time, throughput, RSS high-water) measures
+    # the host, not the simulation — everything else must be bit-identical.
+    for report in (first, second):
+        for key in ("wall_time_s", "events_per_sec", "peak_rss_kb"):
+            report.pop(key)
     assert first == second
     assert first["messages"] > 0
 
@@ -140,3 +145,20 @@ def test_regression_stale_launch_races_epoch_bump():
         plan_spec="drop=0.05,dup=0.03,delay=0.05,reorder=0.05",
     ).run()
     assert outcome.ok, outcome.violations
+
+
+def test_chaos_progress_callback_and_resource_accounting():
+    tasks = chaos_tasks([1, 2], configs=("centralized/normal",))
+    seen = []
+
+    def progress(done, total, task, outcome):
+        seen.append((done, total, task.seed, outcome.ok))
+
+    outcomes = run_chaos(tasks, workers=1, progress=progress)
+    assert [s[0] for s in sorted(seen)] == [1, 2]
+    assert all(s[1] == 2 for s in seen)
+    assert [o.seed for o in outcomes] == [1, 2]  # canonical order kept
+    for outcome in outcomes:
+        assert outcome.wall_time_s > 0
+        assert outcome.events > 0
+        assert outcome.events_per_sec > 0

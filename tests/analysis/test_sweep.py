@@ -95,3 +95,30 @@ def test_sweep_tasks_grid_is_architecture_major():
 def test_empty_task_list():
     sweep = run_sweep([], workers=4)
     assert sweep.results == [] and sweep.run_log == []
+
+
+def test_progress_callback_fires_per_task_serial_and_pooled():
+    tasks = six_config_tasks()[:3]
+    for workers in (1, 2):
+        seen = []
+
+        def progress(done, total, task, result):
+            seen.append((done, total, task.label, result.committed))
+
+        sweep = run_sweep(tasks, workers=workers, progress=progress)
+        assert [s[0] for s in sorted(seen)] == [1, 2, 3]
+        assert all(s[1] == 3 for s in seen)
+        assert {s[2] for s in seen} == {t.label for t in tasks}
+        # progress never perturbs the canonical-order result merge
+        assert [r.architecture for r in sweep.results] == [
+            t.architecture for t in tasks
+        ]
+
+
+def test_run_log_carries_resource_accounting():
+    sweep = run_sweep(six_config_tasks()[:1], workers=1)
+    row = sweep.run_log[0]
+    assert row["wall_time_s"] > 0
+    assert row["events"] > 0
+    assert row["events_per_sec"] > 0
+    assert row["peak_rss_kb"] is None or row["peak_rss_kb"] > 0

@@ -228,3 +228,76 @@ def test_jsonl_span_rows_carry_link_id():
     recv = next(r for r in rows if r["name"] == "recv:Ping")
     assert send["link_id"] is None
     assert recv["link_id"] == send["span_id"]
+
+
+# -- edge cases: escaping, empty histograms, dropped-record provenance ------
+
+
+def test_prometheus_escapes_label_values():
+    reg = MetricsRegistry()
+    reg.counter("crew_weird_total",
+                path='C:\\tmp\\"x"\nend').inc(1)
+    text = prometheus_text(reg)
+    assert 'path="C:\\\\tmp\\\\\\"x\\"\\nend"' in text
+    assert "\n" not in text.split("crew_weird_total{")[1].split("}")[0]
+
+
+def test_prometheus_escapes_help_text():
+    reg = MetricsRegistry()
+    reg.gauge("crew_g", help="line one\nline two \\ slash").set(1)
+    lines = prometheus_text(reg).splitlines()
+    help_line = next(ln for ln in lines if ln.startswith("# HELP"))
+    assert help_line == "# HELP crew_g line one\\nline two \\\\ slash"
+
+
+def test_prometheus_empty_histogram_renders_zero_buckets():
+    reg = MetricsRegistry()
+    reg.histogram("crew_latency", buckets=(1.0, 2.0))
+    lines = prometheus_text(reg).splitlines()
+    assert 'crew_latency_bucket{le="1"} 0' in lines
+    assert 'crew_latency_bucket{le="+Inf"} 0' in lines
+    assert "crew_latency_sum 0" in lines
+    assert "crew_latency_count 0" in lines
+
+
+def test_counter_gauge_name_collision_is_rejected_before_export():
+    # The exposition format forbids one family with two kinds; the
+    # registry refuses the collision at creation time so the exporter
+    # can never emit an ambiguous family.
+    reg = MetricsRegistry()
+    reg.counter("crew_thing").inc()
+    import pytest
+    with pytest.raises(ValueError):
+        reg.gauge("crew_thing")
+    text = prometheus_text(reg)
+    assert text.count("# TYPE crew_thing ") == 1
+
+
+def test_jsonl_appends_meta_line_when_records_dropped():
+    trace = Trace(capacity=1)
+    trace.record(1.0, "n", "k")
+    trace.record(2.0, "n", "k")
+    lines = trace_to_jsonl(trace).splitlines()
+    meta = json.loads(lines[-1])
+    assert meta == {"type": "meta", "dropped_records": 1,
+                    "drop_policy": "newest", "capacity": 1}
+    # and the analyzer skips it without error
+    from repro.analysis.causal import CausalTrace
+    ct = CausalTrace.from_jsonl("\n".join(lines))
+    assert len(ct.records) == 1
+
+
+def test_jsonl_has_no_meta_line_without_drops():
+    trace = Trace()
+    trace.record(1.0, "n", "k")
+    assert "meta" not in trace_to_jsonl(trace)
+
+
+def test_chrome_trace_carries_drop_metadata():
+    trace = Trace(capacity=1, ring=True)
+    trace.record(1.0, "n", "k")
+    trace.record(2.0, "n", "k")
+    doc = chrome_trace(None, trace)
+    assert doc["metadata"] == {"dropped_records": 1,
+                               "drop_policy": "oldest", "capacity": 1}
+    assert "metadata" not in chrome_trace(None, Trace())

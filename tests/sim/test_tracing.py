@@ -126,3 +126,23 @@ def test_filter_combined_criteria():
                         predicate=lambda r: r.detail["instance"] == "i2")
     assert [r.time for r in hits] == [3.0]
     assert trace.filter(kind="step.fail", node="engine") == []
+
+
+def test_snapshot_in_ring_mode_counts_evictions():
+    trace = Trace(capacity=2, ring=True)
+    trace.record(1.0, "n", "k")
+    trace.record(2.0, "n", "k")
+    assert trace.dropped == 0
+    trace.snapshot(3.0, "n", "crash")
+    assert trace.dropped == 1
+    assert [r.time for r in trace.records] == [2.0, 3.0]
+
+
+def test_snapshot_newest_policy_exceeds_capacity_without_drops():
+    # Non-ring capacity mode: snapshots bypass the cap entirely, so
+    # nothing is evicted and nothing is counted.
+    trace = Trace(capacity=1)
+    trace.record(1.0, "n", "k")
+    trace.snapshot(2.0, "n", "crash")
+    assert trace.dropped == 0
+    assert len(trace.records) == 2

@@ -260,3 +260,49 @@ def test_analyze_strict_fails_on_anomalies(tmp_path, capsys):
 def test_analyze_missing_file_errors(capsys):
     assert main(["analyze", "/nonexistent.jsonl"]) == 2
     assert "error" in capsys.readouterr().err
+
+
+def test_profile_single_config_prints_table_and_collapsed(capsys):
+    assert main(["profile", "--config", "centralized-normal",
+                 "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "# profile: 1 config(s)" in out
+    assert "self %" in out                       # ranked top-frames table
+    assert "transport.arrive" in out
+    assert "# collapsed stacks" in out           # flamegraph output
+    assert any(";" in line and line.rsplit(" ", 1)[1].isdigit()
+               for line in out.splitlines())
+
+
+def test_profile_rejects_bad_config(capsys):
+    assert main(["profile", "--config", "bogus-nonsense"]) == 1
+    assert "bad profile config" in capsys.readouterr().err
+
+
+def test_profile_writes_artifacts(tmp_path, capsys):
+    import json
+
+    collapsed = tmp_path / "p.collapsed"
+    chrome = tmp_path / "p.json"
+    metrics = tmp_path / "p.prom"
+    blob = tmp_path / "p.summary.json"
+    assert main(["profile", "--config", "parallel-normal",
+                 "--collapsed", str(collapsed), "--chrome", str(chrome),
+                 "--metrics-out", str(metrics), "--json", str(blob)]) == 0
+    assert ";" in collapsed.read_text()
+    doc = json.loads(chrome.read_text())
+    assert any(e.get("ph") == "C" for e in doc["traceEvents"])
+    assert "crew_profile_frame_calls_total" in metrics.read_text()
+    summary = json.loads(blob.read_text())
+    assert summary["runs"][0]["config"] == "parallel-normal"
+    assert summary["top_frames"]
+    # collapsed went to the file, not stdout
+    assert "# collapsed stacks" not in capsys.readouterr().out
+
+
+def test_sweep_progress_flag_prints_status_lines(capsys):
+    assert main(["sweep", "--workers", "1", "--progress"]) == 0
+    captured = capsys.readouterr()
+    assert "[6/6]" in captured.err
+    assert "events/s" in captured.err
+    assert "events/s" in captured.out            # table column too
