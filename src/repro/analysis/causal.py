@@ -32,7 +32,7 @@ from repro.errors import CrewError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.spans import Tracer
-    from repro.sim.tracing import Trace
+    from repro.runtime.trace import Trace
 
 __all__ = [
     "Anomaly",

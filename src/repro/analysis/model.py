@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.sim.metrics import Mechanism
+from repro.runtime.metrics import Mechanism
 from repro.workloads.params import WorkloadParameters
 
 __all__ = [

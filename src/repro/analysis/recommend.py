@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.model import ARCHITECTURES, architecture_model
-from repro.sim.metrics import Mechanism
+from repro.runtime.metrics import Mechanism
 from repro.workloads.params import PAPER_DEFAULTS, WorkloadParameters
 
 __all__ = ["Ranking", "SCENARIOS", "recommendation_matrix", "rank_architectures"]

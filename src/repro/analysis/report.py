@@ -13,7 +13,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.analysis.model import ArchitectureModel
 from repro.analysis.recommend import Ranking
-from repro.sim.metrics import Mechanism, MetricsCollector
+from repro.runtime.metrics import Mechanism, MetricsCollector
 
 __all__ = [
     "MeasuredCosts",

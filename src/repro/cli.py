@@ -543,11 +543,49 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Boot the wall-clock daemon and serve until interrupted."""
+    import asyncio
+
+    from repro.service import WorkflowService, serve as serve_forever
+
+    service = WorkflowService(
+        architecture=args.architecture,
+        seed=args.seed,
+        latency=args.latency,
+        work_time_scale=args.work_time_scale,
+        num_agents=args.agents,
+    )
+
+    async def run() -> None:
+        ready = asyncio.Event()
+        task = asyncio.ensure_future(
+            serve_forever(service, args.host, args.port, ready=ready)
+        )
+        await ready.wait()
+        print(f"repro serve: {args.architecture} control on "
+              f"http://{args.host}:{args.port} "
+              f"(POST /workflows, GET /instances/<id>[/events])",
+              file=sys.stderr, flush=True)
+        await task
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CREW: failure handling and coordinated execution of "
                     "concurrent workflows (ICDE 1998 reproduction)",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -731,6 +769,23 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--json", default=None, metavar="FILE",
                          help="write per-run counters + frame stats as JSON")
     profile.set_defaults(fn=cmd_profile)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the wall-clock workflow daemon (HTTP/JSON front door)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8450)
+    serve.add_argument("--architecture", default="centralized",
+                       choices=("centralized", "parallel", "distributed"))
+    serve.add_argument("--agents", type=int, default=4,
+                       help="application agent count")
+    serve.add_argument("--latency", type=float, default=0.0,
+                       help="injected per-message delivery delay (seconds)")
+    serve.add_argument("--work-time-scale", type=float, default=0.01,
+                       help="seconds of service time per unit of step cost")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(fn=cmd_serve)
     return parser
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 
-from repro.sim.metrics import Mechanism
+from repro.runtime.metrics import Mechanism
 
 __all__ = ["WI", "default_mechanism", "SUPPORTED_BY", "INVOKED_BY"]
 

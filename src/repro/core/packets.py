@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
-from repro.sim.metrics import Mechanism
+from repro.runtime.metrics import Mechanism
 
 __all__ = ["WorkflowPacket"]
 

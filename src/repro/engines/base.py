@@ -35,11 +35,13 @@ from repro.obs.flight import FlightRecorder
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import NULL_SPAN, Span, Tracer
 from repro.rules.events import step_compensated, step_done, step_fail
-from repro.sim.kernel import Simulator
-from repro.sim.metrics import MetricsCollector
-from repro.sim.network import FixedLatency, Network
-from repro.sim.rng import SimRandom
-from repro.sim.tracing import Trace
+from repro.runtime.factory import build_runtime
+from repro.runtime.latency import FixedLatency
+from repro.runtime.metrics import MetricsCollector
+from repro.runtime.protocols import Runtime
+from repro.runtime.retry import RetryPolicy
+from repro.runtime.rng import SimRandom
+from repro.runtime.trace import Trace
 from repro.storage.tables import InstanceState, InstanceStatus, StepStatus
 
 __all__ = [
@@ -82,6 +84,7 @@ class SystemConfig:
     """
 
     seed: int = 0
+    runtime: str = "sim"
     latency: float = 1.0
     trace: bool = True
     trace_capacity: int | None = 500_000
@@ -276,14 +279,34 @@ class ControlSystem:
 
     architecture = "abstract"
 
-    def __init__(self, config: SystemConfig | None = None):
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        runtime: Runtime | None = None,
+    ):
         self.config = config if config is not None else SystemConfig()
-        self.simulator = Simulator()
         self.metrics = MetricsCollector()
         self.rng = SimRandom(self.config.seed)
-        self.network = Network(
-            self.simulator, self.metrics, FixedLatency(self.config.latency)
-        )
+        # The execution substrate.  Engines construct against the
+        # repro.runtime protocols only (the AST layering contract bans
+        # repro.sim imports here); with no runtime given, the factory
+        # resolves the deterministic simulated backend by name.
+        if runtime is None:
+            runtime = build_runtime(
+                self.config.runtime,
+                metrics=self.metrics,
+                latency=FixedLatency(self.config.latency),
+            )
+        self.runtime = runtime
+        #: The runtime's clock.  Named ``simulator`` since the simulated
+        #: kernel was historically the only substrate; under the asyncio
+        #: backend this is a :class:`~repro.runtime.realtime.RealtimeClock`.
+        self.simulator = runtime.clock
+        self.network = runtime.transport
+        if self.network.metrics is not self.metrics:
+            # Externally built runtimes carry their own collector; adopt
+            # it so `system.metrics` stays the single source of truth.
+            self.metrics = self.network.metrics
         self.trace = Trace(
             enabled=self.config.trace, capacity=self.config.trace_capacity,
             ring=self.config.trace_ring,
@@ -596,25 +619,28 @@ class ControlSystem:
         """Install a deterministic fault injector over this system's transport.
 
         ``plan`` is a :class:`repro.sim.faults.FaultPlan`; ``retry`` an
-        optional :class:`repro.engines.runtime.RetryPolicy` (defaulted)
+        optional :class:`repro.runtime.retry.RetryPolicy` (defaulted)
         driving transport retransmissions and the engines' step-retry
         watchdogs.  The injector draws from a child seed space of the
         system's master seed (``rng.spawn("faults")``), so installing it
         never perturbs the workload's own random streams, and the whole
         run replays bit-for-bit from ``(seed, plan)``.  Call before
         :meth:`run`; returns the installed injector.
-        """
-        from repro.engines.runtime.retry import RetryPolicy
-        from repro.sim.faults import FaultInjector
 
+        Only runtimes advertising :meth:`supports_faults` accept a plan
+        (the asyncio backend does not — real time cannot replay).
+        """
         if self.faults is not None:
             raise WorkloadError("fault injector already installed")
-        injector = FaultInjector(
+        if not self.runtime.supports_faults():
+            raise WorkloadError(
+                f"runtime {self.runtime.name!r} does not support "
+                "deterministic fault injection"
+            )
+        injector = self.runtime.install_faults(
             plan, self.rng.spawn("faults"),
             retry=retry if retry is not None else RetryPolicy(),
         )
-        injector.install(self.network)
-        injector.arm(self.simulator)
         injector.on_fault = self._on_fault
         self.faults = injector
         return injector
@@ -626,8 +652,19 @@ class ControlSystem:
     # -- driving the simulation -------------------------------------------------------
 
     def run(self, until: float | None = None) -> int:
-        """Run the simulation to quiescence (or ``until``)."""
-        fired = self.simulator.run(until=until, max_events=self.config.max_events)
+        """Run the simulation to quiescence (or ``until``).
+
+        Only meaningful on clocks that own their event loop (the DES
+        kernel).  The asyncio runtime is driven by awaiting
+        :meth:`repro.runtime.realtime.RealtimeRuntime.join` instead.
+        """
+        runner = getattr(self.simulator, "run", None)
+        if runner is None:
+            raise WorkloadError(
+                f"runtime {self.runtime.name!r} has no synchronous run(); "
+                "await the runtime's join() from the owning event loop"
+            )
+        fired = runner(until=until, max_events=self.config.max_events)
         if self.config.trace:
             self.registry.gauge(
                 "crew_sim_events_processed", "Simulation events processed.",

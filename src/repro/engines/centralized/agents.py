@@ -4,9 +4,9 @@ from __future__ import annotations
 
 from repro.core.programs import ExecutionContext
 from repro.errors import SimulationError
-from repro.sim.metrics import Mechanism
-from repro.sim.network import Message
-from repro.sim.node import Node
+from repro.runtime.metrics import Mechanism
+from repro.runtime.messages import Message
+from repro.runtime.node import Node
 
 __all__ = [
     "ApplicationAgentNode",

@@ -12,7 +12,7 @@ from repro.core.coordination import mx_clearance_token, ro_clearance_token
 from repro.engines.coord import SpecIndex
 from repro.engines.runtime import EngineRuntime
 from repro.model.coordination_spec import CoordinationSpec
-from repro.sim.metrics import Mechanism
+from repro.runtime.metrics import Mechanism
 from repro.storage.tables import StepStatus
 
 __all__ = ["EngineCoordinationMixin"]

@@ -28,9 +28,9 @@ from repro.errors import FrontEndError, SchemaError, SimulationError
 from repro.obs.profile import profiled
 from repro.rules.engine import RuleEngine, RuleInstance
 from repro.rules.events import WF_START, step_done
-from repro.sim.metrics import Mechanism
-from repro.sim.network import Message
-from repro.sim.node import Node
+from repro.runtime.metrics import Mechanism
+from repro.runtime.messages import Message
+from repro.runtime.node import Node
 from repro.storage.tables import InstanceStatus, StepStatus
 from repro.storage.wfdb import WorkflowDatabase
 

@@ -16,8 +16,8 @@ from repro.engines.runtime import CompensationChain, EngineRuntime
 from repro.errors import SimulationError
 from repro.obs.profile import profiled
 from repro.rules.engine import RuleInstance
-from repro.sim.metrics import Mechanism
-from repro.sim.network import Message
+from repro.runtime.metrics import Mechanism
+from repro.runtime.messages import Message
 from repro.storage.tables import InstanceStatus, StepStatus
 
 __all__ = ["EngineRecoveryMixin"]

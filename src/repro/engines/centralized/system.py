@@ -24,8 +24,9 @@ class CentralizedControlSystem(ControlSystem):
         config: SystemConfig | None = None,
         num_agents: int = 4,
         agents_per_step: int = 1,
+        runtime=None,
     ):
-        super().__init__(config)
+        super().__init__(config, runtime=runtime)
         self.agents_per_step = agents_per_step
         self.engine = CentralEngineNode("engine", self)
         self.agents = [

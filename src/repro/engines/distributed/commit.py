@@ -16,8 +16,8 @@ from repro.core.interfaces import WI
 from repro.engines.distributed.navigation import VERB_NESTED_DONE, elect_executor
 from repro.engines.runtime import AgentRuntime
 from repro.model.compiler import CompiledSchema
-from repro.sim.metrics import Mechanism
-from repro.sim.network import Message
+from repro.runtime.metrics import Mechanism
+from repro.runtime.messages import Message
 from repro.storage.tables import InstanceStatus, StepStatus
 
 __all__ = ["AgentCommitMixin", "CommitTracker"]

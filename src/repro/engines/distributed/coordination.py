@@ -17,8 +17,8 @@ from repro.engines.coord import SpecIndex
 from repro.engines.runtime import AgentRuntime
 from repro.errors import SimulationError
 from repro.model.coordination_spec import CoordinationSpec
-from repro.sim.metrics import Mechanism
-from repro.sim.network import Message
+from repro.runtime.metrics import Mechanism
+from repro.runtime.messages import Message
 
 __all__ = ["AgentCoordinationMixin"]
 

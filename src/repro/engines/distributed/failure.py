@@ -18,8 +18,8 @@ from repro.engines.runtime import member_done_times
 from repro.model.schema import StepType
 from repro.obs.profile import profiled
 from repro.rules.events import step_done
-from repro.sim.metrics import Mechanism
-from repro.sim.network import Message
+from repro.runtime.metrics import Mechanism
+from repro.runtime.messages import Message
 from repro.storage.tables import InstanceStatus, StepStatus
 
 __all__ = [

@@ -36,8 +36,8 @@ from repro.model.policies import DEFAULT_POLICY
 from repro.obs.profile import profiled
 from repro.rules.engine import RuleInstance
 from repro.rules.events import step_done
-from repro.sim.metrics import Mechanism
-from repro.sim.network import Message
+from repro.runtime.metrics import Mechanism
+from repro.runtime.messages import Message
 from repro.storage.tables import InstanceStatus, StepStatus
 
 __all__ = ["AgentNavigationMixin", "VERB_NESTED_DONE", "elect_executor"]

@@ -39,9 +39,9 @@ from repro.model.compiler import CompiledSchema
 from repro.obs.profile import profiled
 from repro.rules.engine import RuleEngine
 from repro.rules.events import WF_START
-from repro.sim.metrics import Mechanism
-from repro.sim.network import Message
-from repro.sim.node import Node
+from repro.runtime.metrics import Mechanism
+from repro.runtime.messages import Message
+from repro.runtime.node import Node
 from repro.storage.agdb import AgentDatabase
 from repro.storage.tables import InstanceStatus, StepStatus
 

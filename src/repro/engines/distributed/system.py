@@ -25,8 +25,9 @@ class DistributedControlSystem(ControlSystem):
         config: SystemConfig | None = None,
         num_agents: int = 8,
         agents_per_step: int = 1,
+        runtime=None,
     ):
-        super().__init__(config)
+        super().__init__(config, runtime=runtime)
         if num_agents < 1:
             raise SchemaError("distributed control needs at least one agent")
         self.agents_per_step = agents_per_step

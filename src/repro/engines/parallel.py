@@ -40,8 +40,8 @@ from repro.engines.runtime import EngineRuntime
 from repro.errors import FrontEndError, SchemaError
 from repro.model.compiler import CompiledSchema
 from repro.model.coordination_spec import CoordinationSpec
-from repro.sim.metrics import Mechanism
-from repro.sim.network import Message
+from repro.runtime.metrics import Mechanism
+from repro.runtime.messages import Message
 from repro.storage.tables import InstanceStatus
 
 __all__ = ["ParallelControlSystem", "ParallelEngineNode", "TimestampMutex"]
@@ -359,8 +359,9 @@ class ParallelControlSystem(ControlSystem):
         num_engines: int = 2,
         num_agents: int = 4,
         agents_per_step: int = 1,
+        runtime=None,
     ):
-        super().__init__(config)
+        super().__init__(config, runtime=runtime)
         if num_engines < 1:
             raise SchemaError("parallel control needs at least one engine")
         self.agents_per_step = agents_per_step

@@ -14,6 +14,10 @@ This layer holds the per-instance bookkeeping every placement needs:
   branches);
 * :mod:`~repro.engines.runtime.invalidation` — rollback-round
   bookkeeping (token -> round high-water marks).
+
+(:class:`RetryPolicy` moved to :mod:`repro.runtime.retry` with the
+pluggable runtime layer — the asyncio executor shares it — and is
+re-exported here for compatibility.)
 """
 
 from repro.engines.runtime.compensation import (
@@ -34,7 +38,7 @@ from repro.engines.runtime.invalidation import (
     merge_invalidations,
     open_invalidation_round,
 )
-from repro.engines.runtime.retry import RetryPolicy
+from repro.runtime.retry import RetryPolicy
 
 __all__ = [
     "AgentRuntime",

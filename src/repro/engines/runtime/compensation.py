@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from repro.rules.engine import RuleEngine
-from repro.sim.metrics import Mechanism
+from repro.runtime.metrics import Mechanism
 from repro.rules.events import step_done
 from repro.storage.tables import InstanceState, StepStatus
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.sim.metrics import Mechanism
+from repro.runtime.metrics import Mechanism
 
 __all__ = ["InflightStep", "LoadProbe", "ProbeWait"]
 

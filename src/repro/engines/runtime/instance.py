@@ -17,7 +17,7 @@ from typing import Any
 
 from repro.model.compiler import CompiledSchema
 from repro.rules.engine import RuleEngine
-from repro.sim.metrics import Mechanism
+from repro.runtime.metrics import Mechanism
 from repro.storage.tables import InstanceState
 
 __all__ = ["AgentRuntime", "EngineRuntime", "InstanceRuntime"]

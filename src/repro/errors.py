@@ -52,6 +52,16 @@ class SimulationError(CrewError):
     """The discrete-event simulation kernel was misused."""
 
 
+class ParameterError(SimulationError, ValueError):
+    """A runtime/transport knob was configured with an illegal value.
+
+    Doubly rooted: it *is* a :class:`ValueError` (the natural contract for
+    bad constructor arguments — negative latencies, inverted bounds) while
+    remaining catchable as :class:`SimulationError`/:class:`CrewError` by
+    callers that treat all library failures uniformly.
+    """
+
+
 class WorkloadError(CrewError):
     """Workload generation received inconsistent parameters."""
 

@@ -1,6 +1,6 @@
 """Unified observability layer: spans, metrics registry, exporters.
 
-The simulation's :class:`~repro.sim.tracing.Trace` answers *what happened*
+The simulation's :class:`~repro.runtime.trace.Trace` answers *what happened*
 as a flat, totally-ordered event log; this package adds the causal and
 distributional views the paper's evaluation methodology implies but never
 shows:

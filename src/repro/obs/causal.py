@@ -1,6 +1,6 @@
 """Cross-node causal propagation for the span tracer.
 
-The simulation's transport (:mod:`repro.sim.network`) cannot import the
+The simulation's transport (:mod:`repro.runtime.transport`) cannot import the
 observability layer, so causal tracing is injected duck-typed: the owning
 control system sets ``network.causal`` to a :class:`MessageTracer` before
 any node is constructed, and the network/node hot paths call ``on_send``
@@ -24,11 +24,11 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.obs.spans import Span, Tracer
-from repro.sim.metrics import Mechanism
+from repro.runtime.metrics import Mechanism
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.sim.network import Message
-    from repro.sim.node import Node
+    from repro.runtime.messages import Message
+    from repro.runtime.node import Node
 
 __all__ = ["MessageTracer"]
 

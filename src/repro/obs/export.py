@@ -27,7 +27,7 @@ from typing import Any
 
 from repro.obs.registry import HistogramMetric, MetricsRegistry
 from repro.obs.spans import Tracer
-from repro.sim.tracing import Trace
+from repro.runtime.trace import Trace
 
 __all__ = [
     "chrome_trace",

@@ -4,7 +4,7 @@ Full tracing is often disabled in benchmark runs, which is exactly when a
 crash is hardest to diagnose.  The flight recorder keeps the last
 ``capacity`` send/receive events per node in a fixed-size ring (O(1) per
 message, no allocation beyond the event dict) and is snapshotted into the
-trace — via :meth:`repro.sim.tracing.Trace.snapshot`, which bypasses the
+trace — via :meth:`repro.runtime.trace.Trace.snapshot`, which bypasses the
 ``enabled`` flag — when the node crashes or a step fails.
 
 The recorder is injected into the sim layer duck-typed (see

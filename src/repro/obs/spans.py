@@ -38,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator
 
-from repro.sim.tracing import Trace
+from repro.runtime.trace import Trace
 
 __all__ = ["NULL_SPAN", "Span", "SpanContext", "Tracer"]
 
@@ -123,7 +123,7 @@ NULL_SPAN = _NullSpan()
 class Tracer:
     """Factory and registry for spans, layered over the flat trace.
 
-    When a :class:`~repro.sim.tracing.Trace` is attached, span boundaries
+    When a :class:`~repro.runtime.trace.Trace` is attached, span boundaries
     are *not* duplicated into it (the engines already record their own
     flat events); instead the exporters in :mod:`repro.obs.export` merge
     both views.  ``tracer.trace`` keeps the association explicit.

@@ -1,0 +1,47 @@
+"""The physical-message record shared by every transport backend.
+
+A :class:`Message` is runtime-neutral: the simulated transport and the
+wall-clock asyncio transport exchange the same frozen record, so protocol
+code (and the per-mechanism accounting behind the paper's Tables 4-6)
+never notices which substrate delivered it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.runtime.metrics import Mechanism
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One physical message between two nodes.
+
+    ``interface`` is the workflow-interface (WI) name from Table 1 of the
+    paper (e.g. ``"StepExecute"``) or an internal protocol verb; ``payload``
+    is an arbitrary read-only mapping.
+
+    ``lamport`` is the sender's Lamport clock after its send tick, and
+    ``send_span`` the span id of the sender-side message span (``None``
+    when causal tracing is off) — together they let the receiver stitch
+    the cross-node causal chain back together.
+    """
+
+    msg_id: int
+    src: str
+    dst: str
+    interface: str
+    mechanism: Mechanism
+    payload: Mapping[str, Any]
+    sent_at: float
+    lamport: int = 0
+    send_span: int | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Message #{self.msg_id} {self.src}->{self.dst} "
+            f"{self.interface}/{self.mechanism.value}>"
+        )

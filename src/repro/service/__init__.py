@@ -1,0 +1,20 @@
+"""The ``repro serve`` daemon: workflows over HTTP on the wall clock.
+
+This package is the real-time front door promised by the pluggable
+runtime layer: the same engine stack that powers the paper's simulations
+(:mod:`repro.engines`), mounted on the asyncio runtime
+(:mod:`repro.runtime.realtime`) and driven by workflow submissions over
+local HTTP/JSON instead of a workload generator.
+
+* :mod:`repro.service.core` — :class:`WorkflowService`: owns the control
+  system, installs submitted LAWS/schema-JSON documents, starts
+  instances, and fans live trace events out to subscribers.
+* :mod:`repro.service.http` — the dependency-free HTTP/1.1 front door
+  (``/healthz``, ``/version``, ``POST /workflows``,
+  ``/instances/<id>``, ``/instances/<id>/events`` NDJSON streaming).
+"""
+
+from repro.service.core import WorkflowService, schema_from_dict
+from repro.service.http import serve, start_server
+
+__all__ = ["WorkflowService", "schema_from_dict", "serve", "start_server"]

@@ -1,0 +1,339 @@
+"""Engine-facing core of the ``repro serve`` daemon.
+
+:class:`WorkflowService` owns one control system (any of the paper's
+three architectures) mounted on the wall-clock asyncio runtime
+(:class:`~repro.runtime.realtime.RealtimeRuntime`), and exposes the
+operations the HTTP front door needs: submit a workflow (LAWS text or a
+schema-JSON document), query an instance's status, and subscribe to its
+live event stream (tapped off the engine trace via
+:attr:`repro.runtime.trace.Trace.listener`).
+
+Submissions are idempotent at the document level: the same LAWS text (or
+the same schema JSON) installs its workflow classes once and then only
+starts new instances.  Event subscribers get per-instance
+:class:`asyncio.Queue` feeds terminated by ``None`` once the instance
+reaches an outcome; a background watcher closes streams for instances
+that finish without a final trace record mentioning them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+from typing import Any
+
+from repro.engines import (
+    CentralizedControlSystem,
+    DistributedControlSystem,
+    ParallelControlSystem,
+    SystemConfig,
+)
+from repro.errors import FrontEndError, SchemaError, WorkloadError
+from repro.laws import load_laws
+from repro.model import SchemaBuilder
+from repro.runtime.latency import FixedLatency
+from repro.runtime.realtime import RealtimeRuntime
+
+__all__ = ["WorkflowService", "schema_from_dict"]
+
+_ARCHITECTURES = {
+    "centralized": CentralizedControlSystem,
+    "parallel": ParallelControlSystem,
+    "distributed": DistributedControlSystem,
+}
+
+#: How often the background watcher sweeps for finished instances (s).
+_WATCH_INTERVAL = 0.05
+
+
+def schema_from_dict(payload: dict[str, Any]):
+    """Build a :class:`~repro.model.schema.WorkflowSchema` from JSON.
+
+    The document mirrors the :class:`~repro.model.SchemaBuilder` surface::
+
+        {"name": "Orders", "inputs": ["part", "qty"],
+         "steps": [{"name": "Check", "program": "ord.check",
+                    "inputs": ["WF.part"], "outputs": ["ok"],
+                    "cost": 1.0, "join": "and", "type": "update",
+                    "compensation_cost": 0.0}],
+         "arcs": [{"src": "Check", "dst": "Reserve",
+                   "condition": "WF.qty > 10"}],
+         "rollback_points": [{"failed_step": "Ship", "origin": "Reserve"}],
+         "compensation_sets": [["Reserve", "Pack"]],
+         "abort_compensation": ["Reserve"],
+         "outputs": {"tracking": "Ship.trk"}}
+
+    Only ``name`` and ``steps`` are required.  Raises
+    :class:`~repro.errors.SchemaError` on malformed documents (missing
+    keys, unknown fields are ignored by design — forward compatibility).
+    """
+    if not isinstance(payload, dict):
+        raise SchemaError("schema document must be a JSON object")
+    try:
+        name = payload["name"]
+        steps = payload["steps"]
+    except KeyError as exc:
+        raise SchemaError(f"schema document missing required key {exc}") from None
+    builder = SchemaBuilder(name, inputs=payload.get("inputs", ()))
+    if not isinstance(steps, list) or not steps:
+        raise SchemaError("schema document needs a non-empty 'steps' list")
+    for step in steps:
+        try:
+            step_name = step["name"]
+        except (KeyError, TypeError):
+            raise SchemaError("every step needs a 'name'") from None
+        extras = {}
+        for json_key, kwarg in (
+            ("join", "join"), ("type", "step_type"),
+            ("compensation_cost", "compensation_cost"),
+            ("compensation_program", "compensation_program"),
+            ("compensable", "compensable"), ("resources", "resources"),
+        ):
+            if json_key in step:
+                extras[kwarg] = step[json_key]
+        builder.step(
+            step_name,
+            program=step.get("program", step_name),
+            inputs=step.get("inputs", ()),
+            outputs=step.get("outputs", ()),
+            cost=step.get("cost", 1.0),
+            **extras,
+        )
+    for arc in payload.get("arcs", ()):
+        builder.arc(arc["src"], arc["dst"], arc.get("condition"))
+    for point in payload.get("rollback_points", ()):
+        builder.rollback_point(point["failed_step"], point["origin"])
+    for members in payload.get("compensation_sets", ()):
+        builder.compensation_set(*members)
+    abort = payload.get("abort_compensation", ())
+    if abort:
+        builder.abort_compensation(*abort)
+    for out_name, ref in payload.get("outputs", {}).items():
+        builder.output(out_name, ref)
+    return builder.build()
+
+
+class WorkflowService:
+    """One wall-clock control system behind a submission/query surface."""
+
+    def __init__(
+        self,
+        architecture: str = "centralized",
+        seed: int = 0,
+        latency: float = 0.0,
+        work_time_scale: float = 0.01,
+        num_agents: int = 4,
+        config: SystemConfig | None = None,
+    ):
+        try:
+            system_cls = _ARCHITECTURES[architecture]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown architecture {architecture!r}; choose one of "
+                f"{sorted(_ARCHITECTURES)}"
+            ) from None
+        self.architecture = architecture
+        self.runtime = RealtimeRuntime(latency=FixedLatency(latency))
+        if config is None:
+            # Wall-clock timeouts: the simulated defaults (tens of time
+            # units) would mean tens of real seconds of watchdog wait.
+            config = SystemConfig(
+                seed=seed,
+                runtime="asyncio",
+                latency=latency,
+                work_time_scale=work_time_scale,
+                step_status_timeout=2.0,
+                step_status_poll_interval=1.0,
+            )
+        self.system = system_cls(config, num_agents=num_agents,
+                                 runtime=self.runtime)
+        self.system.trace.listener = self._on_trace
+        self.started_at: float | None = None
+        self._installed_documents: set[str] = set()
+        self._known_instances: set[str] = set()
+        self._submitted = 0
+        self._subscribers: dict[str, list[asyncio.Queue]] = {}
+        self._closed_streams: set[str] = set()
+        self._watcher: asyncio.Task[None] | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, loop: asyncio.AbstractEventLoop | None = None) -> None:
+        """Bind the runtime clock and start the outcome watcher."""
+        self.runtime.start(loop)
+        self.started_at = self.runtime.clock.now
+        if self._watcher is None:
+            owner = loop if loop is not None else asyncio.get_running_loop()
+            self._watcher = owner.create_task(self._watch_outcomes())
+
+    async def close(self) -> None:
+        if self._watcher is not None:
+            self._watcher.cancel()
+            try:
+                await self._watcher
+            except asyncio.CancelledError:
+                pass
+            self._watcher = None
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        laws: str | None = None,
+        schema: dict[str, Any] | None = None,
+        workflow: str | None = None,
+        inputs: dict[str, Any] | None = None,
+        instances: int = 1,
+    ) -> dict[str, Any]:
+        """Install (once) and start ``instances`` runs of a workflow.
+
+        Exactly one of ``laws`` (LAWS source text) or ``schema`` (a
+        schema-JSON document) may be given; with neither, ``workflow``
+        must name an already-installed class.  Returns a summary dict
+        with the started instance ids.
+        """
+        if laws is not None and schema is not None:
+            raise FrontEndError("submit either 'laws' or 'schema', not both")
+        if instances < 1:
+            raise FrontEndError("instances must be >= 1")
+        default_name = None
+        if laws is not None:
+            default_name = self._install_laws(laws)
+        elif schema is not None:
+            default_name = self._install_schema(schema)
+        schema_name = workflow or default_name
+        if schema_name is None:
+            raise FrontEndError(
+                "no workflow named: submit 'laws' or 'schema', or name an "
+                "installed class via 'workflow'"
+            )
+        if schema_name not in self.system.schemas:
+            raise FrontEndError(
+                f"workflow class {schema_name!r} is not installed "
+                f"(installed: {sorted(self.system.schemas)})"
+            )
+        started = [
+            self.system.start_workflow(schema_name, dict(inputs or {}))
+            for __ in range(instances)
+        ]
+        self._known_instances.update(started)
+        self._submitted += len(started)
+        return {"workflow": schema_name, "instances": started}
+
+    def _install_laws(self, text: str) -> str:
+        """Install a LAWS document once; return its first schema name."""
+        digest = "laws:" + hashlib.sha256(text.encode()).hexdigest()
+        document = load_laws(text)
+        if digest not in self._installed_documents:
+            self._check_fresh(s.name for s in document.schemas)
+            document.install(self.system)
+            self._installed_documents.add(digest)
+        return document.schemas[0].name
+
+    def _install_schema(self, payload: dict[str, Any]) -> str:
+        digest = "schema:" + hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()
+        schema = schema_from_dict(payload)
+        if digest not in self._installed_documents:
+            self._check_fresh([schema.name])
+            self.system.register_schema(schema)
+            self._installed_documents.add(digest)
+        return schema.name
+
+    def _check_fresh(self, names) -> None:
+        clashes = [n for n in names if n in self.system.schemas]
+        if clashes:
+            raise FrontEndError(
+                f"workflow class(es) {clashes} already installed by a "
+                f"different document; rename or reuse via 'workflow'"
+            )
+
+    # -- queries -----------------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        clock = self.runtime.clock
+        return {
+            "ok": True,
+            "architecture": self.architecture,
+            "runtime": self.runtime.name,
+            "uptime": (0.0 if self.started_at is None
+                       else clock.now - self.started_at),
+            "workflows": sorted(self.system.schemas),
+            "instances_submitted": self._submitted,
+            "instances_finished": len(self.system.outcomes),
+            "events_processed": clock.events_processed,
+            "messages_sent": self.system.metrics.total_messages(),
+        }
+
+    def instance(self, instance_id: str) -> dict[str, Any]:
+        """Public status record for one instance (running or finished)."""
+        outcome = self.system.outcomes.get(instance_id)
+        if outcome is not None:
+            return {
+                "instance": instance_id,
+                "workflow": outcome.schema_name,
+                "status": outcome.status.value,
+                "outputs": dict(outcome.outputs),
+                "finished_at": outcome.finished_at,
+            }
+        if instance_id not in self._known_instances:
+            raise FrontEndError(f"unknown instance {instance_id!r}")
+        return {"instance": instance_id, "status": "running"}
+
+    # -- event streaming ---------------------------------------------------
+
+    def subscribe(self, instance_id: str) -> asyncio.Queue:
+        """Queue of event dicts for one instance, ``None``-terminated.
+
+        Subscribing to an already-finished instance yields a single
+        final status event and then the terminator.
+        """
+        if (instance_id not in self._known_instances
+                and instance_id not in self.system.outcomes):
+            raise FrontEndError(f"unknown instance {instance_id!r}")
+        queue: asyncio.Queue = asyncio.Queue()
+        if instance_id in self.system.outcomes:
+            queue.put_nowait(self._final_event(instance_id))
+            queue.put_nowait(None)
+            return queue
+        self._subscribers.setdefault(instance_id, []).append(queue)
+        return queue
+
+    def _on_trace(self, rec) -> None:
+        """Trace tap: fan each instance-tagged record out to subscribers."""
+        instance_id = rec.detail.get("instance")
+        if not instance_id:
+            return
+        queues = self._subscribers.get(instance_id)
+        if not queues:
+            return
+        event = {"t": round(rec.time, 6), "node": rec.node, "kind": rec.kind}
+        event.update(
+            (k, v) for k, v in rec.detail.items() if _jsonable(v)
+        )
+        for queue in queues:
+            queue.put_nowait(event)
+
+    def _final_event(self, instance_id: str) -> dict[str, Any]:
+        record = self.instance(instance_id)
+        record["kind"] = "instance.finished"
+        return record
+
+    async def _watch_outcomes(self) -> None:
+        """Close subscriber streams once their instance has an outcome."""
+        while True:
+            await asyncio.sleep(_WATCH_INTERVAL)
+            finished = [
+                iid for iid in self._subscribers
+                if iid in self.system.outcomes
+            ]
+            for iid in finished:
+                for queue in self._subscribers.pop(iid, ()):
+                    queue.put_nowait(self._final_event(iid))
+                    queue.put_nowait(None)
+
+
+def _jsonable(value: Any) -> bool:
+    return isinstance(value, (str, int, float, bool, type(None)))

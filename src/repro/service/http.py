@@ -1,0 +1,228 @@
+"""Hand-rolled HTTP/1.1 front door for :class:`WorkflowService`.
+
+The daemon speaks a deliberately tiny, dependency-free subset of HTTP
+over :func:`asyncio.start_server` — enough for ``curl`` and the standard
+library client, no more:
+
+================================  =====================================
+``GET /healthz``                  service status summary
+``GET /version``                  package version
+``POST /workflows``               submit (LAWS text or schema JSON)
+``GET /instances/<id>``           one instance's status
+``GET /instances/<id>/events``    live NDJSON event stream
+================================  =====================================
+
+``POST /workflows`` accepts a JSON object with either ``laws`` (LAWS
+source text) or ``schema`` (a schema-JSON document, see
+:func:`~repro.service.core.schema_from_dict`), plus optional
+``workflow`` (class name), ``inputs`` (mapping) and ``instances``
+(count).  The event stream responds with ``Content-Type:
+application/x-ndjson`` and closes when the instance finishes.
+
+Responses carry ``Connection: close`` — one request per connection keeps
+the parser honest and is plenty for a local control plane.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.errors import CrewError
+from repro.service.core import WorkflowService
+
+__all__ = ["serve", "start_server"]
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _response(
+    status: int, payload: dict[str, Any], *, headers: dict[str, str] | None = None
+) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, Any] | None]:
+    """Parse one request; returns ``(method, path, json_body_or_None)``."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    if len(head) > _MAX_HEADER_BYTES:
+        raise _HttpError(413, "request head too large")
+    request_line, *header_lines = head.decode("latin-1").split("\r\n")
+    parts = request_line.split(" ")
+    if len(parts) != 3:
+        raise _HttpError(400, f"malformed request line {request_line!r}")
+    method, path, __ = parts
+    content_length = 0
+    for line in header_lines:
+        name, sep, value = line.partition(":")
+        if sep and name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise _HttpError(400, "bad Content-Length") from None
+    if content_length > _MAX_BODY_BYTES:
+        raise _HttpError(413, "request body too large")
+    body: dict[str, Any] | None = None
+    if content_length:
+        raw = await reader.readexactly(content_length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"request body is not JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+    return method, path.split("?", 1)[0], body
+
+
+async def _stream_events(
+    writer: asyncio.StreamWriter, service: WorkflowService, instance_id: str
+) -> None:
+    queue = service.subscribe(instance_id)
+    writer.write(
+        b"HTTP/1.1 200 OK\r\n"
+        b"Content-Type: application/x-ndjson\r\n"
+        b"Connection: close\r\n\r\n"
+    )
+    await writer.drain()
+    while True:
+        event = await queue.get()
+        if event is None:
+            return
+        writer.write((json.dumps(event, sort_keys=True) + "\n").encode())
+        await writer.drain()
+
+
+async def _dispatch(
+    service: WorkflowService,
+    method: str,
+    path: str,
+    body: dict[str, Any] | None,
+    writer: asyncio.StreamWriter,
+) -> bytes | None:
+    """Route one request; returns a full response, or ``None`` if the
+    handler streamed the response itself."""
+    if path == "/healthz":
+        if method != "GET":
+            raise _HttpError(405, "use GET")
+        return _response(200, service.status())
+    if path == "/version":
+        if method != "GET":
+            raise _HttpError(405, "use GET")
+        return _response(200, {"version": _version()})
+    if path == "/workflows":
+        if method != "POST":
+            raise _HttpError(405, "use POST")
+        if body is None:
+            raise _HttpError(400, "POST /workflows needs a JSON body")
+        try:
+            result = service.submit(
+                laws=body.get("laws"),
+                schema=body.get("schema"),
+                workflow=body.get("workflow"),
+                inputs=body.get("inputs"),
+                instances=int(body.get("instances", 1)),
+            )
+        except CrewError as exc:
+            raise _HttpError(400, str(exc)) from None
+        return _response(200, result)
+    if path.startswith("/instances/"):
+        if method != "GET":
+            raise _HttpError(405, "use GET")
+        rest = path[len("/instances/"):]
+        if rest.endswith("/events"):
+            instance_id = rest[: -len("/events")]
+            try:
+                await _stream_events(writer, service, instance_id)
+            except CrewError as exc:
+                raise _HttpError(404, str(exc)) from None
+            return None
+        try:
+            return _response(200, service.instance(rest))
+        except CrewError as exc:
+            raise _HttpError(404, str(exc)) from None
+    raise _HttpError(404, f"no route for {path!r}")
+
+
+def _make_handler(service: WorkflowService):
+    async def handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await _read_request(reader)
+                result = await _dispatch(service, method, path, body, writer)
+            except _HttpError as exc:
+                result = _response(exc.status, {"error": exc.message})
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except Exception as exc:  # pragma: no cover - defensive
+                result = _response(500, {"error": repr(exc)})
+            if result is not None:
+                writer.write(result)
+                await writer.drain()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        finally:
+            writer.close()
+
+    return handle
+
+
+async def start_server(
+    service: WorkflowService, host: str = "127.0.0.1", port: int = 8450
+) -> asyncio.AbstractServer:
+    """Bind the front door and start the service's background machinery."""
+    service.start()
+    return await asyncio.start_server(_make_handler(service), host, port)
+
+
+async def serve(
+    service: WorkflowService,
+    host: str = "127.0.0.1",
+    port: int = 8450,
+    ready: asyncio.Event | None = None,
+) -> None:
+    """Run the daemon until cancelled (the ``repro serve`` entry point)."""
+    server = await start_server(service, host, port)
+    if ready is not None:
+        ready.set()
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await service.close()

@@ -1,19 +1,27 @@
 """Discrete-event simulation substrate for the CREW reproduction.
 
 The paper's prototype ran on real networked nodes; this package provides
-the deterministic stand-in: a DES kernel (:mod:`repro.sim.kernel`), a
-reliable latency-modelled network with per-mechanism message accounting
-(:mod:`repro.sim.network`), crash-injectable nodes (:mod:`repro.sim.node`),
-seeded random streams (:mod:`repro.sim.rng`) and metric/trace collection
-(:mod:`repro.sim.metrics`, :mod:`repro.sim.tracing`).
+the deterministic stand-in, as the ``"sim"`` backend of the pluggable
+runtime layer (:mod:`repro.runtime`): the DES kernel
+(:mod:`repro.sim.kernel`) implements the ``Clock`` protocol,
+:class:`~repro.sim.runtime.SimRuntime` bundles it with the shared
+clock-agnostic transport, and :mod:`repro.sim.faults` adds deterministic
+fault injection underneath the reliable-delivery contract.
+
+The runtime-neutral pieces that historically lived here — the transport,
+nodes, metrics, seeded streams, trace log — moved to :mod:`repro.runtime`;
+the old ``repro.sim.*`` import paths remain as shims.
 """
 
+from repro.runtime.latency import FixedLatency, LatencyModel, UniformLatency
+from repro.runtime.messages import Message
+from repro.runtime.metrics import Mechanism, MetricsCollector, MetricsSnapshot
+from repro.runtime.node import Node
+from repro.runtime.rng import SimRandom
+from repro.runtime.trace import Trace, TraceRecord
+from repro.runtime.transport import Network
 from repro.sim.kernel import EventHandle, Simulator
-from repro.sim.metrics import Mechanism, MetricsCollector, MetricsSnapshot
-from repro.sim.network import FixedLatency, LatencyModel, Message, Network, UniformLatency
-from repro.sim.node import Node
-from repro.sim.rng import SimRandom
-from repro.sim.tracing import Trace, TraceRecord
+from repro.sim.runtime import SimRuntime
 
 __all__ = [
     "EventHandle",
@@ -26,6 +34,7 @@ __all__ = [
     "Network",
     "Node",
     "SimRandom",
+    "SimRuntime",
     "Simulator",
     "Trace",
     "TraceRecord",

@@ -1,20 +1,20 @@
 """Deterministic fault injection over the simulated transport.
 
-The transport in :mod:`repro.sim.network` is *reliable* — the paper assumes
+The transport in :mod:`repro.runtime.transport` is *reliable* — the paper assumes
 persistent message queues — so the protocols above it are only ever
 exercised against scripted failures.  This module adds a seeded fault
 layer underneath that reliability contract: a :class:`FaultPlan` describes
 *what* can go wrong (message drop / duplication / delay spikes /
 reordering, link outages, node crash+restart, node stalls) and a
 :class:`FaultInjector` makes it happen deterministically, drawing every
-decision from dedicated :class:`~repro.sim.rng.SimRandom` streams so any
+decision from dedicated :class:`~repro.runtime.rng.SimRandom` streams so any
 run is bit-reproducible from ``(seed, plan)``.
 
 Layering: ``sim`` cannot import ``engines``, so the retransmission backoff
 policy is duck-typed — any object with ``backoff(attempt, rng) -> float |
 None`` works (``None`` means the per-message retry budget is exhausted and
 the message is permanently lost).  The concrete policy lives in
-:mod:`repro.engines.runtime.retry` and is wired in by
+:mod:`repro.runtime.retry` and is wired in by
 ``ControlSystem.inject_faults``.
 
 Injected semantics:
@@ -35,7 +35,7 @@ Injected semantics:
   deferred to the window's end (a paused step agent).
 
 Crashes also kill a node's deferred continuations: when a fault injector
-is installed, :meth:`repro.sim.node.Node.schedule_causal` guards every
+is installed, :meth:`repro.runtime.node.Node.schedule_causal` guards every
 deferred callback with the scheduling node's crash epoch, so work a node
 deferred across simulated time dies with the crash instead of running on
 a "down" node.
@@ -48,11 +48,11 @@ from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.errors import SimulationError
-from repro.sim.rng import SimRandom
+from repro.runtime.rng import SimRandom
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.transport import Message, Network
     from repro.sim.kernel import Simulator
-    from repro.sim.network import Message, Network
 
 __all__ = [
     "Crash",

@@ -1,0 +1,70 @@
+"""The simulated runtime: deterministic discrete-event substrate.
+
+:class:`SimRuntime` bundles the DES kernel (:class:`~repro.sim.kernel.
+Simulator` as the :class:`~repro.runtime.protocols.Clock`), the shared
+clock-agnostic :class:`~repro.runtime.transport.Network` transport and a
+:class:`~repro.runtime.executor.ClockExecutor` into one object satisfying
+:class:`repro.runtime.protocols.Runtime`.  It is the default backend of
+every :class:`~repro.engines.base.ControlSystem` (registered as ``"sim"``
+in :mod:`repro.runtime.factory`), and the only backend that supports
+deterministic fault injection: fixed-seed runs replay bit-for-bit from
+``(seed, plan)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import WorkloadError
+from repro.runtime.executor import ClockExecutor
+from repro.runtime.latency import LatencyModel
+from repro.runtime.metrics import MetricsCollector
+from repro.runtime.transport import Network
+from repro.sim.kernel import Simulator
+
+__all__ = ["SimRuntime"]
+
+
+class SimRuntime:
+    """Deterministic simulated substrate (clock + transport + executor)."""
+
+    name = "sim"
+
+    def __init__(
+        self,
+        metrics: MetricsCollector | None = None,
+        latency: LatencyModel | None = None,
+    ):
+        self.clock = Simulator()
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.transport = Network(self.clock, self.metrics, latency)
+        self.executor = ClockExecutor(self.clock)
+        self.transport.executor = self.executor
+        #: The installed fault injector, if any.
+        self.faults = None
+
+    # -- fault injection ---------------------------------------------------
+
+    def supports_faults(self) -> bool:
+        return True
+
+    def install_faults(self, plan: Any, rng: Any, retry: Any) -> Any:
+        """Install a deterministic :class:`~repro.sim.faults.FaultInjector`.
+
+        ``rng`` must be a dedicated child seed space (the caller spawns
+        ``rng.spawn("faults")``) so installation never perturbs the
+        workload's own streams; ``retry`` drives retransmission backoff.
+        Returns the installed injector.
+        """
+        from repro.sim.faults import FaultInjector
+
+        if self.faults is not None:
+            raise WorkloadError("fault injector already installed")
+        injector = FaultInjector(plan, rng, retry=retry)
+        injector.install(self.transport)
+        injector.arm(self.clock)
+        self.faults = injector
+        return injector
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimRuntime now={self.clock.now:.3f} pending={self.clock.pending}>"

@@ -44,7 +44,7 @@ from repro.model.coordination_spec import (
 )
 from repro.model.policies import AlwaysReexecute, ReuseIfInputsUnchanged
 from repro.model.schema import StepType, WorkflowSchema
-from repro.sim.rng import SimRandom
+from repro.runtime.rng import SimRandom
 from repro.workloads.params import WorkloadParameters
 
 __all__ = ["GeneratedWorkload", "WorkloadGenerator", "WorkloadRun"]

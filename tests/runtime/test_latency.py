@@ -1,0 +1,55 @@
+"""Latency-model parameter validation and delay behaviour."""
+
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.runtime.latency import FixedLatency, UniformLatency
+from repro.runtime.rng import SimRandom
+
+
+def test_fixed_latency_delay_is_constant():
+    model = FixedLatency(2.5)
+    assert model.delay("a", "b") == 2.5
+    assert model.delay("x", "y") == 2.5
+
+
+def test_fixed_latency_zero_is_legal():
+    assert FixedLatency(0.0).delay("a", "b") == 0.0
+
+
+@pytest.mark.parametrize("bad", [-1.0, -0.001, float("nan"),
+                                 float("inf"), float("-inf")])
+def test_fixed_latency_rejects_bad_values(bad):
+    with pytest.raises(ParameterError):
+        FixedLatency(bad)
+
+
+def test_uniform_latency_draws_within_bounds():
+    rng = SimRandom(3).stream("latency")
+    model = UniformLatency(rng, low=0.5, high=1.5)
+    for __ in range(100):
+        assert 0.5 <= model.delay("a", "b") <= 1.5
+
+
+def test_uniform_latency_rejects_inverted_bounds():
+    rng = SimRandom(3).stream("latency")
+    with pytest.raises(ParameterError) as excinfo:
+        UniformLatency(rng, low=2.0, high=1.0)
+    assert "inverted" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("low,high", [(-0.5, 1.0), (float("nan"), 1.0),
+                                      (0.5, float("inf"))])
+def test_uniform_latency_rejects_bad_bounds(low, high):
+    rng = SimRandom(3).stream("latency")
+    with pytest.raises(ParameterError):
+        UniformLatency(rng, low=low, high=high)
+
+
+def test_parameter_error_is_both_value_and_simulation_error():
+    """Callers catching ValueError (stdlib idiom) and callers catching
+    SimulationError (historical repo idiom) both see the rejection."""
+    with pytest.raises(ValueError):
+        FixedLatency(-1.0)
+    with pytest.raises(SimulationError):
+        FixedLatency(-1.0)

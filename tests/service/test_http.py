@@ -1,0 +1,114 @@
+"""The HTTP front door, exercised over real sockets."""
+
+import asyncio
+import json
+
+from repro.service import WorkflowService, start_server
+
+MINI_SCHEMA = {
+    "name": "Mini",
+    "inputs": ["x"],
+    "steps": [
+        {"name": "A", "outputs": ["y"], "cost": 1},
+        {"name": "B", "inputs": ["A.y"], "outputs": ["z"]},
+    ],
+    "arcs": [{"src": "A", "dst": "B"}],
+    "outputs": {"z": "B.z"},
+}
+
+
+async def request(port, method, path, body=None):
+    """One minimal HTTP exchange; returns (status, parsed JSON body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: localhost\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    ).encode()
+    writer.write(head + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    header_blob, __, body_blob = raw.partition(b"\r\n\r\n")
+    status = int(header_blob.split(b" ", 2)[1])
+    if b"application/x-ndjson" in header_blob:
+        parsed = [json.loads(line) for line in body_blob.splitlines()]
+    else:
+        parsed = json.loads(body_blob)
+    return status, parsed
+
+
+async def booted(port):
+    service = WorkflowService()
+    server = await start_server(service, "127.0.0.1", port)
+    return service, server
+
+
+async def shutdown(service, server):
+    server.close()
+    await server.wait_closed()
+    await service.close()
+
+
+def test_healthz_and_version():
+    async def main():
+        service, server = await booted(8460)
+        try:
+            status, body = await request(8460, "GET", "/healthz")
+            assert status == 200 and body["ok"] is True
+            status, body = await request(8460, "GET", "/version")
+            from repro import __version__
+
+            assert status == 200 and body["version"] == __version__
+        finally:
+            await shutdown(service, server)
+
+    asyncio.run(main())
+
+
+def test_submit_poll_and_stream():
+    async def main():
+        service, server = await booted(8461)
+        try:
+            status, body = await request(
+                8461, "POST", "/workflows",
+                {"schema": MINI_SCHEMA, "inputs": {"x": 1}},
+            )
+            assert status == 200
+            [iid] = body["instances"]
+            # the NDJSON stream blocks until the instance finishes
+            status, events = await asyncio.wait_for(
+                request(8461, "GET", f"/instances/{iid}/events"), timeout=10.0
+            )
+            assert status == 200
+            assert events[-1]["kind"] == "instance.finished"
+            assert events[-1]["status"] == "committed"
+            status, record = await request(8461, "GET", f"/instances/{iid}")
+            assert status == 200 and record["status"] == "committed"
+        finally:
+            await shutdown(service, server)
+
+    asyncio.run(main())
+
+
+def test_error_responses():
+    async def main():
+        service, server = await booted(8462)
+        try:
+            status, body = await request(8462, "GET", "/nope")
+            assert status == 404
+            status, body = await request(8462, "POST", "/healthz")
+            assert status == 405
+            status, body = await request(8462, "POST", "/workflows")
+            assert status == 400
+            status, body = await request(
+                8462, "POST", "/workflows", {"workflow": "Ghost"}
+            )
+            assert status == 400 and "Ghost" in body["error"]
+            status, body = await request(8462, "GET", "/instances/nope-1")
+            assert status == 404
+        finally:
+            await shutdown(service, server)
+
+    asyncio.run(main())

@@ -1,11 +1,17 @@
 """Architectural import-layering contract.
 
 The package stack is layered bottom-up: no package may import from a
-layer above it (``engines -> core -> rules/storage -> sim``, with
-``errors`` at the bottom and the CLI at the top).  The test walks every
-module's AST, so violations are caught even in rarely-executed code
-paths.  Imports guarded by ``if TYPE_CHECKING:`` are exempt — they break
-cycles for annotations only and vanish at runtime.
+layer above it (``engines -> core -> rules/storage -> sim -> runtime``,
+with ``errors`` at the bottom and the CLI at the top).  The test walks
+every module's AST, so violations are caught even in rarely-executed
+code paths.  Imports guarded by ``if TYPE_CHECKING:`` are exempt — they
+break cycles for annotations only and vanish at runtime.
+
+Two extra contracts guard the pluggable-runtime boundary: engines may
+construct against :mod:`repro.runtime` protocols only (no
+``repro.sim`` imports anywhere under ``repro/engines/``), and the
+runtime layer itself may not statically import any backend (the
+``"sim"`` backend is resolved lazily by name in the factory).
 """
 
 from __future__ import annotations
@@ -19,18 +25,20 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 #: strictly lower rank (or its own package).
 LAYERS = {
     "errors": 0,
-    "sim": 1,
-    "rules": 1,
-    "model": 2,
-    "obs": 2,
-    "storage": 3,
-    "core": 4,
-    "engines": 5,
-    "workloads": 6,
-    "laws": 6,
-    "analysis": 7,
-    "cli": 8,
-    "__main__": 9,
+    "runtime": 1,
+    "sim": 2,
+    "rules": 2,
+    "model": 3,
+    "obs": 3,
+    "storage": 4,
+    "core": 5,
+    "engines": 6,
+    "workloads": 7,
+    "laws": 7,
+    "analysis": 8,
+    "service": 9,
+    "cli": 10,
+    "__main__": 11,
 }
 
 
@@ -111,6 +119,50 @@ def test_every_package_is_ranked():
 
 def test_no_upward_imports():
     violations = collect_violations()
+    assert not violations, "\n".join(violations)
+
+
+def test_engines_never_import_sim():
+    """Engines construct against the repro.runtime protocols only: the
+    simulated backend is one implementation among several, resolved by
+    name through the runtime factory.  No module under repro/engines/
+    may import repro.sim (TYPE_CHECKING-only imports included — the
+    annotation surface must stay backend-neutral too)."""
+    engines = SRC / "repro" / "engines"
+    violations = []
+    for module_path in sorted(engines.rglob("*.py")):
+        tree = ast.parse(module_path.read_text(), filename=str(module_path))
+        for node in ast.walk(tree):
+            names = []
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                names = [node.module or ""]
+            for name in names:
+                if name == "repro.sim" or name.startswith("repro.sim."):
+                    violations.append(
+                        f"{module_path.relative_to(SRC)}:{node.lineno} "
+                        f"imports {name}: engines must depend on "
+                        f"repro.runtime protocols only"
+                    )
+    assert not violations, "\n".join(violations)
+
+
+def test_runtime_layer_has_no_static_backend_imports():
+    """repro.runtime must not statically import repro.sim: backends
+    register with the factory as lazy ``module:attr`` strings, so the
+    protocol layer stays below every implementation."""
+    runtime_pkg = SRC / "repro" / "runtime"
+    violations = []
+    for module_path in sorted(runtime_pkg.rglob("*.py")):
+        tree = ast.parse(module_path.read_text(), filename=str(module_path))
+        for lineno, imported in runtime_imports(tree):
+            if imported == "repro.sim" or imported.startswith("repro.sim."):
+                violations.append(
+                    f"{module_path.relative_to(SRC)}:{lineno} imports "
+                    f"{imported}: the runtime layer must not depend on a "
+                    f"backend"
+                )
     assert not violations, "\n".join(violations)
 
 
