@@ -7,6 +7,13 @@ within a loose wall-clock budget.  This is the CI gate for the asyncio
 runtime: it proves the whole chain — CLI entry point, HTTP front door,
 realtime clock/transport/executor, engine stack — actually serves.
 
+It also gates the observability plane: mid-run it checks ``/readyz``,
+scrapes ``/metrics`` and asserts the commit counter and the service
+latency histogram are present, then fetches ``/debug/trace`` and runs
+``repro analyze --check-invariants`` on the export — a live wall-clock
+run must satisfy the same protocol-invariant catalog as the simulated
+ones.
+
 Timing bounds are deliberately generous (CI runners are slow and
 noisy); correctness bounds are exact.
 
@@ -34,6 +41,12 @@ def req(method, path, body=None, timeout=10.0):
     request = urllib.request.Request(BASE + path, data=data, method=method)
     with urllib.request.urlopen(request, timeout=timeout) as response:
         return json.loads(response.read())
+
+
+def req_text(path, timeout=10.0):
+    """GET a non-JSON surface (/metrics, /debug/trace); returns str."""
+    with urllib.request.urlopen(BASE + path, timeout=timeout) as response:
+        return response.read().decode()
 
 
 def wait_for(predicate, budget, what):
@@ -89,10 +102,47 @@ def main() -> int:
         assert after["instances_finished"] >= 1, after
         assert after["messages_sent"] > 0, after
 
+        # Readiness split: the daemon is serving, so /readyz must be 200.
+        ready = req("GET", "/readyz")
+        assert ready == {"ready": True, "reason": "ok"}, ready
+
+        # Mid-run /metrics scrape: the committed instance must show up in
+        # the engine's commit counter and the service latency histogram.
+        def latency_recorded():
+            # The outcome watcher records end-to-end latency on its next
+            # sweep after the commit; poll until the histogram appears.
+            text = req_text("/metrics")
+            return text if "crew_service_instance_latency_seconds" in text else None
+
+        metrics = wait_for(latency_recorded, 10.0, "latency histogram scrape")
+        assert ('crew_instances_finished_total{architecture="centralized",'
+                'status="COMMITTED"}') in metrics, "commit counter missing"
+        assert "crew_service_instance_latency_seconds_bucket" in metrics
+        assert "crew_service_instance_latency_seconds_count" in metrics
+        assert "crew_realtime_pending_timers" in metrics
+        assert "crew_executor_submitted_total" in metrics
+
+        # The live trace export must satisfy the same protocol-invariant
+        # catalog as simulated runs (`repro analyze --check-invariants`).
+        trace_file = REPO / "serve_smoke_trace.jsonl"
+        trace_file.write_text(req_text("/debug/trace"))
+        analyze = subprocess.run(
+            [sys.executable, "-m", "repro", "analyze", str(trace_file),
+             "--check-invariants"],
+            cwd=REPO, capture_output=True, text=True,
+        )
+        if analyze.returncode != 0:
+            sys.stderr.write(analyze.stdout + analyze.stderr)
+            raise AssertionError("repro analyze --check-invariants failed "
+                                 "on the /debug/trace export")
+
         print(f"serve smoke OK: boot {boot_seconds:.1f}s, "
               f"commit {commit_seconds:.1f}s, "
               f"{after['messages_sent']} messages, "
-              f"{after['events_processed']} clock events")
+              f"{after['events_processed']} clock events, "
+              f"{len(metrics.splitlines())} metric lines, "
+              f"invariants OK on {len(trace_file.read_text().splitlines())} "
+              f"trace lines")
         return 0
     except Exception as exc:
         print(f"serve smoke FAILED: {exc!r}", file=sys.stderr)

@@ -48,6 +48,15 @@ Commands
     flamegraph-ready collapsed stacks, ``--chrome`` a Chrome trace with
     counter tracks, ``--metrics-out`` the profile counters as Prometheus
     text.
+``serve``
+    Run the wall-clock workflow daemon (HTTP/JSON front door) with its
+    observability plane: ``/metrics`` Prometheus scrape, ``/debug/trace``
+    JSONL snapshot, ``/debug/profile`` collapsed stacks, structured
+    NDJSON logs (``--log-out``), liveness (``/healthz``) vs readiness
+    (``/readyz``).
+``top``
+    Tail a running daemon's ``/events`` stream and ``/metrics`` scrape
+    into a live per-instance status view (``--once`` for one snapshot).
 """
 
 from __future__ import annotations
@@ -336,11 +345,9 @@ def cmd_scenario(args) -> int:
 def cmd_trace(args) -> int:
     system, __ = _run_scenario(args)
     system.tracer.finish(system.simulator.now)
-    if system.trace is not None and system.trace.dropped:
-        policy = "oldest" if system.trace.ring else "newest"
-        print(f"warning: trace ring buffer dropped "
-              f"{system.trace.dropped} record(s) ({policy} first; "
-              f"capacity {system.trace.capacity})", file=sys.stderr)
+    drops = system.trace.drop_summary() if system.trace is not None else None
+    if drops is not None:
+        print(f"warning: {drops}", file=sys.stderr)
     nodes = set(args.node) if args.node else None
     categories = set(args.category) if args.category else None
     if args.follow:
@@ -547,14 +554,23 @@ def cmd_serve(args) -> int:
     """Boot the wall-clock daemon and serve until interrupted."""
     import asyncio
 
+    from repro.obs.logging import StructuredLogger, open_log_stream
     from repro.service import WorkflowService, serve as serve_forever
 
+    logger = StructuredLogger(
+        stream=open_log_stream(args.log_out),
+        min_level=args.log_level,
+        service="repro-serve",
+    )
     service = WorkflowService(
         architecture=args.architecture,
         seed=args.seed,
         latency=args.latency,
         work_time_scale=args.work_time_scale,
         num_agents=args.agents,
+        observability=not args.no_observability,
+        trace_capacity=args.trace_capacity,
+        logger=logger,
     )
 
     async def run() -> None:
@@ -563,9 +579,11 @@ def cmd_serve(args) -> int:
             serve_forever(service, args.host, args.port, ready=ready)
         )
         await ready.wait()
+        surfaces = ("" if args.no_observability
+                    else ", GET /metrics | /debug/trace | /debug/profile")
         print(f"repro serve: {args.architecture} control on "
               f"http://{args.host}:{args.port} "
-              f"(POST /workflows, GET /instances/<id>[/events])",
+              f"(POST /workflows, GET /instances/<id>[/events]{surfaces})",
               file=sys.stderr, flush=True)
         await task
 
@@ -573,7 +591,152 @@ def cmd_serve(args) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("repro serve: shutting down", file=sys.stderr)
+    drops = service.system.trace.drop_summary()
+    if drops is not None:
+        print(f"warning: {drops} during serve", file=sys.stderr)
     return 0
+
+
+def _parse_prometheus(text: str) -> dict[str, list[tuple[dict[str, str], float]]]:
+    """Prometheus exposition text -> ``{name: [(labels, value), ...]}``.
+
+    Comment/HELP/TYPE lines and malformed samples are skipped; good
+    enough for the instruments our own exporter writes (no escaping of
+    ``"`` or ``,`` inside label values).
+    """
+    metrics: dict[str, list[tuple[dict[str, str], float]]] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, __, raw = line.rpartition(" ")
+        try:
+            value = float(raw)
+        except ValueError:
+            continue
+        name, __, rest = key.partition("{")
+        labels: dict[str, str] = {}
+        if rest:
+            for part in rest.rstrip("}").split(","):
+                lname, sep, lval = part.partition("=")
+                if sep:
+                    labels[lname] = lval.strip('"')
+        metrics.setdefault(name, []).append((labels, value))
+    return metrics
+
+
+def _metric_value(metrics, name: str, default: float = 0.0, **labels) -> float:
+    """Sum of a metric's samples matching the given label subset."""
+    total, hit = 0.0, False
+    for sample_labels, value in metrics.get(name, ()):
+        if all(sample_labels.get(k) == v for k, v in labels.items()):
+            total += value
+            hit = True
+    return total if hit else default
+
+
+def _render_top(status, instances, metrics, events) -> str:
+    """One `repro top` frame: headline counters + per-instance table."""
+    finished = status.get("instances_finished", 0)
+    submitted = status.get("instances_submitted", 0)
+    lines = [
+        f"repro serve · {status.get('architecture', '?')} · "
+        f"runtime={status.get('runtime', '?')} · "
+        f"up {status.get('uptime', 0.0):.1f}s · "
+        f"{'ready' if status.get('ready') else 'NOT READY'}"
+        + (" (draining)" if status.get("draining") else ""),
+        f"instances {finished}/{submitted} finished · "
+        f"events {status.get('events_processed', 0)} · "
+        f"messages {status.get('messages_sent', 0)} · "
+        f"retries {status.get('executor_retries', 0)} · "
+        f"failures {status.get('executor_failures', 0)} · "
+        f"trace drops {status.get('trace_dropped', 0)}",
+    ]
+    if metrics:
+        pending = _metric_value(metrics, "crew_realtime_pending_timers")
+        inflight = _metric_value(metrics, "crew_executor_inflight_tasks")
+        subs = _metric_value(metrics, "crew_service_event_subscribers")
+        line = (f"pending timers {pending:.0f} · inflight tasks "
+                f"{inflight:.0f} · subscribers {subs:.0f}")
+        lat_count = _metric_value(
+            metrics, "crew_service_instance_latency_seconds_count")
+        if lat_count:
+            lat_sum = _metric_value(
+                metrics, "crew_service_instance_latency_seconds_sum")
+            line += f" · mean latency {lat_sum / lat_count:.3f}s"
+        lines.append(line)
+    header = (f"{'instance':<24} {'workflow':<16} {'status':<12} "
+              f"{'age s':>8} {'events':>7}  last event")
+    lines += ["", header, "-" * len(header)]
+    for row in instances:
+        iid = row.get("instance", "?")
+        seen = events.get(iid, {})
+        lines.append(
+            f"{iid:<24} {row.get('workflow', '-'):<16} "
+            f"{row.get('status', '?'):<12} {row.get('age', 0.0):>8.2f} "
+            f"{seen.get('count', 0):>7}  {seen.get('last', '-')}"
+        )
+    if not instances:
+        lines.append("(no instances submitted yet)")
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """Live per-instance status view of a running ``repro serve``."""
+    import json as _json
+    import threading
+    import time
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+
+    def fetch(path: str) -> str:
+        with urllib.request.urlopen(base + path, timeout=3.0) as resp:
+            return resp.read().decode()
+
+    events: dict[str, dict] = {}
+
+    def tail_events() -> None:
+        # Daemon thread: one long-lived GET /events NDJSON stream feeding
+        # the per-instance "events seen / last event" columns.  Any error
+        # (server gone, stream closed) just ends the tail; the polled
+        # columns keep working.
+        try:
+            resp = urllib.request.urlopen(base + "/events")
+            for raw in resp:
+                rec = _json.loads(raw)
+                iid = rec.get("instance")
+                if not iid:
+                    continue
+                seen = events.setdefault(iid, {"count": 0, "last": "-"})
+                seen["count"] += 1
+                seen["last"] = rec.get("kind", "-")
+        except Exception:
+            pass
+
+    if not args.no_events and not args.once:
+        threading.Thread(target=tail_events, daemon=True).start()
+
+    while True:
+        try:
+            status = _json.loads(fetch("/healthz"))
+            instances = _json.loads(fetch("/instances"))["instances"]
+            try:
+                metrics = _parse_prometheus(fetch("/metrics"))
+            except urllib.error.HTTPError:
+                metrics = {}  # observability disabled: poll-only columns
+        except OSError as exc:
+            print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+            return 1
+        frame = _render_top(status, instances, metrics, events)
+        if args.once:
+            print(frame)
+            return 0
+        print(f"\x1b[2J\x1b[H{frame}", flush=True)
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -785,7 +948,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--work-time-scale", type=float, default=0.01,
                        help="seconds of service time per unit of step cost")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--no-observability", action="store_true",
+                       help="disable /metrics, /debug/trace and "
+                            "/debug/profile (bare throughput mode)")
+    serve.add_argument("--trace-capacity", type=int, default=200_000,
+                       help="trace ring-buffer size in records (oldest "
+                            "evicted; drops reported at shutdown)")
+    serve.add_argument("--log-out", default="-", metavar="FILE",
+                       help="structured NDJSON log destination: '-' = "
+                            "stderr (default), 'off' = disabled, else "
+                            "append to FILE")
+    serve.add_argument("--log-level", default="info",
+                       choices=("debug", "info", "warning", "error"))
     serve.set_defaults(fn=cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="live per-instance status view of a running repro serve",
+    )
+    top.add_argument("--url", default="http://127.0.0.1:8450",
+                     help="base URL of the daemon (default: %(default)s)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh period in seconds")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit (no screen clear)")
+    top.add_argument("--no-events", action="store_true",
+                     help="poll-only: skip tailing the /events stream")
+    top.set_defaults(fn=cmd_top)
     return parser
 
 

@@ -14,6 +14,9 @@ shows:
 * :mod:`repro.obs.export` — JSONL trace dumps, Chrome trace-event JSON
   (loadable in ``chrome://tracing`` / Perfetto) and Prometheus text-format
   metric snapshots;
+* :mod:`repro.obs.logging` — structured NDJSON event logging with
+  instance-id/node/Lamport correlation fields, used by the serve daemon
+  and the CLI;
 * :mod:`repro.obs.profile` — an in-engine instrumentation profiler
   attributing wall-clock and simulated time to named subsystem frames
   (kernel, transport, rules, WAL, dispatch, recovery), with ranked
@@ -32,6 +35,7 @@ from repro.obs.export import (
     trace_to_jsonl,
 )
 from repro.obs.flight import FlightRecorder
+from repro.obs.logging import StructuredLogger, correlation_fields, open_log_stream
 from repro.obs.profile import FrameStat, Profiler, peak_rss_kb, profiled
 from repro.obs.registry import (
     CounterMetric,
@@ -53,8 +57,11 @@ __all__ = [
     "Profiler",
     "Span",
     "SpanContext",
+    "StructuredLogger",
     "Tracer",
     "chrome_trace",
+    "correlation_fields",
+    "open_log_stream",
     "peak_rss_kb",
     "profiled",
     "prometheus_text",

@@ -89,10 +89,15 @@ class RealtimeClock:
         self._pending = 0
         self._idle: asyncio.Event | None = None
         self.events_processed = 0
+        self._last_fire = 0.0
         #: Observability hook called as ``hook(time, pending)`` before each
         #: callback fires — same shape as the simulated kernel's.
         self.event_hook: Callable[[float, int], None] | None = None
-        #: Duck-typed profiler slot, for parity with the simulated kernel.
+        #: Duck-typed profiler (see :class:`repro.obs.profile.Profiler`),
+        #: same slot the simulated kernel exposes.  When installed, every
+        #: fired callback runs inside a named subsystem frame credited
+        #: with the wall-clock advance since the previous event (the
+        #: realtime analogue of the kernel's sim-dt credit).
         self.profile = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -138,14 +143,28 @@ class RealtimeClock:
         fire_at = self.now + delay
 
         def fire() -> None:
+            if handle.cancelled:
+                # A cancel raced the loop's ready queue: asyncio skips
+                # cancelled TimerHandles before calling them, so this
+                # branch is belt-and-braces — cancel() already released
+                # the pending slot, firing now would double-count.
+                return  # pragma: no cover - asyncio guards this upstream
             handle._clock = None  # a late cancel is a pure no-op
             self._pending -= 1
             self.events_processed += 1
+            now = self.now
             if self.event_hook is not None:
-                self.event_hook(self.now, self._pending)
+                self.event_hook(now, self._pending)
+            profile = self.profile
+            if profile is not None:
+                profile.begin_event(action, now, now - self._last_fire,
+                                    self._pending)
+                self._last_fire = now
             try:
                 action(*args)
             finally:
+                if profile is not None:
+                    profile.end_event()
                 if self._pending == 0 and self._idle is not None:
                     self._idle.set()
 
@@ -229,8 +248,18 @@ class TaskExecutor:
         )
         self._tasks: set[asyncio.Task[Any]] = set()
         self.submitted = 0
+        self.retries = 0
         #: ``(callable qualname, repr(exception))`` of budget-exhausted work.
         self.failures: list[tuple[str, str]] = []
+        #: Duck-typed observability hooks (``obs`` sits above ``runtime``
+        #: in the layering contract, so the owning service injects these
+        #: rather than the executor importing a logger/registry):
+        #: ``on_retry(fn, name, exc, attempt, backoff)`` after each failed
+        #: attempt that will be retried, ``on_give_up(fn, name, exc,
+        #: attempts)`` once the budget is exhausted.  Hook exceptions are
+        #: swallowed — observability must never kill the worker task.
+        self.on_retry: Callable[..., None] | None = None
+        self.on_give_up: Callable[..., None] | None = None
 
     def submit(
         self, delay: float, fn: Callable[..., Any], *args: Any
@@ -261,8 +290,20 @@ class TaskExecutor:
                 name = getattr(fn, "__qualname__", repr(fn))
                 if backoff is None:
                     self.failures.append((name, repr(exc)))
+                    self._notify(self.on_give_up, fn, name, exc, attempt)
                     return
+                self.retries += 1
+                self._notify(self.on_retry, fn, name, exc, attempt, backoff)
                 await asyncio.sleep(backoff)
+
+    @staticmethod
+    def _notify(hook: Callable[..., None] | None, *args: Any) -> None:
+        if hook is None:
+            return
+        try:
+            hook(*args)
+        except Exception:  # pragma: no cover - defensive
+            pass
 
     @property
     def inflight(self) -> int:

@@ -98,6 +98,25 @@ class Trace:
         if self.listener is not None:
             self.listener(rec)
 
+    # -- loss reporting ------------------------------------------------------
+
+    @property
+    def drop_policy(self) -> str:
+        """Which end the capacity policy sacrifices: oldest or newest."""
+        return "oldest" if self.ring else "newest"
+
+    def drop_summary(self) -> str | None:
+        """One-line loss report, or ``None`` when nothing was dropped.
+
+        Every consumer that owes its operator honesty about a truncated
+        trace (``repro trace``, ``repro serve`` shutdown, the service
+        close log) formats the same sentence from here.
+        """
+        if not self.dropped:
+            return None
+        return (f"trace ring buffer dropped {self.dropped} record(s) "
+                f"({self.drop_policy} first; capacity {self.capacity})")
+
     # -- queries -------------------------------------------------------------
 
     def filter(
@@ -154,7 +173,6 @@ class Trace:
         if limit is not None and len(self.records) > limit:
             lines.append(f"... ({len(self.records) - limit} more records)")
         if self.dropped:
-            policy = "oldest" if self.ring else "newest"
-            lines.append(f"({self.dropped} {policy} records dropped at "
-                         f"capacity {self.capacity})")
+            lines.append(f"({self.dropped} {self.drop_policy} records "
+                         f"dropped at capacity {self.capacity})")
         return "\n".join(lines)

@@ -14,6 +14,19 @@ starts new instances.  Event subscribers get per-instance
 :class:`asyncio.Queue` feeds terminated by ``None`` once the instance
 reaches an outcome; a background watcher closes streams for instances
 that finish without a final trace record mentioning them.
+
+The service is also the daemon's *observability plane*: it owns the
+engine's :class:`~repro.obs.registry.MetricsRegistry` (extended with
+service-level commit/abort latency histograms and runtime queue-depth /
+retry instruments), an always-on :class:`~repro.obs.profile.Profiler`
+over the realtime clock and transport, and a structured NDJSON logger
+(:mod:`repro.obs.logging`) correlating every operational event with the
+``instance``/``node``/``lamport`` keys of the causal trace.  The HTTP
+front door renders these through :meth:`metrics_text` (Prometheus
+exposition), :meth:`trace_jsonl` (a ``repro analyze``-compatible
+snapshot) and :meth:`profile_collapsed` (flamegraph stacks).  With
+``observability=False`` all three raise — the front door turns that
+into an explicit 503 rather than an empty scrape.
 """
 
 from __future__ import annotations
@@ -32,10 +45,19 @@ from repro.engines import (
 from repro.errors import FrontEndError, SchemaError, WorkloadError
 from repro.laws import load_laws
 from repro.model import SchemaBuilder
+from repro.obs.export import prometheus_text, trace_to_jsonl
+from repro.obs.logging import StructuredLogger
+from repro.obs.profile import Profiler
 from repro.runtime.latency import FixedLatency
 from repro.runtime.realtime import RealtimeRuntime
 
 __all__ = ["WorkflowService", "schema_from_dict"]
+
+#: Wall-clock seconds buckets for the end-to-end instance latency
+#: histograms (submission to commit/abort on the realtime runtime).
+INSTANCE_LATENCY_BUCKETS = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
 
 _ARCHITECTURES = {
     "centralized": CentralizedControlSystem,
@@ -125,6 +147,9 @@ class WorkflowService:
         work_time_scale: float = 0.01,
         num_agents: int = 4,
         config: SystemConfig | None = None,
+        observability: bool = True,
+        trace_capacity: int | None = 200_000,
+        logger: StructuredLogger | None = None,
     ):
         try:
             system_cls = _ARCHITECTURES[architecture]
@@ -138,6 +163,9 @@ class WorkflowService:
         if config is None:
             # Wall-clock timeouts: the simulated defaults (tens of time
             # units) would mean tens of real seconds of watchdog wait.
+            # The trace runs in ring mode — a long-lived daemon wants the
+            # most recent window, not the boot minutes (drops are counted
+            # and reported at shutdown either way).
             config = SystemConfig(
                 seed=seed,
                 runtime="asyncio",
@@ -145,17 +173,44 @@ class WorkflowService:
                 work_time_scale=work_time_scale,
                 step_status_timeout=2.0,
                 step_status_poll_interval=1.0,
+                trace=observability,
+                trace_capacity=trace_capacity,
+                trace_ring=True,
             )
+        #: Whether the metrics/trace/profile surfaces are live.  A config
+        #: passed explicitly decides via its own ``trace`` switch.
+        self.observability = config.trace
         self.system = system_cls(config, num_agents=num_agents,
                                  runtime=self.runtime)
         self.system.trace.listener = self._on_trace
+        self.logger = (logger if logger is not None
+                       else StructuredLogger(stream=None))
+        self.logger = self.logger.bind(architecture=architecture)
+        self.profiler: Profiler | None = None
+        if self.observability:
+            # Always-on subsystem profiler: the wall-clock hot path is
+            # orders of magnitude cooler than the simulated kernel's, so
+            # the frame brackets are cheap next to real network latency.
+            self.profiler = Profiler(sample_interval=64).install(self.system)
+        executor = self.runtime.executor
+        executor.on_retry = self._on_executor_retry
+        executor.on_give_up = self._on_executor_give_up
         self.started_at: float | None = None
         self._installed_documents: set[str] = set()
-        self._known_instances: set[str] = set()
+        #: instance id -> wall-clock submit time (insertion ordered; the
+        #: key set doubles as "known instances").
+        self._submit_times: dict[str, float] = {}
+        #: Instances whose end-to-end latency has not been recorded yet.
+        self._latency_pending: set[str] = set()
         self._submitted = 0
         self._subscribers: dict[str, list[asyncio.Queue]] = {}
+        #: Firehose subscribers: queues receiving every instance-tagged
+        #: event (the ``GET /events`` stream and ``repro top``).
+        self._event_taps: list[asyncio.Queue] = []
         self._closed_streams: set[str] = set()
         self._watcher: asyncio.Task[None] | None = None
+        self._ready = False
+        self._draining = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -166,8 +221,34 @@ class WorkflowService:
         if self._watcher is None:
             owner = loop if loop is not None else asyncio.get_running_loop()
             self._watcher = owner.create_task(self._watch_outcomes())
+        self._ready = True
+        self.logger.info(
+            "service.ready", runtime=self.runtime.name,
+            observability=self.observability,
+        )
+
+    def readiness(self) -> tuple[bool, str]:
+        """Readiness (distinct from liveness): ``(ready, reason)``.
+
+        Not ready until :meth:`start` has bound the runtime and launched
+        the queue watcher, and never ready again once a graceful drain
+        has begun — load balancers should stop routing new submissions
+        while in-flight instances finish.
+        """
+        if self._draining:
+            return False, "draining"
+        if not self._ready or self._watcher is None:
+            return False, "starting"
+        return True, "ok"
+
+    def begin_drain(self) -> None:
+        """Flip readiness off ahead of shutdown (idempotent)."""
+        if not self._draining:
+            self._draining = True
+            self.logger.info("service.draining")
 
     async def close(self) -> None:
+        self.begin_drain()
         if self._watcher is not None:
             self._watcher.cancel()
             try:
@@ -175,6 +256,21 @@ class WorkflowService:
             except asyncio.CancelledError:
                 pass
             self._watcher = None
+        for queue in self._event_taps:
+            queue.put_nowait(None)
+        self._event_taps.clear()
+        trace = self.system.trace
+        if trace.dropped:
+            # PR 6 taught `repro trace` to warn about ring-buffer losses;
+            # the daemon owes its operator the same honesty at shutdown.
+            self.logger.warning(
+                "trace.dropped", dropped=trace.dropped,
+                capacity=trace.capacity, policy=trace.drop_policy,
+            )
+        self.logger.info(
+            "service.closed", instances_submitted=self._submitted,
+            instances_finished=len(self.system.outcomes),
+        )
 
     # -- submission --------------------------------------------------------
 
@@ -213,11 +309,16 @@ class WorkflowService:
                 f"workflow class {schema_name!r} is not installed "
                 f"(installed: {sorted(self.system.schemas)})"
             )
+        now = self.runtime.clock.now
         started = [
             self.system.start_workflow(schema_name, dict(inputs or {}))
             for __ in range(instances)
         ]
-        self._known_instances.update(started)
+        for iid in started:
+            self._submit_times[iid] = now
+            self._latency_pending.add(iid)
+            self.logger.info("instance.submitted", instance=iid,
+                             workflow=schema_name)
         self._submitted += len(started)
         return {"workflow": schema_name, "instances": started}
 
@@ -265,6 +366,12 @@ class WorkflowService:
             "instances_finished": len(self.system.outcomes),
             "events_processed": clock.events_processed,
             "messages_sent": self.system.metrics.total_messages(),
+            "ready": self.readiness()[0],
+            "draining": self._draining,
+            "observability": self.observability,
+            "trace_dropped": self.system.trace.dropped,
+            "executor_retries": self.runtime.executor.retries,
+            "executor_failures": len(self.runtime.executor.failures),
         }
 
     def instance(self, instance_id: str) -> dict[str, Any]:
@@ -278,9 +385,27 @@ class WorkflowService:
                 "outputs": dict(outcome.outputs),
                 "finished_at": outcome.finished_at,
             }
-        if instance_id not in self._known_instances:
+        if instance_id not in self._submit_times:
             raise FrontEndError(f"unknown instance {instance_id!r}")
         return {"instance": instance_id, "status": "running"}
+
+    def instances(self) -> list[dict[str, Any]]:
+        """Per-instance status rows, submission order (``repro top`` feed)."""
+        now = self.runtime.clock.now
+        rows = []
+        for iid, submitted in self._submit_times.items():
+            outcome = self.system.outcomes.get(iid)
+            if outcome is not None:
+                rows.append({
+                    "instance": iid,
+                    "workflow": outcome.schema_name,
+                    "status": outcome.status.value,
+                    "age": round(now - submitted, 6),
+                })
+            else:
+                rows.append({"instance": iid, "status": "running",
+                             "age": round(now - submitted, 6)})
+        return rows
 
     # -- event streaming ---------------------------------------------------
 
@@ -290,7 +415,7 @@ class WorkflowService:
         Subscribing to an already-finished instance yields a single
         final status event and then the terminator.
         """
-        if (instance_id not in self._known_instances
+        if (instance_id not in self._submit_times
                 and instance_id not in self.system.outcomes):
             raise FrontEndError(f"unknown instance {instance_id!r}")
         queue: asyncio.Queue = asyncio.Queue()
@@ -301,19 +426,54 @@ class WorkflowService:
         self._subscribers.setdefault(instance_id, []).append(queue)
         return queue
 
+    def unsubscribe(self, instance_id: str, queue: asyncio.Queue) -> None:
+        """Detach a subscriber queue (client went away mid-stream).
+
+        Without this, a disconnecting NDJSON client would leave its
+        queue accumulating events until the instance finishes.  Unknown
+        queues (already closed by the watcher) are ignored.
+        """
+        queues = self._subscribers.get(instance_id)
+        if not queues:
+            return
+        try:
+            queues.remove(queue)
+        except ValueError:
+            return
+        if not queues:
+            del self._subscribers[instance_id]
+
+    def subscribe_events(self) -> asyncio.Queue:
+        """Firehose queue of every instance-tagged event (all instances).
+
+        Terminated with ``None`` at service close; callers detach early
+        via :meth:`unsubscribe_events`.
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        self._event_taps.append(queue)
+        return queue
+
+    def unsubscribe_events(self, queue: asyncio.Queue) -> None:
+        try:
+            self._event_taps.remove(queue)
+        except ValueError:
+            pass
+
     def _on_trace(self, rec) -> None:
         """Trace tap: fan each instance-tagged record out to subscribers."""
         instance_id = rec.detail.get("instance")
         if not instance_id:
             return
         queues = self._subscribers.get(instance_id)
-        if not queues:
+        if not queues and not self._event_taps:
             return
         event = {"t": round(rec.time, 6), "node": rec.node, "kind": rec.kind}
         event.update(
             (k, v) for k, v in rec.detail.items() if _jsonable(v)
         )
-        for queue in queues:
+        for queue in queues or ():
+            queue.put_nowait(event)
+        for queue in self._event_taps:
             queue.put_nowait(event)
 
     def _final_event(self, instance_id: str) -> dict[str, Any]:
@@ -322,17 +482,172 @@ class WorkflowService:
         return record
 
     async def _watch_outcomes(self) -> None:
-        """Close subscriber streams once their instance has an outcome."""
+        """Sweep for finished instances: record end-to-end latency into
+        the commit/abort histograms, log the outcome, and close any
+        subscriber streams with a final event + ``None`` terminator."""
         while True:
             await asyncio.sleep(_WATCH_INTERVAL)
-            finished = [
-                iid for iid in self._subscribers
-                if iid in self.system.outcomes
-            ]
-            for iid in finished:
+            outcomes = self.system.outcomes
+            for iid in [i for i in self._latency_pending if i in outcomes]:
+                self._latency_pending.discard(iid)
+                self._record_latency(iid, outcomes[iid])
+            for iid in [i for i in self._subscribers if i in outcomes]:
                 for queue in self._subscribers.pop(iid, ()):
                     queue.put_nowait(self._final_event(iid))
                     queue.put_nowait(None)
+
+    def _record_latency(self, instance_id: str, outcome) -> None:
+        submitted = self._submit_times.get(instance_id)
+        latency = (None if submitted is None
+                   else self.runtime.clock.now - submitted)
+        status = outcome.status.value
+        if latency is not None and self.observability:
+            self.system.registry.histogram(
+                "crew_service_instance_latency_seconds",
+                "Wall-clock submission-to-outcome latency per instance.",
+                buckets=INSTANCE_LATENCY_BUCKETS,
+                architecture=self.architecture, status=status,
+            ).observe(latency)
+        self.logger.info(
+            "instance.finished", instance=instance_id,
+            workflow=outcome.schema_name, status=status,
+            latency=None if latency is None else round(latency, 6),
+        )
+
+    # -- observability plane -----------------------------------------------
+
+    def _on_executor_retry(self, fn, name, exc, attempt, backoff) -> None:
+        """Executor hook: a transient step failure about to be retried."""
+        self.logger.warning(
+            "executor.retry", task=name, error=repr(exc),
+            attempt=attempt, backoff=round(backoff, 6),
+            **_node_fields(fn),
+        )
+
+    def _on_executor_give_up(self, fn, name, exc, attempts) -> None:
+        """Executor hook: retry budget exhausted — the step is lost.
+
+        Alongside the error log, snapshot the owning node's flight
+        recorder into the trace (when ``fn`` is a node-bound method):
+        the post-mortem sees the node's last transport events next to
+        the failure instead of just a one-line repr.
+        """
+        fields = _node_fields(fn)
+        self.logger.error(
+            "executor.give_up", task=name, error=repr(exc),
+            attempts=attempts, **fields,
+        )
+        owner = getattr(fn, "__self__", None)
+        dump = getattr(owner, "dump_flight", None)
+        if dump is not None:
+            dump("task.failure", task=name, error=repr(exc),
+                 attempts=attempts)
+
+    def _refresh_runtime_metrics(self) -> None:
+        """Sync scrape-time instruments from runtime/service state.
+
+        Gauges are set; lifetime-monotone totals (executor counters,
+        profiler frame aggregates) are *assigned* rather than
+        ``inc()``-ed so repeated scrapes stay idempotent.
+        """
+        registry = self.system.registry
+        clock = self.runtime.clock
+        executor = self.runtime.executor
+        registry.gauge(
+            "crew_realtime_pending_timers",
+            "Scheduled-but-unfired wall-clock callbacks.",
+        ).set(clock.pending)
+        registry.gauge(
+            "crew_executor_inflight_tasks",
+            "Executor tasks submitted but not yet finished.",
+        ).set(executor.inflight)
+        registry.gauge(
+            "crew_service_event_subscribers",
+            "Open NDJSON event-stream subscriptions (incl. firehose).",
+        ).set(sum(len(q) for q in self._subscribers.values())
+              + len(self._event_taps))
+        registry.gauge(
+            "crew_service_instances_running",
+            "Submitted instances that have not reached an outcome.",
+        ).set(len(self._submit_times) - sum(
+            1 for i in self._submit_times if i in self.system.outcomes))
+        registry.gauge(
+            "crew_service_uptime_seconds",
+            "Wall-clock seconds since the service runtime started.",
+        ).set(0.0 if self.started_at is None
+              else clock.now - self.started_at)
+        _set_counter(registry.counter(
+            "crew_executor_submitted_total",
+            "Tasks handed to the realtime executor.",
+        ), executor.submitted)
+        _set_counter(registry.counter(
+            "crew_executor_retries_total",
+            "Transient task failures retried on the backoff policy.",
+        ), executor.retries)
+        _set_counter(registry.counter(
+            "crew_executor_failures_total",
+            "Tasks abandoned after exhausting the retry budget.",
+        ), len(executor.failures))
+        _set_counter(registry.counter(
+            "crew_trace_dropped_records_total",
+            "Trace records evicted from the ring buffer.",
+        ), self.system.trace.dropped)
+        if self.profiler is not None:
+            for stat in self.profiler.top_frames():
+                _set_counter(registry.counter(
+                    "crew_profile_calls_total",
+                    "Profiler frame entries.", frame=stat.name), stat.calls)
+                _set_counter(registry.counter(
+                    "crew_profile_self_seconds_total",
+                    "Wall-clock self time attributed to a profiler frame.",
+                    frame=stat.name), stat.self_ns / 1e9)
+
+    def _require_observability(self) -> None:
+        if not self.observability:
+            raise WorkloadError(
+                "observability is disabled on this service; restart "
+                "`repro serve` without --no-observability to enable "
+                "/metrics, /debug/trace and /debug/profile"
+            )
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition of the full registry (scrape surface)."""
+        self._require_observability()
+        self._refresh_runtime_metrics()
+        return prometheus_text(self.system.registry)
+
+    def trace_jsonl(self) -> str:
+        """`repro analyze`-compatible JSONL snapshot of the live trace."""
+        self._require_observability()
+        return trace_to_jsonl(self.system.trace, tracer=self.system.tracer)
+
+    def profile_collapsed(self) -> str:
+        """Collapsed flamegraph stacks from the subsystem profiler."""
+        self._require_observability()
+        assert self.profiler is not None
+        return self.profiler.collapsed() + "\n"
+
+
+def _node_fields(fn: Any) -> dict[str, Any]:
+    """Correlation fields for a task callable bound to an engine node."""
+    owner = getattr(fn, "__self__", None)
+    fields: dict[str, Any] = {}
+    name = getattr(owner, "name", None)
+    if isinstance(name, str):
+        fields["node"] = name
+    lamport = getattr(owner, "lamport_clock", None)
+    if isinstance(lamport, int):
+        fields["lamport"] = lamport
+    return fields
+
+
+def _set_counter(counter, value: float) -> None:
+    """Assign an absolute value to a cumulative counter.
+
+    The sources here are process-lifetime monotone already (executor
+    totals, trace drop counts, profiler aggregates); assignment keeps a
+    scrape idempotent where ``inc()`` would double-count."""
+    counter.value = float(value)
 
 
 def _jsonable(value: Any) -> bool:

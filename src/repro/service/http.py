@@ -5,19 +5,33 @@ over :func:`asyncio.start_server` — enough for ``curl`` and the standard
 library client, no more:
 
 ================================  =====================================
-``GET /healthz``                  service status summary
+``GET /healthz``                  liveness: status summary (always 200)
+``GET /readyz``                   readiness: 200 only when serving
 ``GET /version``                  package version
 ``POST /workflows``               submit (LAWS text or schema JSON)
+``GET /instances``                all instances, submission order
 ``GET /instances/<id>``           one instance's status
 ``GET /instances/<id>/events``    live NDJSON event stream
+``GET /events``                   firehose NDJSON stream (all instances)
+``GET /metrics``                  Prometheus exposition scrape
+``GET /debug/trace``              ``repro analyze``-compatible JSONL
+``GET /debug/profile``            collapsed flamegraph stacks
 ================================  =====================================
 
 ``POST /workflows`` accepts a JSON object with either ``laws`` (LAWS
 source text) or ``schema`` (a schema-JSON document, see
 :func:`~repro.service.core.schema_from_dict`), plus optional
 ``workflow`` (class name), ``inputs`` (mapping) and ``instances``
-(count).  The event stream responds with ``Content-Type:
-application/x-ndjson`` and closes when the instance finishes.
+(count).  Event streams respond with ``Content-Type:
+application/x-ndjson`` and close when the instance finishes (or at
+service shutdown for the firehose); a client hanging up mid-stream is
+detected via connection EOF and its queue detached immediately.
+
+``/healthz`` answers *liveness* (the process and loop are up) and always
+returns 200; ``/readyz`` answers *readiness* (accepting traffic) — 503
+before :meth:`WorkflowService.start` completes and during graceful
+drain.  The observability surfaces return 503 with a hint when the
+service was started with observability disabled.
 
 Responses carry ``Connection: close`` — one request per connection keeps
 the parser honest and is plenty for a local control plane.
@@ -29,7 +43,7 @@ import asyncio
 import json
 from typing import Any
 
-from repro.errors import CrewError
+from repro.errors import CrewError, WorkloadError
 from repro.service.core import WorkflowService
 
 __all__ = ["serve", "start_server"]
@@ -44,7 +58,13 @@ _REASONS = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
+
+#: Prometheus text exposition content type (the version tag matters to
+#: strict scrapers).
+_PROM_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+_NDJSON_TYPE = "application/x-ndjson"
 
 
 def _version() -> str:
@@ -73,6 +93,18 @@ def _response(
     for name, value in (headers or {}).items():
         lines.append(f"{name}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+def _text_response(status: int, text: str, content_type: str) -> bytes:
+    """A non-JSON body (Prometheus exposition, JSONL dumps, stacks)."""
+    body = text.encode()
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    return head.encode() + body
 
 
 async def _read_request(
@@ -110,21 +142,51 @@ async def _read_request(
 
 
 async def _stream_events(
-    writer: asyncio.StreamWriter, service: WorkflowService, instance_id: str
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    service: WorkflowService,
+    instance_id: str | None,
 ) -> None:
-    queue = service.subscribe(instance_id)
-    writer.write(
-        b"HTTP/1.1 200 OK\r\n"
-        b"Content-Type: application/x-ndjson\r\n"
-        b"Connection: close\r\n\r\n"
-    )
-    await writer.drain()
-    while True:
-        event = await queue.get()
-        if event is None:
-            return
-        writer.write((json.dumps(event, sort_keys=True) + "\n").encode())
+    """Pump one NDJSON event stream until it ends or the client hangs up.
+
+    ``instance_id=None`` selects the firehose (every instance's events).
+    The connection is one-request-per-connection, so any further read
+    resolving (EOF, or a stray byte) means the client went away; the
+    subscriber queue is detached in ``finally`` either way — a
+    disconnected client must not leave its queue accumulating events
+    until the instance finishes.
+    """
+    if instance_id is None:
+        queue = service.subscribe_events()
+    else:
+        queue = service.subscribe(instance_id)
+    eof_task = asyncio.ensure_future(reader.read(1))
+    try:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
         await writer.drain()
+        while True:
+            get_task = asyncio.ensure_future(queue.get())
+            done, __ = await asyncio.wait(
+                {get_task, eof_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if eof_task in done:
+                get_task.cancel()
+                return
+            event = get_task.result()
+            if event is None:
+                return
+            writer.write((json.dumps(event, sort_keys=True) + "\n").encode())
+            await writer.drain()
+    finally:
+        eof_task.cancel()
+        if instance_id is None:
+            service.unsubscribe_events(queue)
+        else:
+            service.unsubscribe(instance_id, queue)
 
 
 async def _dispatch(
@@ -132,6 +194,7 @@ async def _dispatch(
     method: str,
     path: str,
     body: dict[str, Any] | None,
+    reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
 ) -> bytes | None:
     """Route one request; returns a full response, or ``None`` if the
@@ -140,6 +203,44 @@ async def _dispatch(
         if method != "GET":
             raise _HttpError(405, "use GET")
         return _response(200, service.status())
+    if path == "/readyz":
+        if method != "GET":
+            raise _HttpError(405, "use GET")
+        ready, reason = service.readiness()
+        return _response(200 if ready else 503,
+                         {"ready": ready, "reason": reason})
+    if path == "/metrics":
+        if method != "GET":
+            raise _HttpError(405, "use GET")
+        try:
+            return _text_response(200, service.metrics_text(), _PROM_TYPE)
+        except WorkloadError as exc:
+            raise _HttpError(503, str(exc)) from None
+    if path == "/debug/trace":
+        if method != "GET":
+            raise _HttpError(405, "use GET")
+        try:
+            return _text_response(200, service.trace_jsonl(), _NDJSON_TYPE)
+        except WorkloadError as exc:
+            raise _HttpError(503, str(exc)) from None
+    if path == "/debug/profile":
+        if method != "GET":
+            raise _HttpError(405, "use GET")
+        try:
+            return _text_response(
+                200, service.profile_collapsed(), "text/plain; charset=utf-8"
+            )
+        except WorkloadError as exc:
+            raise _HttpError(503, str(exc)) from None
+    if path == "/events":
+        if method != "GET":
+            raise _HttpError(405, "use GET")
+        await _stream_events(reader, writer, service, None)
+        return None
+    if path == "/instances":
+        if method != "GET":
+            raise _HttpError(405, "use GET")
+        return _response(200, {"instances": service.instances()})
     if path == "/version":
         if method != "GET":
             raise _HttpError(405, "use GET")
@@ -167,7 +268,7 @@ async def _dispatch(
         if rest.endswith("/events"):
             instance_id = rest[: -len("/events")]
             try:
-                await _stream_events(writer, service, instance_id)
+                await _stream_events(reader, writer, service, instance_id)
             except CrewError as exc:
                 raise _HttpError(404, str(exc)) from None
             return None
@@ -182,15 +283,19 @@ def _make_handler(service: WorkflowService):
     async def handle(
         reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        method, path, status = "-", "-", 200
         try:
             try:
                 method, path, body = await _read_request(reader)
-                result = await _dispatch(service, method, path, body, writer)
+                result = await _dispatch(service, method, path, body,
+                                         reader, writer)
             except _HttpError as exc:
+                status = exc.status
                 result = _response(exc.status, {"error": exc.message})
             except (asyncio.IncompleteReadError, ConnectionError):
                 return
             except Exception as exc:  # pragma: no cover - defensive
+                status = 500
                 result = _response(500, {"error": repr(exc)})
             if result is not None:
                 writer.write(result)
@@ -198,6 +303,8 @@ def _make_handler(service: WorkflowService):
         except ConnectionError:  # pragma: no cover - client went away
             pass
         finally:
+            service.logger.debug("http.request", method=method, path=path,
+                                 status=status)
             writer.close()
 
     return handle

@@ -1,0 +1,197 @@
+"""Observability seams of the wall-clock runtime.
+
+The realtime layer cannot import ``obs`` (layering contract), so these
+hooks are duck-typed slots the service injects: the clock's ``profile``
+and ``event_hook``, and the executor's ``on_retry``/``on_give_up``
+callbacks.  Also covered: the cancel-vs-fire race on
+:class:`~repro.runtime.realtime.RealtimeClock` — a handle cancelled by
+an earlier callback in the same loop tick must neither fire nor corrupt
+the pending-count accounting.
+"""
+
+import asyncio
+
+from repro.runtime.realtime import RealtimeClock, RealtimeRuntime
+from repro.runtime.retry import RetryPolicy
+
+
+def test_cancel_racing_inflight_fire():
+    """Two timers due the same tick; the first cancels the second."""
+
+    async def main():
+        clock = RealtimeClock()
+        clock.start()
+        fired = []
+        handle_b = None
+
+        def action_a():
+            fired.append("a")
+            handle_b.cancel()
+
+        def action_b():  # pragma: no cover - must not run
+            fired.append("b")
+
+        clock.schedule(0.0, action_a)
+        handle_b = clock.schedule(0.0, action_b)
+        assert clock.pending == 2
+        assert await clock.join(timeout=2.0)
+        assert fired == ["a"]
+        assert clock.pending == 0
+        assert clock.events_processed == 1
+
+    asyncio.run(main())
+
+
+def test_cancel_after_fire_is_a_noop():
+    async def main():
+        clock = RealtimeClock()
+        clock.start()
+        fired = []
+        handle = clock.schedule(0.0, fired.append, "x")
+        assert await clock.join(timeout=2.0)
+        assert fired == ["x"] and clock.pending == 0
+        handle.cancel()  # late cancel must not decrement pending again
+        handle.cancel()  # and must stay idempotent
+        assert clock.pending == 0
+        # the idle event must still be set (join returns immediately)
+        assert await clock.join(timeout=0.1)
+
+    asyncio.run(main())
+
+
+def test_event_hook_and_profile_bracket_every_fire():
+    class FakeProfiler:
+        def __init__(self):
+            self.begins = []
+            self.ends = 0
+
+        def begin_event(self, action, now, dt, queue_depth):
+            self.begins.append((getattr(action, "__name__", "?"), queue_depth))
+
+        def end_event(self):
+            self.ends += 1
+
+    async def main():
+        clock = RealtimeClock()
+        clock.start()
+        hooked = []
+        clock.event_hook = lambda now, pending: hooked.append(pending)
+        profiler = FakeProfiler()
+        clock.profile = profiler
+
+        def tick():
+            pass
+
+        clock.schedule(0.0, tick)
+        clock.schedule(0.001, tick)
+        assert await clock.join(timeout=2.0)
+        assert len(hooked) == 2
+        assert profiler.ends == 2
+        assert [name for name, __ in profiler.begins] == ["tick", "tick"]
+
+    asyncio.run(main())
+
+
+def test_profile_end_event_runs_even_when_action_raises():
+    class FakeProfiler:
+        def __init__(self):
+            self.depth = 0
+
+        def begin_event(self, action, now, dt, queue_depth):
+            self.depth += 1
+
+        def end_event(self):
+            self.depth -= 1
+
+    async def main():
+        clock = RealtimeClock()
+        clock.start()
+        profiler = FakeProfiler()
+        clock.profile = profiler
+
+        def boom():
+            raise RuntimeError("step failed")
+
+        clock.schedule(0.0, boom)
+        # the exception propagates to the loop's exception handler, not us
+        await asyncio.sleep(0.05)
+        assert profiler.depth == 0
+        assert clock.pending == 0
+
+    asyncio.run(main())
+
+
+def test_executor_retry_and_give_up_hooks():
+    async def main():
+        runtime = RealtimeRuntime(
+            retry=RetryPolicy(budget=2, base_delay=0.001, max_delay=0.002)
+        )
+        runtime.start()
+        executor = runtime.executor
+        retries, give_ups = [], []
+        executor.on_retry = (
+            lambda fn, name, exc, attempt, backoff:
+            retries.append((name, attempt, backoff))
+        )
+        executor.on_give_up = (
+            lambda fn, name, exc, attempts: give_ups.append((name, attempts))
+        )
+
+        def always_fails():
+            raise ValueError("transient")
+
+        executor.submit(0.0, always_fails)
+        assert await executor.join(timeout=5.0)
+        assert executor.retries == 2
+        assert [a for __, a, __ in retries] == [1, 2]
+        assert all(b > 0 for __, __, b in retries)
+        [(gave_name, gave_attempts)] = give_ups
+        assert gave_name.endswith("always_fails") and gave_attempts == 3
+        assert len(executor.failures) == 1
+
+    asyncio.run(main())
+
+
+def test_executor_hook_exceptions_are_swallowed():
+    """A broken observability hook must not kill the worker task."""
+
+    async def main():
+        runtime = RealtimeRuntime(
+            retry=RetryPolicy(budget=1, base_delay=0.001, max_delay=0.002)
+        )
+        runtime.start()
+        executor = runtime.executor
+
+        def bad_hook(*args):
+            raise RuntimeError("observer crashed")
+
+        executor.on_retry = bad_hook
+        executor.on_give_up = bad_hook
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise ValueError("transient")
+
+        executor.submit(0.0, flaky)
+        assert await executor.join(timeout=5.0)
+        assert len(calls) == 2  # retried despite the broken hook
+        assert executor.failures == []
+
+    asyncio.run(main())
+
+
+def test_hooks_default_off_and_cost_nothing():
+    async def main():
+        runtime = RealtimeRuntime()
+        runtime.start()
+        assert runtime.executor.on_retry is None
+        assert runtime.executor.on_give_up is None
+        assert runtime.clock.profile is None
+        done = []
+        runtime.executor.submit(0.0, done.append, 1)
+        assert await runtime.join(timeout=2.0)
+        assert done == [1]
+
+    asyncio.run(main())

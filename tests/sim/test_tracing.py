@@ -120,6 +120,28 @@ def test_render_without_drops_has_no_drop_line():
     assert "dropped" not in trace.render()
 
 
+def test_drop_summary_none_until_records_are_lost():
+    trace = Trace(capacity=2, ring=True)
+    trace.record(1.0, "n", "k")
+    assert trace.drop_summary() is None
+    trace.record(2.0, "n", "k")
+    trace.record(3.0, "n", "k")
+    assert trace.drop_summary() == (
+        "trace ring buffer dropped 1 record(s) (oldest first; capacity 2)"
+    )
+
+
+def test_drop_summary_reports_newest_policy():
+    trace = Trace(capacity=1)
+    trace.record(1.0, "n", "k")
+    trace.record(2.0, "n", "k")
+    trace.record(3.0, "n", "k")
+    assert trace.drop_policy == "newest"
+    assert trace.drop_summary() == (
+        "trace ring buffer dropped 2 record(s) (newest first; capacity 1)"
+    )
+
+
 def test_filter_combined_criteria():
     trace = make_trace()
     hits = trace.filter(kind="step.done", node="engine",

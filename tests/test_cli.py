@@ -306,3 +306,55 @@ def test_sweep_progress_flag_prints_status_lines(capsys):
     assert "[6/6]" in captured.err
     assert "events/s" in captured.err
     assert "events/s" in captured.out            # table column too
+
+
+def test_top_parse_prometheus():
+    from repro.cli import _metric_value, _parse_prometheus
+
+    text = "\n".join([
+        "# HELP crew_x Things.",
+        "# TYPE crew_x counter",
+        'crew_x{architecture="centralized",status="COMMITTED"} 3',
+        'crew_x{architecture="centralized",status="ABORTED"} 1',
+        "crew_plain 2.5",
+        "garbage line without a value x",
+        "",
+    ])
+    metrics = _parse_prometheus(text)
+    assert _metric_value(metrics, "crew_plain") == 2.5
+    assert _metric_value(metrics, "crew_x") == 4.0          # summed
+    assert _metric_value(metrics, "crew_x", status="COMMITTED") == 3.0
+    assert _metric_value(metrics, "crew_missing", default=7.0) == 7.0
+
+
+def test_top_render_frame():
+    from repro.cli import _parse_prometheus, _render_top
+
+    status = {
+        "architecture": "centralized", "runtime": "asyncio", "uptime": 12.5,
+        "ready": True, "draining": False, "instances_finished": 1,
+        "instances_submitted": 2, "events_processed": 9, "messages_sent": 8,
+        "executor_retries": 0, "executor_failures": 0, "trace_dropped": 0,
+    }
+    instances = [
+        {"instance": "Orders-1", "workflow": "Orders",
+         "status": "committed", "age": 1.25},
+        {"instance": "Orders-2", "status": "running", "age": 0.5},
+    ]
+    metrics = _parse_prometheus("\n".join([
+        "crew_realtime_pending_timers 2",
+        "crew_executor_inflight_tasks 1",
+        "crew_service_event_subscribers 0",
+        "crew_service_instance_latency_seconds_count 1",
+        "crew_service_instance_latency_seconds_sum 0.25",
+    ]))
+    events = {"Orders-1": {"count": 12, "last": "workflow.committed"}}
+    frame = _render_top(status, instances, metrics, events)
+    assert "1/2 finished" in frame
+    assert "mean latency 0.250s" in frame
+    assert "Orders-1" in frame and "workflow.committed" in frame
+    assert "Orders-2" in frame and "running" in frame
+    assert "ready" in frame and "NOT READY" not in frame
+    empty = _render_top(dict(status, ready=False, draining=True), [], {}, {})
+    assert "NOT READY (draining)" in empty
+    assert "(no instances submitted yet)" in empty
