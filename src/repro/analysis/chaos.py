@@ -30,6 +30,7 @@ developer laptop.
 
 from __future__ import annotations
 
+import json
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -46,9 +47,11 @@ __all__ = [
     "CHAOS_CONFIGS",
     "ChaosOutcome",
     "ChaosTask",
+    "RealtimeChaosReport",
     "chaos_tasks",
     "config_nodes",
     "run_chaos",
+    "run_realtime_chaos",
 ]
 
 #: The six architecture × coordination configs the harness explores.
@@ -405,6 +408,147 @@ def _run_chaos_serial(task_list: list[ChaosTask],
         if progress is not None:
             progress(index + 1, len(task_list), task, outcome)
     return outcomes
+
+
+# ------------------------------------------------------------ wall clock
+
+
+@dataclass
+class RealtimeChaosReport:
+    """Outcome-level consistency verdict for wall-clock chaos replays.
+
+    The asyncio backend is not bit-deterministic (real timers race), so
+    the check is at the level the protocols guarantee: every replay of
+    ``(config, seed, plan)`` must end with the *same terminal outcome per
+    instance* — drop/dup/delay faults are masked identically because the
+    injector's decision streams and the executor's retry jitter are both
+    seeded from the system's master seed.
+    """
+
+    config: str
+    seed: int
+    plan_spec: str
+    replays: int
+    instances: int
+    #: One ``{instance_id: "status|outputs-json"}`` digest per replay.
+    digests: list[dict[str, str]] = field(default_factory=list)
+    #: Instances that missed the timeout in any replay (liveness finding).
+    unfinished: list[str] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def consistent(self) -> bool:
+        return (not self.unfinished and bool(self.digests)
+                and all(d == self.digests[0] for d in self.digests[1:]))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "config": self.config,
+            "seed": self.seed,
+            "plan": self.plan_spec,
+            "replays": self.replays,
+            "instances": self.instances,
+            "digests": [dict(d) for d in self.digests],
+            "unfinished": list(self.unfinished),
+            "consistent": self.consistent,
+            "wall_time_s": round(self.wall_time_s, 6),
+        }
+
+
+def _realtime_chaos_schema():
+    from repro.model import SchemaBuilder
+
+    builder = SchemaBuilder("ChaosPair", inputs=["x"])
+    builder.step("A", program="p.a", inputs=["WF.x"], outputs=["y"], cost=1)
+    builder.step("B", program="p.b", inputs=["A.y"], outputs=["z"], cost=1)
+    builder.arc("A", "B")
+    builder.output("result", "B.z")
+    return builder.build()
+
+
+async def _realtime_replay(
+    architecture: str, seed: int, plan: FaultPlan,
+    instances: int, timeout_s: float,
+) -> tuple[dict[str, str], list[str]]:
+    import asyncio
+
+    from repro.engines import (
+        CentralizedControlSystem,
+        DistributedControlSystem,
+        ParallelControlSystem,
+        SystemConfig,
+    )
+
+    systems = {
+        "centralized": CentralizedControlSystem,
+        "parallel": ParallelControlSystem,
+        "distributed": DistributedControlSystem,
+    }
+    if architecture not in systems:
+        raise CrewError(f"unknown architecture {architecture!r}")
+    config = SystemConfig(
+        runtime="asyncio", seed=seed, latency=0.0, work_time_scale=0.001,
+        step_status_timeout=1.0, step_status_poll_interval=0.5,
+    )
+    system = systems[architecture](config)
+    system.runtime.start()
+    system.inject_faults(plan)
+    system.register_schema(_realtime_chaos_schema())
+    ids = [system.start_workflow("ChaosPair", {"x": i})
+           for i in range(instances)]
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout_s
+    while (loop.time() < deadline
+           and not all(iid in system.outcomes for iid in ids)):
+        await asyncio.sleep(0.02)
+    digest: dict[str, str] = {}
+    unfinished: list[str] = []
+    for iid in ids:
+        outcome = system.outcomes.get(iid)
+        if outcome is None:
+            unfinished.append(iid)
+            continue
+        status = "committed" if outcome.committed else "aborted"
+        digest[iid] = (
+            f"{status}|"
+            f"{json.dumps(outcome.outputs, sort_keys=True, default=str)}"
+        )
+    return digest, unfinished
+
+
+def run_realtime_chaos(
+    config: str,
+    seed: int = 0,
+    plan_spec: str = "drop=0.05,dup=0.05,delay=0.05",
+    instances: int = 8,
+    replays: int = 2,
+    timeout_s: float = 30.0,
+) -> RealtimeChaosReport:
+    """Run one fault plan on the live asyncio backend ``replays`` times.
+
+    Each replay builds a fresh control system (same seed → same instance
+    ids, same injector decision streams, same retry jitter), submits
+    ``instances`` workflows with the plan armed, and waits for every
+    terminal outcome.  Replays must produce identical outcome digests;
+    any divergence or unfinished instance makes the report inconsistent.
+    """
+    import asyncio
+
+    architecture, __ = split_config(config)
+    plan = FaultPlan.parse(plan_spec) if plan_spec else FaultPlan()
+    started = time.perf_counter()
+    report = RealtimeChaosReport(
+        config=config, seed=seed, plan_spec=plan.to_spec(),
+        replays=replays, instances=instances,
+    )
+    for __ in range(replays):
+        digest, unfinished = asyncio.run(
+            _realtime_replay(architecture, seed, plan, instances, timeout_s)
+        )
+        report.digests.append(digest)
+        report.unfinished.extend(unfinished)
+    report.wall_time_s = time.perf_counter() - started
+    return report
 
 
 def run_chaos(

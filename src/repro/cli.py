@@ -437,11 +437,47 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_chaos_realtime(args) -> int:
+    """`repro chaos --runtime asyncio`: wall-clock outcome-consistency runs."""
+    from repro.analysis.chaos import run_realtime_chaos
+
+    configs = tuple(args.config) if args.config else ("centralized/normal",)
+    seed = args.seed if args.seed is not None else args.seed_base
+    plan = args.plan if args.plan is not None else "drop=0.05,dup=0.05,delay=0.05"
+    rows, bad = [], 0
+    for label in configs:
+        report = run_realtime_chaos(label, seed=seed, plan_spec=plan,
+                                    replays=args.replays)
+        if not report.consistent:
+            bad += 1
+        committed = (sum(1 for v in report.digests[0].values()
+                         if v.startswith("committed"))
+                     if report.digests else 0)
+        rows.append([
+            label, seed, report.instances, report.replays,
+            f"{committed}/{report.instances}",
+            len(report.unfinished) or "-",
+            f"{report.wall_time_s:.2f}s",
+            "consistent" if report.consistent else "DIVERGED",
+        ])
+    print(format_table(
+        ["config", "seed", "instances", "replays", "committed",
+         "unfinished", "wall", "verdict"],
+        rows,
+    ))
+    print(f"\n{len(configs)} wall-clock chaos run(s) with plan '{plan}', "
+          f"{bad} inconsistent.")
+    return 1 if bad else 0
+
+
 def cmd_chaos(args) -> int:
     import json
     import os
 
     from repro.analysis.chaos import CHAOS_CONFIGS, chaos_tasks, run_chaos
+
+    if args.runtime != "sim":
+        return _cmd_chaos_realtime(args)
 
     configs = tuple(args.config) if args.config else CHAOS_CONFIGS
     seeds = [args.seed] if args.seed is not None else list(
@@ -553,6 +589,7 @@ def cmd_profile(args) -> int:
 def cmd_serve(args) -> int:
     """Boot the wall-clock daemon and serve until interrupted."""
     import asyncio
+    import signal
 
     from repro.obs.logging import StructuredLogger, open_log_stream
     from repro.service import WorkflowService, serve as serve_forever
@@ -571,21 +608,55 @@ def cmd_serve(args) -> int:
         observability=not args.no_observability,
         trace_capacity=args.trace_capacity,
         logger=logger,
+        state_dir=args.state_dir,
+        max_inflight=args.max_inflight,
+        rate_limit=args.rate_limit,
+        rate_burst=args.burst,
+        enable_fault_endpoint=args.enable_fault_endpoint,
     )
 
     async def run() -> None:
         ready = asyncio.Event()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-POSIX loop: SIGTERM falls back to abrupt exit
         task = asyncio.ensure_future(
             serve_forever(service, args.host, args.port, ready=ready)
         )
         await ready.wait()
         surfaces = ("" if args.no_observability
                     else ", GET /metrics | /debug/trace | /debug/profile")
+        recovered = service.status().get("instances_recovered", 0)
+        durable = (f" [state-dir {args.state_dir}, {recovered} instance(s) "
+                   f"recovered]" if args.state_dir else "")
         print(f"repro serve: {args.architecture} control on "
               f"http://{args.host}:{args.port} "
-              f"(POST /workflows, GET /instances/<id>[/events]{surfaces})",
+              f"(POST /workflows, GET /instances/<id>[/events]{surfaces})"
+              f"{durable}",
               file=sys.stderr, flush=True)
-        await task
+        waiter = asyncio.ensure_future(stop.wait())
+        done, __ = await asyncio.wait(
+            {task, waiter}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if waiter in done and not task.done():
+            # SIGTERM: graceful drain — shed new submissions, give the
+            # running instances a bounded grace to finish, then stop.
+            print("repro serve: SIGTERM received, draining "
+                  f"({service.running_count()} running, grace "
+                  f"{args.drain_grace:g}s)", file=sys.stderr, flush=True)
+            service.begin_drain()
+            deadline = loop.time() + args.drain_grace
+            while service.running_count() and loop.time() < deadline:
+                await asyncio.sleep(0.05)
+            task.cancel()
+        waiter.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
 
     try:
         asyncio.run(run())
@@ -698,25 +769,32 @@ def cmd_top(args) -> int:
 
     def tail_events() -> None:
         # Daemon thread: one long-lived GET /events NDJSON stream feeding
-        # the per-instance "events seen / last event" columns.  Any error
-        # (server gone, stream closed) just ends the tail; the polled
-        # columns keep working.
-        try:
-            resp = urllib.request.urlopen(base + "/events")
-            for raw in resp:
-                rec = _json.loads(raw)
-                iid = rec.get("instance")
-                if not iid:
-                    continue
-                seen = events.setdefault(iid, {"count": 0, "last": "-"})
-                seen["count"] += 1
-                seen["last"] = rec.get("kind", "-")
-        except Exception:
-            pass
+        # the per-instance "events seen / last event" columns.  When the
+        # stream drops (serve restarted, drain closed the firehose) it
+        # reconnects with backoff; the polled columns keep working
+        # meanwhile.
+        wait = 0.5
+        while True:
+            try:
+                resp = urllib.request.urlopen(base + "/events")
+                wait = 0.5
+                for raw in resp:
+                    rec = _json.loads(raw)
+                    iid = rec.get("instance")
+                    if not iid:
+                        continue
+                    seen = events.setdefault(iid, {"count": 0, "last": "-"})
+                    seen["count"] += 1
+                    seen["last"] = rec.get("kind", "-")
+            except Exception:
+                pass
+            time.sleep(wait)
+            wait = min(wait * 2, 15.0)
 
     if not args.no_events and not args.once:
         threading.Thread(target=tail_events, daemon=True).start()
 
+    backoff = 0.5
     while True:
         try:
             status = _json.loads(fetch("/healthz"))
@@ -726,8 +804,21 @@ def cmd_top(args) -> int:
             except urllib.error.HTTPError:
                 metrics = {}  # observability disabled: poll-only columns
         except OSError as exc:
-            print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
-            return 1
+            # A dashboard that dies when its daemon restarts is useless
+            # during exactly the incident it exists for: keep retrying
+            # with exponential backoff (capped), unless --once.
+            if args.once:
+                print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+                return 1
+            print(f"\x1b[2J\x1b[Hrepro top: cannot reach {base} ({exc}); "
+                  f"retrying in {backoff:.1f}s", flush=True)
+            try:
+                time.sleep(backoff)
+            except KeyboardInterrupt:
+                return 0
+            backoff = min(backoff * 2, 15.0)
+            continue
+        backoff = 0.5
         frame = _render_top(status, instances, metrics, events)
         if args.once:
             print(frame)
@@ -902,6 +993,15 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--progress", action="store_true",
                        help="print a per-run status line (config, seed, "
                             "wall time, events/s) on stderr as runs finish")
+    chaos.add_argument("--runtime", default="sim",
+                       choices=("sim", "asyncio"),
+                       help="'sim' (default): bit-deterministic kernel "
+                            "sweep; 'asyncio': run the plan on the "
+                            "wall-clock backend and check outcome-level "
+                            "consistency across replays")
+    chaos.add_argument("--replays", type=int, default=2,
+                       help="wall-clock mode: replays whose outcome "
+                            "digests must match (default: 2)")
     chaos.set_defaults(fn=cmd_chaos)
 
     profile = sub.add_parser(
@@ -960,6 +1060,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "append to FILE")
     serve.add_argument("--log-level", default="info",
                        choices=("debug", "info", "warning", "error"))
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="crash-durable state directory: journal "
+                            "installed documents, submissions and outcomes "
+                            "to a checksummed WAL, and recover in-flight "
+                            "instances on the next boot")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       help="bound on acknowledged-but-unfinished instances;"
+                            " submissions over the bound are refused with "
+                            "429 + Retry-After")
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       metavar="PER_S",
+                       help="token-bucket submission rate limit "
+                            "(instances/second; default: unlimited)")
+    serve.add_argument("--burst", type=float, default=None,
+                       help="token-bucket burst capacity "
+                            "(default: max(rate, 1))")
+    serve.add_argument("--enable-fault-endpoint", action="store_true",
+                       help="enable POST /debug/faults wall-clock fault "
+                            "injection (off by default; chaos rigs only)")
+    serve.add_argument("--drain-grace", type=float, default=10.0,
+                       metavar="S",
+                       help="seconds to let running instances finish after "
+                            "SIGTERM before forcing shutdown")
     serve.set_defaults(fn=cmd_serve)
 
     top = sub.add_parser(

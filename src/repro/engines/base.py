@@ -292,10 +292,15 @@ class ControlSystem:
         # repro.sim imports here); with no runtime given, the factory
         # resolves the deterministic simulated backend by name.
         if runtime is None:
+            # rng is a child seed space so backends that jitter (the
+            # asyncio executor's retry backoff) derive it from the system
+            # seed instead of a fixed default — wall-clock chaos replays
+            # then draw identical decision sequences from (seed, plan).
             runtime = build_runtime(
                 self.config.runtime,
                 metrics=self.metrics,
                 latency=FixedLatency(self.config.latency),
+                rng=self.rng.spawn("runtime"),
             )
         self.runtime = runtime
         #: The runtime's clock.  Named ``simulator`` since the simulated
@@ -618,17 +623,18 @@ class ControlSystem:
     def inject_faults(self, plan, retry=None):
         """Install a deterministic fault injector over this system's transport.
 
-        ``plan`` is a :class:`repro.sim.faults.FaultPlan`; ``retry`` an
+        ``plan`` is a :class:`repro.runtime.faults.FaultPlan`; ``retry`` an
         optional :class:`repro.runtime.retry.RetryPolicy` (defaulted)
         driving transport retransmissions and the engines' step-retry
         watchdogs.  The injector draws from a child seed space of the
         system's master seed (``rng.spawn("faults")``), so installing it
         never perturbs the workload's own random streams, and the whole
-        run replays bit-for-bit from ``(seed, plan)``.  Call before
-        :meth:`run`; returns the installed injector.
+        run replays bit-for-bit from ``(seed, plan)`` on the simulated
+        backend (the asyncio backend replays the same seeded decision
+        sequence on wall-clock time — outcome-level reproducibility).
+        Call before :meth:`run`; returns the installed injector.
 
-        Only runtimes advertising :meth:`supports_faults` accept a plan
-        (the asyncio backend does not — real time cannot replay).
+        Only runtimes advertising :meth:`supports_faults` accept a plan.
         """
         if self.faults is not None:
             raise WorkloadError("fault injector already installed")
@@ -679,6 +685,18 @@ class ControlSystem:
 
     def new_instance_id(self, schema_name: str) -> str:
         return f"{schema_name}-{next(self._instance_ids)}"
+
+    def reserve_instance_ids(self, floor: int) -> None:
+        """Advance the instance-id counter past ``floor``.
+
+        Recovery boot paths (``repro serve --state-dir``) call this with
+        the highest instance index found in the durable log before
+        re-driving in-flight work, so instance ids minted after a crash
+        can never collide with ids the previous incarnation already
+        acknowledged.
+        """
+        current = next(self._instance_ids)
+        self._instance_ids = itertools.count(max(current, floor + 1))
 
     def _note_owner(self, instance_id: str, node_name: str) -> None:
         """Hook: record which node controls an instance (parallel control

@@ -82,3 +82,30 @@ class LawsSemanticError(CrewError):
 
 class FrontEndError(CrewError):
     """An administrative request (start/abort/status) was rejected."""
+
+
+class AdmissionError(FrontEndError):
+    """A submission was refused by the service's admission controller.
+
+    Carries everything an HTTP front door needs to shape the refusal:
+    ``code`` is a stable machine-readable slug (``"rate-limited"``,
+    ``"queue-full"``, ``"draining"``), ``status`` the suggested HTTP
+    status, and ``retry_after`` the earliest sensible retry in seconds
+    (``None`` when retrying is pointless, e.g. while draining).
+    """
+
+    def __init__(self, message: str, code: str, status: int = 429,
+                 retry_after: float | None = None):
+        super().__init__(message)
+        self.code = code
+        self.status = status
+        self.retry_after = retry_after
+
+
+class InjectedFault(SimulationError):
+    """A deliberately injected failure (chaos plans), always transient.
+
+    Raised by a retrying executor when the installed fault plan's
+    ``exec_fail_p`` dimension fires; the executor's normal retry/backoff
+    path handles it exactly like a real transient step failure.
+    """

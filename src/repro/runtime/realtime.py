@@ -20,9 +20,13 @@ loop), so traces and span durations read like the simulated ones: small
 numbers starting near zero.
 
 Determinism note: this backend is for *serving* and wall-clock
-benchmarks.  Fixed-seed reproducibility (and fault injection) remains
-the business of the simulated backend; :meth:`RealtimeRuntime.
-install_faults` refuses rather than pretending otherwise.
+benchmarks.  :meth:`RealtimeRuntime.install_faults` accepts the same
+seeded :class:`~repro.runtime.faults.FaultPlan` the simulated backend
+runs — the *decision sequence* (which messages drop, duplicate, delay;
+which executor submissions fail) replays deterministically from
+``(seed, plan)``, but event interleaving rides the wall clock, so
+reproducibility is at the outcome level, not byte-level.  Fixed-seed
+bit-replay remains the business of the simulated backend.
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Callable
 
-from repro.errors import SimulationError, WorkloadError
+from repro.errors import InjectedFault, SimulationError, WorkloadError
 from repro.runtime.latency import FixedLatency, LatencyModel
 from repro.runtime.metrics import MetricsCollector
 from repro.runtime.retry import RetryPolicy
@@ -246,6 +250,11 @@ class TaskExecutor:
         self._jitter = (rng if rng is not None else SimRandom(0)).stream(
             "executor:retry"
         )
+        #: Optional fault injector (see :class:`repro.runtime.faults.
+        #: FaultInjector`), set by :meth:`RealtimeRuntime.install_faults`.
+        #: When present, each submission consults it for an injected
+        #: pre-run stall and each attempt for an injected failure.
+        self.faults = None
         self._tasks: set[asyncio.Task[Any]] = set()
         self.submitted = 0
         self.retries = 0
@@ -277,9 +286,19 @@ class TaskExecutor:
     async def _run(self, delay: float, fn: Callable[..., Any], args: tuple) -> None:
         if delay > 0:
             await asyncio.sleep(delay)
+        faults = self.faults
+        name = getattr(fn, "__qualname__", repr(fn))
+        if faults is not None:
+            stall = faults.executor_stall(name)
+            if stall > 0:
+                await asyncio.sleep(stall)
         attempt = 0
         while True:
             try:
+                if faults is not None and faults.executor_should_fail(
+                    name, attempt + 1
+                ):
+                    raise InjectedFault(f"injected executor failure in {name}")
                 fn(*args)
                 return
             except asyncio.CancelledError:  # pragma: no cover - defensive
@@ -287,7 +306,6 @@ class TaskExecutor:
             except Exception as exc:
                 attempt += 1
                 backoff = self.retry.backoff(attempt, self._jitter)
-                name = getattr(fn, "__qualname__", repr(fn))
                 if backoff is None:
                     self.failures.append((name, repr(exc)))
                     self._notify(self.on_give_up, fn, name, exc, attempt)
@@ -345,6 +363,8 @@ class RealtimeRuntime:
         )
         self.executor = TaskExecutor(self.clock, retry=retry, rng=rng)
         self.transport.executor = self.executor
+        #: The installed fault injector, if any.
+        self.faults = None
 
     def start(self, loop: asyncio.AbstractEventLoop | None = None) -> None:
         """Bind the clock to a running loop (lazy on first schedule)."""
@@ -353,14 +373,27 @@ class RealtimeRuntime:
     # -- fault injection ---------------------------------------------------
 
     def supports_faults(self) -> bool:
-        return False
+        return True
 
     def install_faults(self, plan: Any, rng: Any, retry: Any) -> Any:
-        raise WorkloadError(
-            "deterministic fault injection requires the simulated runtime; "
-            "the asyncio backend serves real traffic (use latency= for "
-            "injected delivery delay)"
-        )
+        """Install a seeded :class:`~repro.runtime.faults.FaultInjector`.
+
+        Same contract as the simulated backend: ``rng`` is a dedicated
+        child seed space (callers spawn ``rng.spawn("faults")``) so the
+        injector's decision streams replay from ``(seed, plan)``; crash /
+        stall / outage times in the plan are wall-clock seconds since the
+        runtime started.  Returns the installed injector.
+        """
+        from repro.runtime.faults import FaultInjector
+
+        if self.faults is not None:
+            raise WorkloadError("fault injector already installed")
+        injector = FaultInjector(plan, rng, retry=retry)
+        injector.install(self.transport)
+        injector.arm(self.clock)
+        self.executor.faults = injector
+        self.faults = injector
+        return injector
 
     # -- quiescence --------------------------------------------------------
 

@@ -1,0 +1,159 @@
+"""Admission control for the serve daemon's submission path.
+
+The paper's front end accepts every request and lets the engines queue;
+a real daemon needs the queue-based load-leveling / throttling patterns
+of ROADMAP item #2: refuse work it cannot take *now* with enough
+information for a well-behaved client to come back later.  Three gates,
+checked in order by :meth:`AdmissionController.admit`:
+
+1. **Drain shedding** — once graceful drain has begun, every submission
+   is refused with a 503-shaped :class:`~repro.errors.AdmissionError`
+   (``code="draining"``, no ``retry_after``: this incarnation will not
+   take the work).
+2. **Bounded in-flight queue** — ``max_inflight`` caps instances that
+   have been acknowledged but not finished.  Over the cap the refusal is
+   429-shaped (``code="queue-full"``) with ``retry_after`` estimated
+   from the service's recent instance latency.
+3. **Token bucket** — ``rate`` tokens/second with ``burst`` capacity,
+   one token per instance.  Refusals are 429-shaped
+   (``code="rate-limited"``) with ``retry_after`` the exact time until
+   the bucket refills enough.
+
+All three outcomes are counted in :class:`AdmissionStats` (surfaced as
+``crew_admission_*`` metrics) and logged by the service as structured
+``admission.rejected`` events; the HTTP front door translates the error
+into a JSON error envelope plus a ``Retry-After`` header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import AdmissionError, ParameterError
+
+__all__ = ["AdmissionController", "AdmissionStats", "TokenBucket"]
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (``rate``/s, ``burst`` capacity)."""
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0:
+            raise ParameterError(f"token bucket rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ParameterError(f"token bucket burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp: float | None = None
+
+    def _refill(self, now: float) -> None:
+        if self._stamp is not None and now > self._stamp:
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def try_take(self, now: float, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available; returns 0.0 on success, else the
+        seconds until the bucket will hold enough (nothing is taken)."""
+        self._refill(now)
+        if tokens <= self._tokens:
+            self._tokens -= tokens
+            return 0.0
+        deficit = min(tokens, self.burst) - self._tokens
+        return deficit / self.rate
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+
+@dataclass
+class AdmissionStats:
+    """Counters for every admission decision (scrape surface)."""
+
+    accepted: int = 0
+    rejected_draining: int = 0
+    rejected_queue_full: int = 0
+    rejected_rate_limited: int = 0
+    deadline_exceeded: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class AdmissionController:
+    """Gatekeeper for submissions: drain shedding, queue bound, rate limit.
+
+    With every knob left ``None`` the controller still sheds load during
+    drain — a draining daemon must never acknowledge work it will not
+    finish — but imposes no queue bound or rate limit.
+    """
+
+    #: Fallback Retry-After when no latency estimate exists yet (s).
+    DEFAULT_RETRY_AFTER = 1.0
+
+    def __init__(
+        self,
+        max_inflight: int | None = None,
+        rate: float | None = None,
+        burst: int | None = None,
+    ):
+        if max_inflight is not None and max_inflight < 1:
+            raise ParameterError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.max_inflight = max_inflight
+        self.bucket = (
+            None if rate is None
+            else TokenBucket(rate, burst if burst is not None else max(rate, 1.0))
+        )
+        self.stats = AdmissionStats()
+        #: EWMA of recent instance latency, fed by the service's outcome
+        #: watcher; drives the queue-full Retry-After estimate.
+        self._latency_ewma: float | None = None
+
+    def note_latency(self, seconds: float) -> None:
+        """Feed one finished instance's end-to-end latency into the EWMA."""
+        if self._latency_ewma is None:
+            self._latency_ewma = seconds
+        else:
+            self._latency_ewma = 0.8 * self._latency_ewma + 0.2 * seconds
+
+    def _retry_after_queue(self) -> float:
+        if self._latency_ewma is None:
+            return self.DEFAULT_RETRY_AFTER
+        # Half a typical instance lifetime: by then some of the queue has
+        # drained with high probability, without synchronised client herds.
+        return max(0.05, round(self._latency_ewma / 2, 3))
+
+    def admit(self, now: float, running: int, count: int, draining: bool) -> None:
+        """Admit ``count`` new instances or raise :class:`AdmissionError`."""
+        if draining:
+            self.stats.rejected_draining += count
+            raise AdmissionError(
+                "service is draining and no longer accepts submissions; "
+                "retry against a live replica",
+                code="draining", status=503, retry_after=None,
+            )
+        if (self.max_inflight is not None
+                and running + count > self.max_inflight):
+            self.stats.rejected_queue_full += count
+            raise AdmissionError(
+                f"submission of {count} instance(s) would exceed the "
+                f"in-flight bound ({running} running, max "
+                f"{self.max_inflight}); retry later",
+                code="queue-full", status=429,
+                retry_after=self._retry_after_queue(),
+            )
+        if self.bucket is not None:
+            wait = self.bucket.try_take(now, float(count))
+            if wait > 0:
+                self.stats.rejected_rate_limited += count
+                raise AdmissionError(
+                    f"submission rate limit exceeded ({self.bucket.rate}/s, "
+                    f"burst {self.bucket.burst:g}); retry in {wait:.3f}s",
+                    code="rate-limited", status=429,
+                    retry_after=round(wait, 3),
+                )
+        self.stats.accepted += count

@@ -27,6 +27,19 @@ exposition), :meth:`trace_jsonl` (a ``repro analyze``-compatible
 snapshot) and :meth:`profile_collapsed` (flamegraph stacks).  With
 ``observability=False`` all three raise — the front door turns that
 into an explicit 503 rather than an empty scrape.
+
+Resilience plane (PR 9): with ``state_dir`` set the service journals
+installed documents, acknowledged submissions, outcomes and engine-store
+fragments to a crash-durable :class:`~repro.service.durability.
+ServiceLog` (group-flushed before each submission is acknowledged), and
+:meth:`start` replays it — re-installing workflows, restoring finished
+outcomes, and re-driving in-flight instances under fresh ids recorded as
+``redrive`` aliases.  Submissions pass an :class:`~repro.service.
+admission.AdmissionController` (drain shedding, bounded in-flight queue,
+token-bucket rate limit) and may carry a ``deadline_s``; instances still
+running past their deadline are aborted and reported with a 504-style
+``deadline-exceeded`` status.  Chaos plans reach the live runtime via
+:meth:`install_faults` (guarded by ``enable_fault_endpoint``).
 """
 
 from __future__ import annotations
@@ -42,14 +55,24 @@ from repro.engines import (
     ParallelControlSystem,
     SystemConfig,
 )
-from repro.errors import FrontEndError, SchemaError, WorkloadError
+from repro.errors import (
+    AdmissionError,
+    FrontEndError,
+    SchemaError,
+    StorageError,
+    WorkloadError,
+)
 from repro.laws import load_laws
 from repro.model import SchemaBuilder
 from repro.obs.export import prometheus_text, trace_to_jsonl
 from repro.obs.logging import StructuredLogger
 from repro.obs.profile import Profiler
+from repro.runtime.faults import FaultPlan
 from repro.runtime.latency import FixedLatency
 from repro.runtime.realtime import RealtimeRuntime
+from repro.runtime.rng import SimRandom
+from repro.service.admission import AdmissionController
+from repro.service.durability import ServiceLog, ServiceState
 
 __all__ = ["WorkflowService", "schema_from_dict"]
 
@@ -150,6 +173,11 @@ class WorkflowService:
         observability: bool = True,
         trace_capacity: int | None = 200_000,
         logger: StructuredLogger | None = None,
+        state_dir: str | None = None,
+        max_inflight: int | None = None,
+        rate_limit: float | None = None,
+        rate_burst: int | None = None,
+        enable_fault_endpoint: bool = False,
     ):
         try:
             system_cls = _ARCHITECTURES[architecture]
@@ -159,7 +187,14 @@ class WorkflowService:
                 f"{sorted(_ARCHITECTURES)}"
             ) from None
         self.architecture = architecture
-        self.runtime = RealtimeRuntime(latency=FixedLatency(latency))
+        # Seed the runtime's jitter streams from the service seed so a
+        # chaos replay of the wall-clock path draws the same retry-backoff
+        # and fault-decision sequences (satellite of the sim determinism).
+        effective_seed = seed if config is None else config.seed
+        self.runtime = RealtimeRuntime(
+            latency=FixedLatency(latency),
+            rng=SimRandom(effective_seed).spawn("runtime"),
+        )
         if config is None:
             # Wall-clock timeouts: the simulated defaults (tens of time
             # units) would mean tens of real seconds of watchdog wait.
@@ -211,13 +246,49 @@ class WorkflowService:
         self._watcher: asyncio.Task[None] | None = None
         self._ready = False
         self._draining = False
+        #: Admission gate for every submission (always present: even with
+        #: no knobs set it sheds load during drain).
+        self.admission = AdmissionController(
+            max_inflight=max_inflight, rate=rate_limit, burst=rate_burst,
+        )
+        self.enable_fault_endpoint = enable_fault_endpoint
+        #: instance id -> absolute wall-clock deadline (submissions that
+        #: carried ``deadline_s``).
+        self._deadlines: dict[str, float] = {}
+        #: Instances whose deadline expired before an engine outcome;
+        #: value is the expiry time.  Reported as ``deadline-exceeded``.
+        self._expired: dict[str, float] = {}
+        #: Durable log (``--state-dir``); ``None`` = memory-only service.
+        self._log: ServiceLog | None = None
+        #: Outcomes restored from a previous incarnation's log, keyed by
+        #: the *original* instance id (the engine never saw these ids).
+        self._durable_outcomes: dict[str, dict[str, Any]] = {}
+        #: Redrive aliases: original id -> replacement id (and the chain's
+        #: reverse, replacement -> original, for log/trace correlation).
+        self._aliases: dict[str, str] = {}
+        self._origins: dict[str, str] = {}
+        self._recovered_state: ServiceState | None = None
+        self._replaying = False
+        if state_dir is not None:
+            self._log = ServiceLog(state_dir)
+            self._recovered_state = ServiceState.from_records(
+                self._log.records()
+            )
+            if self._log.torn_tail:
+                self.logger.warning("durability.torn_tail",
+                                    path=str(self._log.path))
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self, loop: asyncio.AbstractEventLoop | None = None) -> None:
-        """Bind the runtime clock and start the outcome watcher."""
+        """Bind the runtime clock, replay durable state, start the watcher."""
         self.runtime.start(loop)
         self.started_at = self.runtime.clock.now
+        if self._recovered_state is not None:
+            # Recovery needs the bound clock (re-driving schedules frontend
+            # work), so it runs here rather than in __init__.
+            state, self._recovered_state = self._recovered_state, None
+            self._recover(state)
         if self._watcher is None:
             owner = loop if loop is not None else asyncio.get_running_loop()
             self._watcher = owner.create_task(self._watch_outcomes())
@@ -225,6 +296,72 @@ class WorkflowService:
         self.logger.info(
             "service.ready", runtime=self.runtime.name,
             observability=self.observability,
+            durable=self._log is not None,
+        )
+
+    def _recover(self, state: ServiceState) -> None:
+        """Recovery boot: replay the durable log into a fresh system.
+
+        Order matters: documents first (workflow classes must exist),
+        then the instance-id reservation (fresh ids must never collide
+        with acknowledged pre-crash ids), then outcome restoration, then
+        the re-drive of in-flight instances — each one a *new* engine
+        instance whose lineage is recorded as a ``redrive`` record, so a
+        second crash resolves the full chain.
+        """
+        self._replaying = True
+        try:
+            for document in state.documents:
+                if "laws" in document:
+                    self._install_laws(document["laws"])
+                elif "schema" in document:
+                    self._install_schema(document["schema"])
+                else:  # pragma: no cover - defensive
+                    raise StorageError(
+                        f"document record with neither laws nor schema: "
+                        f"{sorted(document)}"
+                    )
+        finally:
+            self._replaying = False
+        self.system.reserve_instance_ids(state.max_instance_index())
+        self._aliases.update(state.redrives)
+        for original, replacement in state.redrives.items():
+            self._origins[replacement] = original
+        for iid, outcome in state.outcomes.items():
+            self._durable_outcomes[iid] = dict(outcome)
+        redriven = 0
+        now = self.runtime.clock.now
+        for payload in state.inflight():
+            original = payload["instance"]
+            workflow = payload["workflow"]
+            inputs = dict(payload.get("inputs", {}))
+            replacement = self.system.start_workflow(workflow, inputs)
+            self._aliases[original] = replacement
+            self._origins[replacement] = original
+            self._submit_times[replacement] = now
+            self._latency_pending.add(replacement)
+            self._submitted += 1
+            deadline = payload.get("deadline")
+            if deadline is not None:
+                # Absolute deadlines from the previous incarnation are in
+                # its clock domain; grant the re-driven instance its full
+                # original budget instead of an already-burned window.
+                self._deadlines[replacement] = now + float(deadline)
+            self._log.append("submit", {
+                "instance": replacement, "workflow": workflow,
+                "inputs": inputs, "deadline": deadline,
+            })
+            self._log.append("redrive", {
+                "original": original, "replacement": replacement,
+            })
+            self.logger.info("instance.redriven", instance=replacement,
+                             original=original, workflow=workflow)
+            redriven += 1
+        self._log.flush()
+        self.logger.info(
+            "service.recovered", documents=len(state.documents),
+            finished=len(state.outcomes), redriven=redriven,
+            log_records=len(self._log), torn_tail=self._log.torn_tail,
         )
 
     def readiness(self) -> tuple[bool, str]:
@@ -242,10 +379,21 @@ class WorkflowService:
         return True, "ok"
 
     def begin_drain(self) -> None:
-        """Flip readiness off ahead of shutdown (idempotent)."""
+        """Flip readiness off ahead of shutdown (idempotent).
+
+        New submissions are shed immediately (503 ``draining``); the
+        firehose event streams are flushed and closed with their ``None``
+        terminator (there will be no new instances to report), while
+        per-instance streams stay open until their instance finishes —
+        in-flight work runs to its outcome.
+        """
         if not self._draining:
             self._draining = True
-            self.logger.info("service.draining")
+            self.logger.info("service.draining",
+                             running=self.running_count())
+            taps, self._event_taps = self._event_taps, []
+            for queue in taps:
+                queue.put_nowait(None)
 
     async def close(self) -> None:
         self.begin_drain()
@@ -267,12 +415,19 @@ class WorkflowService:
                 "trace.dropped", dropped=trace.dropped,
                 capacity=trace.capacity, policy=trace.drop_policy,
             )
+        if self._log is not None:
+            self._log.close()
         self.logger.info(
             "service.closed", instances_submitted=self._submitted,
             instances_finished=len(self.system.outcomes),
         )
 
     # -- submission --------------------------------------------------------
+
+    def running_count(self) -> int:
+        """Acknowledged instances that have not reached an outcome yet."""
+        outcomes = self.system.outcomes
+        return sum(1 for i in self._submit_times if i not in outcomes)
 
     def submit(
         self,
@@ -281,18 +436,36 @@ class WorkflowService:
         workflow: str | None = None,
         inputs: dict[str, Any] | None = None,
         instances: int = 1,
+        deadline_s: float | None = None,
     ) -> dict[str, Any]:
         """Install (once) and start ``instances`` runs of a workflow.
 
         Exactly one of ``laws`` (LAWS source text) or ``schema`` (a
         schema-JSON document) may be given; with neither, ``workflow``
-        must name an already-installed class.  Returns a summary dict
-        with the started instance ids.
+        must name an already-installed class.  Submissions pass the
+        admission controller first (drain shedding, in-flight bound,
+        rate limit) and optionally carry a per-instance ``deadline_s``:
+        instances still running that many wall-clock seconds later are
+        aborted and reported as ``deadline-exceeded``.  With a durable
+        log, the submission is group-flushed to disk *before* it is
+        acknowledged.  Returns a summary dict with the started ids.
         """
         if laws is not None and schema is not None:
             raise FrontEndError("submit either 'laws' or 'schema', not both")
         if instances < 1:
             raise FrontEndError("instances must be >= 1")
+        if deadline_s is not None and deadline_s <= 0:
+            raise FrontEndError("deadline_s must be > 0 seconds")
+        now = self.runtime.clock.now
+        try:
+            self.admission.admit(now, running=self.running_count(),
+                                 count=instances, draining=self._draining)
+        except AdmissionError as exc:
+            self.logger.warning(
+                "admission.rejected", code=exc.code, status=exc.status,
+                instances=instances, retry_after=exc.retry_after,
+            )
+            raise
         default_name = None
         if laws is not None:
             default_name = self._install_laws(laws)
@@ -309,7 +482,6 @@ class WorkflowService:
                 f"workflow class {schema_name!r} is not installed "
                 f"(installed: {sorted(self.system.schemas)})"
             )
-        now = self.runtime.clock.now
         started = [
             self.system.start_workflow(schema_name, dict(inputs or {}))
             for __ in range(instances)
@@ -317,8 +489,19 @@ class WorkflowService:
         for iid in started:
             self._submit_times[iid] = now
             self._latency_pending.add(iid)
+            if deadline_s is not None:
+                self._deadlines[iid] = now + deadline_s
+            if self._log is not None:
+                self._log.append("submit", {
+                    "instance": iid, "workflow": schema_name,
+                    "inputs": dict(inputs or {}), "deadline": deadline_s,
+                })
             self.logger.info("instance.submitted", instance=iid,
-                             workflow=schema_name)
+                             workflow=schema_name, deadline_s=deadline_s)
+        if self._log is not None:
+            # Group commit: one fsync makes the whole batch durable before
+            # the caller sees an acknowledgement.
+            self._log.flush()
         self._submitted += len(started)
         return {"workflow": schema_name, "instances": started}
 
@@ -330,6 +513,8 @@ class WorkflowService:
             self._check_fresh(s.name for s in document.schemas)
             document.install(self.system)
             self._installed_documents.add(digest)
+            if self._log is not None and not self._replaying:
+                self._log.append("document", {"laws": text})
         return document.schemas[0].name
 
     def _install_schema(self, payload: dict[str, Any]) -> str:
@@ -341,6 +526,8 @@ class WorkflowService:
             self._check_fresh([schema.name])
             self.system.register_schema(schema)
             self._installed_documents.add(digest)
+            if self._log is not None and not self._replaying:
+                self._log.append("document", {"schema": payload})
         return schema.name
 
     def _check_fresh(self, names) -> None:
@@ -350,6 +537,43 @@ class WorkflowService:
                 f"workflow class(es) {clashes} already installed by a "
                 f"different document; rename or reuse via 'workflow'"
             )
+
+    # -- fault injection ---------------------------------------------------
+
+    def install_faults(self, spec: str) -> dict[str, Any]:
+        """Install a chaos plan on the live runtime (``POST /debug/faults``).
+
+        Off by default: the endpoint can crash nodes and lose messages,
+        so it only works when the daemon was started with
+        ``--enable-fault-endpoint`` (never expose that flag beyond a
+        chaos rig).  One plan per process — a second install is refused
+        (409-shaped) rather than silently stacking fault pipelines.
+        """
+        if not self.enable_fault_endpoint:
+            raise FrontEndError(
+                "fault injection endpoint is disabled; restart `repro "
+                "serve` with --enable-fault-endpoint (chaos rigs only)"
+            )
+        plan = FaultPlan.parse(spec)
+        if self.system.faults is not None:
+            raise WorkloadError("fault injector already installed")
+        injector = self.system.inject_faults(plan)
+        self.logger.warning("faults.installed", plan=plan.to_spec())
+        return {"installed": injector.plan.to_spec()}
+
+    def fault_stats(self) -> dict[str, Any]:
+        """Plan + decision counters of the installed injector (GET side)."""
+        if not self.enable_fault_endpoint:
+            raise FrontEndError(
+                "fault injection endpoint is disabled; restart `repro "
+                "serve` with --enable-fault-endpoint (chaos rigs only)"
+            )
+        injector = self.system.faults
+        if injector is None:
+            return {"installed": None}
+        return {"installed": injector.plan.to_spec(),
+                "stats": injector.stats.as_dict(),
+                "lost_messages": len(injector.lost)}
 
     # -- queries -----------------------------------------------------------
 
@@ -372,22 +596,73 @@ class WorkflowService:
             "trace_dropped": self.system.trace.dropped,
             "executor_retries": self.runtime.executor.retries,
             "executor_failures": len(self.runtime.executor.failures),
+            "durable": self._log is not None,
+            "instances_recovered": len(self._durable_outcomes),
+            "instances_redriven": len(self._origins),
+            "admission": self.admission.stats.as_dict(),
+            "faults_installed": (None if self.system.faults is None
+                                 else self.system.faults.plan.to_spec()),
         }
 
+    def resolve_instance(self, instance_id: str) -> str:
+        """Follow redrive aliases to the id currently carrying the work."""
+        seen = set()
+        while instance_id in self._aliases:
+            if instance_id in seen:  # pragma: no cover - defensive
+                break
+            seen.add(instance_id)
+            instance_id = self._aliases[instance_id]
+        return instance_id
+
     def instance(self, instance_id: str) -> dict[str, Any]:
-        """Public status record for one instance (running or finished)."""
-        outcome = self.system.outcomes.get(instance_id)
+        """Public status record for one instance (running or finished).
+
+        Ids acknowledged by a pre-crash incarnation resolve through the
+        redrive chain: the record reports the requested id with the
+        resolved id's state (plus the ``resolved`` field when they
+        differ).  Instances past their submission deadline report
+        ``deadline-exceeded`` until the engine abort lands, after which
+        the engine outcome wins (flagged ``deadline_exceeded``).
+        """
+        resolved = self.resolve_instance(instance_id)
+        record = self._instance_record(resolved)
+        if record is None:
+            raise FrontEndError(f"unknown instance {instance_id!r}")
+        if resolved != instance_id:
+            record["instance"] = instance_id
+            record["resolved"] = resolved
+        return record
+
+    def _instance_record(self, iid: str) -> dict[str, Any] | None:
+        expired = iid in self._expired
+        outcome = self.system.outcomes.get(iid)
         if outcome is not None:
-            return {
-                "instance": instance_id,
+            record = {
+                "instance": iid,
                 "workflow": outcome.schema_name,
                 "status": outcome.status.value,
                 "outputs": dict(outcome.outputs),
                 "finished_at": outcome.finished_at,
             }
-        if instance_id not in self._submit_times:
-            raise FrontEndError(f"unknown instance {instance_id!r}")
-        return {"instance": instance_id, "status": "running"}
+            if expired:
+                record["deadline_exceeded"] = True
+            return record
+        durable = self._durable_outcomes.get(iid)
+        if durable is not None:
+            return {
+                "instance": iid,
+                "workflow": durable.get("workflow"),
+                "status": durable.get("status"),
+                "outputs": dict(durable.get("outputs") or {}),
+                "finished_at": durable.get("finished_at"),
+                "recovered": True,
+            }
+        if iid not in self._submit_times:
+            return None
+        if expired:
+            return {"instance": iid, "status": "deadline-exceeded",
+                    "deadline_exceeded": True}
+        return {"instance": iid, "status": "running"}
 
     def instances(self) -> list[dict[str, Any]]:
         """Per-instance status rows, submission order (``repro top`` feed)."""
@@ -403,7 +678,9 @@ class WorkflowService:
                     "age": round(now - submitted, 6),
                 })
             else:
-                rows.append({"instance": iid, "status": "running",
+                status = ("deadline-exceeded" if iid in self._expired
+                          else "running")
+                rows.append({"instance": iid, "status": status,
                              "age": round(now - submitted, 6)})
         return rows
 
@@ -415,11 +692,14 @@ class WorkflowService:
         Subscribing to an already-finished instance yields a single
         final status event and then the terminator.
         """
+        instance_id = self.resolve_instance(instance_id)
         if (instance_id not in self._submit_times
-                and instance_id not in self.system.outcomes):
+                and instance_id not in self.system.outcomes
+                and instance_id not in self._durable_outcomes):
             raise FrontEndError(f"unknown instance {instance_id!r}")
         queue: asyncio.Queue = asyncio.Queue()
-        if instance_id in self.system.outcomes:
+        if (instance_id in self.system.outcomes
+                or instance_id in self._durable_outcomes):
             queue.put_nowait(self._final_event(instance_id))
             queue.put_nowait(None)
             return queue
@@ -433,6 +713,7 @@ class WorkflowService:
         queue accumulating events until the instance finishes.  Unknown
         queues (already closed by the watcher) are ignored.
         """
+        instance_id = self.resolve_instance(instance_id)
         queues = self._subscribers.get(instance_id)
         if not queues:
             return
@@ -483,24 +764,112 @@ class WorkflowService:
 
     async def _watch_outcomes(self) -> None:
         """Sweep for finished instances: record end-to-end latency into
-        the commit/abort histograms, log the outcome, and close any
+        the commit/abort histograms, log and journal the outcome (plus
+        engine-store fragments), enforce submission deadlines, and close
         subscriber streams with a final event + ``None`` terminator."""
         while True:
             await asyncio.sleep(_WATCH_INTERVAL)
             outcomes = self.system.outcomes
-            for iid in [i for i in self._latency_pending if i in outcomes]:
+            finished = [i for i in self._latency_pending if i in outcomes]
+            for iid in finished:
                 self._latency_pending.discard(iid)
                 self._record_latency(iid, outcomes[iid])
+                if self._log is not None:
+                    self._journal_outcome(iid, outcomes[iid])
+            if self._log is not None and finished:
+                # Group commit: one fsync covers every outcome (and its
+                # fragments) that landed in this sweep.
+                self._log.flush()
+            self._sweep_deadlines()
             for iid in [i for i in self._subscribers if i in outcomes]:
                 for queue in self._subscribers.pop(iid, ()):
                     queue.put_nowait(self._final_event(iid))
                     queue.put_nowait(None)
+
+    def _sweep_deadlines(self) -> None:
+        """Abort instances that outlived their submission deadline."""
+        if not self._deadlines:
+            return
+        now = self.runtime.clock.now
+        outcomes = self.system.outcomes
+        for iid, deadline in list(self._deadlines.items()):
+            if iid in outcomes:
+                del self._deadlines[iid]
+                continue
+            if now < deadline:
+                continue
+            del self._deadlines[iid]
+            self._expired[iid] = now
+            self.admission.stats.deadline_exceeded += 1
+            self.logger.warning("instance.deadline_exceeded", instance=iid,
+                                overrun=round(now - deadline, 6))
+            event = {"t": round(now, 6), "kind": "instance.deadline_exceeded",
+                     "instance": iid}
+            for queue in self._subscribers.get(iid, ()):
+                queue.put_nowait(event)
+            for queue in self._event_taps:
+                queue.put_nowait(event)
+            # The 504-style outcome: the service aborts the instance; the
+            # engine's abort/compensation path drives it to a terminal
+            # outcome, which keeps the at-most-once commit story intact.
+            self.system.abort_workflow(iid)
+
+    def _journal_outcome(self, instance_id: str, outcome) -> None:
+        """Buffer one outcome (+ engine-store fragments) into the log."""
+        self._log.append("outcome", {
+            "instance": instance_id,
+            "workflow": outcome.schema_name,
+            "status": outcome.status.value,
+            "outputs": dict(outcome.outputs),
+            "finished_at": outcome.finished_at,
+            "original": self._origins.get(instance_id),
+        })
+        for node_name, snapshot in self._instance_fragments(instance_id):
+            self._log.append("fragment", {
+                "instance": instance_id, "node": node_name,
+                "state": snapshot,
+            })
+
+    def _instance_fragments(self, instance_id: str):
+        """Engine-store snapshots for one instance, across architectures.
+
+        Duck-typed over the transport's nodes: centralized/parallel
+        engines expose a ``wfdb`` (workflow database), distributed agents
+        an ``agdb`` (agent database with per-instance fragments).  Yields
+        ``(node_name, snapshot_dict)`` pairs.
+        """
+        for name in self.runtime.transport.node_names():
+            node = self.runtime.transport.node(name)
+            wfdb = getattr(node, "wfdb", None)
+            if wfdb is not None:
+                if wfdb.has_instance(instance_id):
+                    yield name, wfdb.instance(instance_id).snapshot()
+                else:
+                    # Finished instances are archived down to the paper's
+                    # summary row; that row *is* the durable post-commit
+                    # engine state.
+                    try:
+                        status = wfdb.status(instance_id)
+                    except StorageError:
+                        pass
+                    else:
+                        yield name, {"instance_id": instance_id,
+                                     "summary": status.value}
+            agdb = getattr(node, "agdb", None)
+            if agdb is not None:
+                if agdb.has_fragment(instance_id):
+                    yield name, agdb.fragment(instance_id).snapshot()
+                elif agdb.has_summary(instance_id):
+                    yield name, {"instance_id": instance_id,
+                                 "summary": agdb.summary(instance_id).value}
 
     def _record_latency(self, instance_id: str, outcome) -> None:
         submitted = self._submit_times.get(instance_id)
         latency = (None if submitted is None
                    else self.runtime.clock.now - submitted)
         status = outcome.status.value
+        if latency is not None:
+            self.admission.note_latency(latency)
         if latency is not None and self.observability:
             self.system.registry.histogram(
                 "crew_service_instance_latency_seconds",
@@ -592,6 +961,38 @@ class WorkflowService:
             "crew_trace_dropped_records_total",
             "Trace records evicted from the ring buffer.",
         ), self.system.trace.dropped)
+        admission = self.admission.stats
+        _set_counter(registry.counter(
+            "crew_admission_accepted_total",
+            "Instances admitted by the submission gate.",
+        ), admission.accepted)
+        for reason, value in (
+            ("draining", admission.rejected_draining),
+            ("queue-full", admission.rejected_queue_full),
+            ("rate-limited", admission.rejected_rate_limited),
+        ):
+            _set_counter(registry.counter(
+                "crew_admission_rejected_total",
+                "Instances refused by the submission gate.", reason=reason,
+            ), value)
+        _set_counter(registry.counter(
+            "crew_service_deadline_exceeded_total",
+            "Instances aborted for outliving their submission deadline.",
+        ), admission.deadline_exceeded)
+        if self.admission.bucket is not None:
+            registry.gauge(
+                "crew_admission_rate_tokens",
+                "Token-bucket tokens currently available to submissions.",
+            ).set(self.admission.bucket.tokens)
+        if self._log is not None:
+            _set_counter(registry.counter(
+                "crew_service_wal_records_total",
+                "Records appended to the durable service log.",
+            ), self._log.appends)
+            _set_counter(registry.counter(
+                "crew_service_wal_flushes_total",
+                "Group-commit fsync batches on the durable service log.",
+            ), self._log.flushes)
         if self.profiler is not None:
             for stat in self.profiler.top_frames():
                 _set_counter(registry.counter(

@@ -16,6 +16,9 @@ library client, no more:
 ``GET /metrics``                  Prometheus exposition scrape
 ``GET /debug/trace``              ``repro analyze``-compatible JSONL
 ``GET /debug/profile``            collapsed flamegraph stacks
+``POST /debug/faults``            install a chaos plan (gated, see below)
+``GET /debug/faults``             installed plan + fault decision stats
+``POST /admin/drain``             begin graceful drain (load shedding)
 ================================  =====================================
 
 ``POST /workflows`` accepts a JSON object with either ``laws`` (LAWS
@@ -33,6 +36,15 @@ before :meth:`WorkflowService.start` completes and during graceful
 drain.  The observability surfaces return 503 with a hint when the
 service was started with observability disabled.
 
+Every error response is a JSON envelope ``{"error": {"code", "message"}}``
+with a stable machine-readable ``code`` slug; admission refusals (429 /
+503) additionally carry a ``Retry-After`` header.  ``POST /workflows``
+accepts optional ``deadline_s``: instances still running that many
+seconds after submission are aborted and reported ``deadline-exceeded``.
+``/debug/faults`` is refused (403) unless the daemon was started with
+``--enable-fault-endpoint`` — the plan it installs crashes nodes and
+loses messages, so the flag must never leave a chaos rig.
+
 Responses carry ``Connection: close`` — one request per connection keeps
 the parser honest and is plenty for a local control plane.
 """
@@ -43,7 +55,7 @@ import asyncio
 import json
 from typing import Any
 
-from repro.errors import CrewError, WorkloadError
+from repro.errors import AdmissionError, CrewError, FrontEndError, WorkloadError
 from repro.service.core import WorkflowService
 
 __all__ = ["serve", "start_server"]
@@ -54,11 +66,30 @@ _MAX_BODY_BYTES = 8 * 1024 * 1024
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Default machine-readable error codes per status (the envelope's
+#: ``error.code`` when the raiser did not pick a more specific one).
+_DEFAULT_CODES = {
+    400: "bad-request",
+    403: "forbidden",
+    404: "not-found",
+    405: "method-not-allowed",
+    409: "conflict",
+    413: "payload-too-large",
+    429: "rate-limited",
+    500: "internal",
+    503: "unavailable",
+    504: "deadline-exceeded",
 }
 
 #: Prometheus text exposition content type (the version tag matters to
@@ -74,10 +105,26 @@ def _version() -> str:
 
 
 class _HttpError(Exception):
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, code: str | None = None,
+                 retry_after: float | None = None):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.code = code if code is not None else _DEFAULT_CODES.get(
+            status, "error"
+        )
+        self.retry_after = retry_after
+
+    def response(self) -> bytes:
+        """The standard JSON error envelope for this error."""
+        headers = None
+        if self.retry_after is not None:
+            headers = {"Retry-After": f"{self.retry_after:g}"}
+        return _response(
+            self.status,
+            {"error": {"code": self.code, "message": self.message}},
+            headers=headers,
+        )
 
 
 def _response(
@@ -251,16 +298,54 @@ async def _dispatch(
         if body is None:
             raise _HttpError(400, "POST /workflows needs a JSON body")
         try:
+            instances = int(body.get("instances", 1))
+            deadline = body.get("deadline_s")
+            deadline_s = None if deadline is None else float(deadline)
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, f"bad submission field: {exc}") from None
+        try:
             result = service.submit(
                 laws=body.get("laws"),
                 schema=body.get("schema"),
                 workflow=body.get("workflow"),
                 inputs=body.get("inputs"),
-                instances=int(body.get("instances", 1)),
+                instances=instances,
+                deadline_s=deadline_s,
             )
+        except AdmissionError as exc:
+            raise _HttpError(exc.status, str(exc), code=exc.code,
+                             retry_after=exc.retry_after) from None
         except CrewError as exc:
             raise _HttpError(400, str(exc)) from None
         return _response(200, result)
+    if path == "/debug/faults":
+        if method == "GET":
+            try:
+                return _response(200, service.fault_stats())
+            except CrewError as exc:
+                raise _HttpError(403, str(exc),
+                                 code="fault-endpoint-disabled") from None
+        if method != "POST":
+            raise _HttpError(405, "use GET or POST")
+        if body is None or "plan" not in body:
+            raise _HttpError(
+                400, "POST /debug/faults needs a JSON body with 'plan' "
+                     "(a fault-plan spec string)"
+            )
+        try:
+            return _response(200, service.install_faults(str(body["plan"])))
+        except FrontEndError as exc:
+            raise _HttpError(403, str(exc),
+                             code="fault-endpoint-disabled") from None
+        except WorkloadError as exc:
+            raise _HttpError(409, str(exc)) from None
+        except CrewError as exc:
+            raise _HttpError(400, str(exc)) from None
+    if path == "/admin/drain":
+        if method != "POST":
+            raise _HttpError(405, "use POST")
+        service.begin_drain()
+        return _response(200, {"draining": True})
     if path.startswith("/instances/"):
         if method != "GET":
             raise _HttpError(405, "use GET")
@@ -291,12 +376,14 @@ def _make_handler(service: WorkflowService):
                                          reader, writer)
             except _HttpError as exc:
                 status = exc.status
-                result = _response(exc.status, {"error": exc.message})
+                result = exc.response()
             except (asyncio.IncompleteReadError, ConnectionError):
                 return
             except Exception as exc:  # pragma: no cover - defensive
                 status = 500
-                result = _response(500, {"error": repr(exc)})
+                result = _response(
+                    500, {"error": {"code": "internal", "message": repr(exc)}}
+                )
             if result is not None:
                 writer.write(result)
                 await writer.drain()

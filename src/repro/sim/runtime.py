@@ -6,9 +6,10 @@ clock-agnostic :class:`~repro.runtime.transport.Network` transport and a
 :class:`~repro.runtime.executor.ClockExecutor` into one object satisfying
 :class:`repro.runtime.protocols.Runtime`.  It is the default backend of
 every :class:`~repro.engines.base.ControlSystem` (registered as ``"sim"``
-in :mod:`repro.runtime.factory`), and the only backend that supports
-deterministic fault injection: fixed-seed runs replay bit-for-bit from
-``(seed, plan)``.
+in :mod:`repro.runtime.factory`), and the only backend on which fault
+injection is *bit*-deterministic: fixed-seed runs replay byte-for-byte
+from ``(seed, plan)`` (the asyncio backend replays the same decision
+sequence but on wall-clock time).
 """
 
 from __future__ import annotations
@@ -34,7 +35,10 @@ class SimRuntime:
         self,
         metrics: MetricsCollector | None = None,
         latency: LatencyModel | None = None,
+        rng: Any = None,
     ):
+        # ``rng`` keeps the factory signature uniform across backends; the
+        # deterministic executor never jitters, so it goes unused here.
         self.clock = Simulator()
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.transport = Network(self.clock, self.metrics, latency)
@@ -49,14 +53,14 @@ class SimRuntime:
         return True
 
     def install_faults(self, plan: Any, rng: Any, retry: Any) -> Any:
-        """Install a deterministic :class:`~repro.sim.faults.FaultInjector`.
+        """Install a deterministic :class:`~repro.runtime.faults.FaultInjector`.
 
         ``rng`` must be a dedicated child seed space (the caller spawns
         ``rng.spawn("faults")``) so installation never perturbs the
         workload's own streams; ``retry`` drives retransmission backoff.
         Returns the installed injector.
         """
-        from repro.sim.faults import FaultInjector
+        from repro.runtime.faults import FaultInjector
 
         if self.faults is not None:
             raise WorkloadError("fault injector already installed")

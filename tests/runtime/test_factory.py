@@ -25,7 +25,7 @@ def test_build_asyncio_runtime_by_name_and_alias():
     for name in ("asyncio", "realtime"):
         runtime = build_runtime(name)
         assert runtime.name == "asyncio"
-        assert not runtime.supports_faults()
+        assert runtime.supports_faults()
 
 
 def test_default_is_sim():

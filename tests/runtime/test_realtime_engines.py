@@ -97,7 +97,10 @@ def test_synchronous_run_is_refused_on_asyncio_runtime():
     assert "join()" in str(excinfo.value)
 
 
-def test_fault_injection_is_refused_on_asyncio_runtime():
+def test_fault_injection_installs_on_asyncio_runtime():
     system = CentralizedControlSystem(wallclock_config())
+    injector = system.inject_faults(FaultPlan(drop_p=0.1))
+    assert system.runtime.faults is injector
+    assert system.runtime.executor.faults is injector
     with pytest.raises(WorkloadError):
-        system.inject_faults(FaultPlan())
+        system.inject_faults(FaultPlan())  # double install is refused

@@ -1,0 +1,307 @@
+"""Admission control, deadlines and graceful drain at the front door."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import AdmissionError, ParameterError
+from repro.service import WorkflowService, start_server
+from repro.service.admission import AdmissionController, TokenBucket
+
+MINI_SCHEMA = {
+    "name": "Mini",
+    "inputs": ["x"],
+    "steps": [
+        {"name": "A", "outputs": ["y"], "cost": 1},
+        {"name": "B", "inputs": ["A.y"], "outputs": ["z"]},
+    ],
+    "arcs": [{"src": "A", "dst": "B"}],
+    "outputs": {"z": "B.z"},
+}
+
+SLOW_SCHEMA = {
+    "name": "Slow",
+    "inputs": ["x"],
+    "steps": [{"name": "Grind", "outputs": ["y"], "cost": 500}],
+    "outputs": {"y": "Grind.y"},
+}
+
+
+async def http(port, method, path, body=None):
+    """One HTTP exchange; returns (status, headers dict, parsed body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: localhost\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    ).encode()
+    writer.write(head + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    header_blob, __, body_blob = raw.partition(b"\r\n\r\n")
+    status = int(header_blob.split(b" ", 2)[1])
+    headers = {}
+    for line in header_blob.decode("latin-1").split("\r\n")[1:]:
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    if headers.get("content-type", "").startswith("application/x-ndjson"):
+        parsed = [json.loads(line) for line in body_blob.splitlines()]
+    else:
+        parsed = json.loads(body_blob) if body_blob else None
+    return status, headers, parsed
+
+
+async def booted(port, **service_kwargs):
+    service = WorkflowService(**service_kwargs)
+    server = await start_server(service, "127.0.0.1", port)
+    return service, server
+
+
+async def shutdown(service, server):
+    server.close()
+    await server.wait_closed()
+    await service.close()
+
+
+# ------------------------------------------------------------- token bucket
+
+
+def test_token_bucket_takes_and_refills():
+    bucket = TokenBucket(rate=10.0, burst=2)
+    assert bucket.try_take(0.0) == 0.0
+    assert bucket.try_take(0.0) == 0.0
+    wait = bucket.try_take(0.0)
+    assert wait == pytest.approx(0.1)
+    # Nothing was taken on refusal; after the wait, one token is back.
+    assert bucket.try_take(0.1) == 0.0
+    # Refill is capped at burst even after a long idle stretch.
+    bucket.try_take(100.0)
+    assert bucket.tokens <= 2.0
+
+
+def test_token_bucket_validates_parameters():
+    with pytest.raises(ParameterError):
+        TokenBucket(rate=0.0, burst=1)
+    with pytest.raises(ParameterError):
+        TokenBucket(rate=1.0, burst=0)
+
+
+def test_admission_controller_gates_in_order():
+    controller = AdmissionController(max_inflight=2, rate=100.0, burst=10)
+    controller.admit(0.0, running=0, count=2, draining=False)
+    # Drain shedding wins over every other verdict.
+    with pytest.raises(AdmissionError) as excinfo:
+        controller.admit(0.0, running=0, count=1, draining=True)
+    assert excinfo.value.code == "draining"
+    assert excinfo.value.status == 503
+    with pytest.raises(AdmissionError) as excinfo:
+        controller.admit(0.0, running=2, count=1, draining=False)
+    assert excinfo.value.code == "queue-full"
+    assert excinfo.value.status == 429
+    assert excinfo.value.retry_after is not None
+    stats = controller.stats.as_dict()
+    assert stats["accepted"] == 2
+    assert stats["rejected_draining"] == 1
+    assert stats["rejected_queue_full"] == 1
+
+
+def test_admission_retry_after_tracks_latency_ewma():
+    controller = AdmissionController(max_inflight=1)
+    assert controller._retry_after_queue() == controller.DEFAULT_RETRY_AFTER
+    controller.note_latency(4.0)
+    assert controller._retry_after_queue() == pytest.approx(2.0)
+    controller.note_latency(4.0)
+    controller.note_latency(0.0)  # EWMA decays, never snaps
+    assert 0.05 <= controller._retry_after_queue() < 2.0
+
+
+# ----------------------------------------------------------- over the wire
+
+
+def test_queue_full_is_429_with_retry_after():
+    async def main():
+        service, server = await booted(8480, work_time_scale=0.01,
+                                       max_inflight=2)
+        try:
+            status, __, body = await http(
+                8480, "POST", "/workflows",
+                {"schema": SLOW_SCHEMA, "inputs": {"x": 1}, "instances": 2},
+            )
+            assert status == 200
+            status, headers, body = await http(
+                8480, "POST", "/workflows",
+                {"workflow": "Slow", "inputs": {"x": 2}},
+            )
+            assert status == 429
+            assert body["error"]["code"] == "queue-full"
+            assert float(headers["retry-after"]) > 0
+            assert service.admission.stats.rejected_queue_full == 1
+        finally:
+            await shutdown(service, server)
+
+    asyncio.run(main())
+
+
+def test_rate_limit_is_429_with_exact_wait():
+    async def main():
+        service, server = await booted(8481, work_time_scale=0.001,
+                                       rate_limit=0.5, rate_burst=1)
+        try:
+            status, __, __ = await http(
+                8481, "POST", "/workflows",
+                {"schema": MINI_SCHEMA, "inputs": {"x": 1}},
+            )
+            assert status == 200
+            status, headers, body = await http(
+                8481, "POST", "/workflows",
+                {"workflow": "Mini", "inputs": {"x": 2}},
+            )
+            assert status == 429
+            assert body["error"]["code"] == "rate-limited"
+            assert 0 < float(headers["retry-after"]) <= 2.0
+        finally:
+            await shutdown(service, server)
+
+    asyncio.run(main())
+
+
+def test_deadline_exceeded_instance_is_aborted_and_reported():
+    async def main():
+        service, server = await booted(8482, work_time_scale=0.01)
+        try:
+            status, __, body = await http(
+                8482, "POST", "/workflows",
+                {"schema": SLOW_SCHEMA, "inputs": {"x": 1},
+                 "deadline_s": 0.1},
+            )
+            assert status == 200
+            [iid] = body["instances"]
+
+            async def poll(want):
+                for __ in range(200):
+                    s, __h, record = await http(
+                        8482, "GET", f"/instances/{iid}")
+                    if record.get("deadline_exceeded"):
+                        return record
+                    await asyncio.sleep(0.05)
+                raise AssertionError(f"never saw {want}")
+
+            record = await poll("deadline_exceeded")
+            assert record["deadline_exceeded"] is True
+            assert service.admission.stats.deadline_exceeded == 1
+        finally:
+            await shutdown(service, server)
+
+    asyncio.run(main())
+
+
+def test_bad_deadline_is_rejected():
+    async def main():
+        service, server = await booted(8483, work_time_scale=0.001)
+        try:
+            status, __, body = await http(
+                8483, "POST", "/workflows",
+                {"schema": MINI_SCHEMA, "inputs": {"x": 1},
+                 "deadline_s": -1},
+            )
+            assert status == 400
+            assert "deadline_s" in body["error"]["message"]
+        finally:
+            await shutdown(service, server)
+
+    asyncio.run(main())
+
+
+# -------------------------------------------------------------------- drain
+
+
+def test_drain_sheds_submissions_and_closes_streams():
+    """``begin_drain`` with live NDJSON streams: the firehose flushes and
+    closes cleanly, per-instance streams survive until their instance
+    finishes, and new submissions get a 503 with a drain hint."""
+
+    async def main():
+        service, server = await booted(8484, work_time_scale=0.01)
+        try:
+            status, __, body = await http(
+                8484, "POST", "/workflows",
+                {"schema": MINI_SCHEMA, "inputs": {"x": 1}},
+            )
+            assert status == 200
+            [iid] = body["instances"]
+
+            # Open both stream kinds *before* draining.
+            firehose = asyncio.ensure_future(http(8484, "GET", "/events"))
+            instance_stream = asyncio.ensure_future(
+                http(8484, "GET", f"/instances/{iid}/events"))
+            await asyncio.sleep(0.05)  # let both streams attach
+
+            status, __, body = await http(8484, "POST", "/admin/drain")
+            assert status == 200 and body == {"draining": True}
+            assert service.status()["draining"] is True
+
+            # The firehose closes promptly: its tap got the terminator.
+            status, __, events = await asyncio.wait_for(firehose, timeout=5.0)
+            assert status == 200
+            assert all(isinstance(e, dict) for e in events)
+
+            # New submissions are shed with the drain hint.
+            status, __, body = await http(
+                8484, "POST", "/workflows",
+                {"workflow": "Mini", "inputs": {"x": 2}},
+            )
+            assert status == 503
+            assert body["error"]["code"] == "draining"
+            assert "draining" in body["error"]["message"]
+
+            # The per-instance stream still runs to the terminal event:
+            # in-flight work finishes during drain.
+            status, __, events = await asyncio.wait_for(instance_stream,
+                                                        timeout=10.0)
+            assert status == 200
+            assert events[-1]["kind"] == "instance.finished"
+            assert events[-1]["status"] == "committed"
+
+            # Readiness flipped off for load balancers.
+            status, __, body = await http(8484, "GET", "/readyz")
+            assert status == 503 and body["reason"] == "draining"
+        finally:
+            await shutdown(service, server)
+
+    asyncio.run(main())
+
+
+def test_admission_metrics_are_scraped():
+    async def main():
+        service, server = await booted(8485, work_time_scale=0.001,
+                                       max_inflight=1, rate_limit=100.0,
+                                       rate_burst=100)
+        try:
+            status, __, __ = await http(
+                8485, "POST", "/workflows",
+                {"schema": SLOW_SCHEMA, "inputs": {"x": 1}},
+            )
+            assert status == 200
+            status, __, __ = await http(
+                8485, "POST", "/workflows",
+                {"workflow": "Slow", "inputs": {"x": 2}},
+            )
+            assert status == 429
+            reader, writer = await asyncio.open_connection("127.0.0.1", 8485)
+            writer.write(b"GET /metrics HTTP/1.1\r\nHost: x\r\n"
+                         b"Content-Length: 0\r\n\r\n")
+            await writer.drain()
+            text = (await reader.read()).decode()
+            writer.close()
+            assert "crew_admission_accepted_total" in text
+            assert 'crew_admission_rejected_total{reason="queue-full"}' in text
+            assert "crew_admission_rate_tokens" in text
+            assert "crew_service_wal_records_total" not in text  # no log
+        finally:
+            await shutdown(service, server)
+
+    asyncio.run(main())

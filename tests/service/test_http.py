@@ -105,7 +105,8 @@ def test_error_responses():
             status, body = await request(
                 8462, "POST", "/workflows", {"workflow": "Ghost"}
             )
-            assert status == 400 and "Ghost" in body["error"]
+            assert status == 400 and "Ghost" in body["error"]["message"]
+            assert body["error"]["code"] == "bad-request"
             status, body = await request(8462, "GET", "/instances/nope-1")
             assert status == 404
         finally:

@@ -190,7 +190,7 @@ def test_observability_off_returns_503_with_hint():
             for path in ("/metrics", "/debug/trace", "/debug/profile"):
                 status, __, body = await raw_request(8474, "GET", path)
                 assert status == 503, path
-                assert "--no-observability" in json.loads(body)["error"]
+                assert "--no-observability" in json.loads(body)["error"]["message"]
             # liveness and submissions still work without observability
             status, __, body = await raw_request(8474, "GET", "/healthz")
             assert status == 200
